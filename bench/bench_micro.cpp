@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the building blocks whose
+ * throughput determines co-search cost: the analytical PPA model,
+ * the cycle-level simulator, GP fit/predict, hypervolume and the
+ * mapping operators. These quantify the paper's premise that the
+ * analytical engine is orders of magnitude cheaper than the
+ * cycle-level one.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "camodel/simulator.hh"
+#include "common/rng.hh"
+#include "costmodel/analytical.hh"
+#include "moo/hypervolume.hh"
+#include "surrogate/gp.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+
+namespace {
+
+workload::TensorOp
+convOp()
+{
+    return workload::TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+}
+
+accel::SpatialHwConfig
+spatialHw()
+{
+    accel::SpatialHwConfig hw;
+    hw.peX = hw.peY = 8;
+    hw.l1Bytes = 16 * 1024;
+    hw.l2Bytes = 512 * 1024;
+    hw.nocBandwidth = 128;
+    return hw;
+}
+
+void
+BM_AnalyticalEvaluate(benchmark::State &state)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    common::Rng rng(1);
+    std::vector<mapping::Mapping> mappings;
+    for (int i = 0; i < 64; ++i)
+        mappings.push_back(space.random(rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(op, hw, mappings[i++ % mappings.size()]));
+    }
+}
+BENCHMARK(BM_AnalyticalEvaluate);
+
+void
+BM_CycleLevelEvaluate(benchmark::State &state)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 512, 512, 512);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(2);
+    std::vector<camodel::CubeMapping> mappings;
+    for (int i = 0; i < 16; ++i)
+        mappings.push_back(space.random(rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(op, hw, mappings[i++ % mappings.size()]));
+    }
+}
+BENCHMARK(BM_CycleLevelEvaluate);
+
+void
+BM_MappingMutate(benchmark::State &state)
+{
+    const mapping::MappingSpace space(convOp());
+    common::Rng rng(3);
+    mapping::Mapping m = space.random(rng);
+    for (auto _ : state) {
+        m = space.mutate(m, rng);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_MappingMutate);
+
+void
+BM_GpFit(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    common::Rng rng(4);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (std::size_t i = 0; i < n; ++i) {
+        x.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        y.push_back(rng.gaussian());
+    }
+    for (auto _ : state) {
+        surrogate::GaussianProcess gp;
+        gp.fit(x, y);
+        benchmark::DoNotOptimize(gp.trained());
+    }
+}
+BENCHMARK(BM_GpFit)->Arg(32)->Arg(128)->Arg(256);
+
+void
+BM_GpPredict(benchmark::State &state)
+{
+    common::Rng rng(5);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 128; ++i) {
+        x.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        y.push_back(rng.gaussian());
+    }
+    surrogate::GaussianProcess gp;
+    gp.fit(x, y);
+    const std::vector<double> q = {0.3, 0.5, 0.7};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gp.predict(q));
+}
+BENCHMARK(BM_GpPredict);
+
+void
+BM_Hypervolume3d(benchmark::State &state)
+{
+    common::Rng rng(6);
+    std::vector<moo::Objectives> pts;
+    for (int i = 0; i < state.range(0); ++i)
+        pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    const moo::Objectives ref = {1.1, 1.1, 1.1};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(moo::hypervolume(pts, ref));
+}
+BENCHMARK(BM_Hypervolume3d)->Arg(8)->Arg(32);
+
+void
+BM_ModelZooBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(workload::makeResNet().totalMacs());
+    }
+}
+BENCHMARK(BM_ModelZooBuild);
+
+} // namespace
+
+BENCHMARK_MAIN();

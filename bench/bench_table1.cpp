@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Reproduces Table 1: HASCO vs NSGA-II vs UNICO on the edge device
+ * (power < 2 W) across seven DNNs.
+ */
+
+#include "table_runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    return unico::bench::runScenarioTable(
+        argc, argv, unico::accel::Scenario::Edge,
+        "Table 1: edge device co-optimization (HASCO / NSGAII / UNICO)");
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Reproduces Table 2: HASCO vs NSGA-II vs UNICO on the cloud device
+ * (power < 20 W) across seven DNNs.
+ */
+
+#include "table_runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    return unico::bench::runScenarioTable(
+        argc, argv, unico::accel::Scenario::Cloud,
+        "Table 2: cloud device co-optimization (HASCO / NSGAII / UNICO)");
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Command-line co-search driver: run any of the shipped algorithms
+ * on zoo networks or user-supplied workload files and export the
+ * results as CSV — the "tool" face of the library.
+ *
+ * Usage:
+ *   co_search_cli --model resnet [--model vit ...] \
+ *                 [--workload my_net.txt ...] \
+ *                 [--scenario edge|cloud] \
+ *                 [--algo unico|hasco|mobohb|nsga2|sh|msh] \
+ *                 [--batch N] [--iters I] [--bmax B] [--seed S] \
+ *                 [--threads T] [--csv-prefix out/prefix]
+ */
+
+#include <iostream>
+
+#include "baselines/nsga2.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "core/driver.hh"
+#include "core/report.hh"
+#include "core/spatial_env.hh"
+#include "workload/model_zoo.hh"
+#include "workload/parser.hh"
+
+using namespace unico;
+
+namespace {
+
+int
+usage(const char *prog)
+{
+    std::cerr
+        << "usage: " << prog
+        << " --model NAME | --workload FILE [more ...]\n"
+           "  [--scenario edge|cloud] [--algo unico|hasco|mobohb|"
+           "nsga2|sh|msh]\n"
+           "  [--batch N] [--iters I] [--bmax B] [--seed S]"
+           " [--threads T]\n"
+           "  [--max-shapes K] [--csv-prefix PREFIX]\n"
+           "models: ";
+    for (const auto &name : workload::modelNames())
+        std::cerr << name << " ";
+    std::cerr << "\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const common::CliArgs args(argc, argv);
+
+    // Workload list: every positional arg and every --model /
+    // --workload option value.
+    std::vector<workload::Network> nets;
+    try {
+        if (args.has("model"))
+            nets.push_back(
+                workload::makeNetwork(args.getString("model", "")));
+        if (args.has("workload"))
+            nets.push_back(workload::parseNetworkFile(
+                args.getString("workload", "")));
+        for (const auto &pos : args.positional()) {
+            if (pos.find('.') != std::string::npos)
+                nets.push_back(workload::parseNetworkFile(pos));
+            else
+                nets.push_back(workload::makeNetwork(pos));
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage(args.program().c_str());
+    }
+    if (nets.empty())
+        return usage(args.program().c_str());
+
+    core::SpatialEnvOptions env_opt;
+    env_opt.scenario = args.getString("scenario", "edge") == "cloud"
+                           ? accel::Scenario::Cloud
+                           : accel::Scenario::Edge;
+    env_opt.maxShapesPerNetwork =
+        static_cast<std::size_t>(args.getInt("max-shapes", 5));
+    std::cout << "workloads:";
+    for (const auto &net : nets)
+        std::cout << " " << net.name();
+    std::cout << "\nscenario: " << toString(env_opt.scenario) << "\n";
+    core::SpatialEnv env(std::move(nets), env_opt);
+
+    const std::string algo = args.getString("algo", "unico");
+    const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    core::CoSearchResult result;
+    if (algo == "nsga2") {
+        baselines::Nsga2Config cfg;
+        cfg.population = static_cast<int>(args.getInt("batch", 20));
+        cfg.generations = static_cast<int>(args.getInt("iters", 8));
+        cfg.swBudget = static_cast<int>(args.getInt("bmax", 200));
+        cfg.seed = seed;
+        result = baselines::runNsga2(env, cfg);
+    } else {
+        core::DriverConfig cfg;
+        if (algo == "unico")
+            cfg = core::DriverConfig::unico();
+        else if (algo == "hasco")
+            cfg = core::DriverConfig::hascoLike();
+        else if (algo == "mobohb")
+            cfg = core::DriverConfig::mobohbLike();
+        else if (algo == "sh")
+            cfg = core::DriverConfig::shChampion();
+        else if (algo == "msh")
+            cfg = core::DriverConfig::mshChampion();
+        else
+            return usage(args.program().c_str());
+        cfg.batchSize = static_cast<int>(args.getInt("batch", 20));
+        cfg.maxIter = static_cast<int>(args.getInt("iters", 8));
+        cfg.sh.bMax = static_cast<int>(args.getInt("bmax", 200));
+        cfg.realThreads =
+            static_cast<std::size_t>(args.getInt("threads", 1));
+        cfg.seed = seed;
+        core::CoOptimizer driver(env, cfg);
+        result = driver.run();
+    }
+
+    std::cout << "\n" << core::toString(core::summarize(result))
+              << "\n\n";
+    common::TableWriter table(
+        {"hw", "L(ms)", "P(mW)", "A(mm2)", "R"});
+    for (const auto &entry : result.front.entries()) {
+        const auto &rec = result.records[entry.id];
+        table.addRow({env.describeHw(rec.hw),
+                      common::TableWriter::num(rec.ppa.latencyMs),
+                      common::TableWriter::num(rec.ppa.powerMw, 1),
+                      common::TableWriter::num(rec.ppa.areaMm2, 2),
+                      common::TableWriter::num(rec.sensitivity, 3)});
+    }
+    std::cout << "Pareto front:\n";
+    table.print(std::cout);
+    if (!result.front.empty()) {
+        const auto &best = result.records[result.minDistanceRecord()];
+        std::cout << "\nrecommended design: "
+                  << env.describeHw(best.hw) << "\n";
+    }
+
+    const std::string prefix = args.getString("csv-prefix", "");
+    if (!prefix.empty()) {
+        const bool ok =
+            core::writeRecordsCsv(result, env, prefix + "_records.csv") &&
+            core::writeFrontCsv(result, env, prefix + "_front.csv") &&
+            core::writeTraceCsv(result, prefix + "_trace.csv");
+        std::cout << (ok ? "\ncsv written to " : "\ncsv write FAILED: ")
+                  << prefix << "_{records,front,trace}.csv\n";
+        if (!ok)
+            return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "accel/ascend.hh"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace unico::accel {
+
+std::string
+CubeHwConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << "l0a=" << l0aBytes / 1024 << "K/" << l0aBanks << "b l0b="
+        << l0bBytes / 1024 << "K/" << l0bBanks << "b l0c="
+        << l0cBytes / 1024 << "K/" << l0cBanks << "b l1="
+        << l1Bytes / 1024 << "K ub=" << ubBytes / 1024 << "K pb="
+        << pbBytes / 1024 << "K ic=" << icacheBytes / 1024 << "K cube="
+        << cubeM << "x" << cubeN << "x" << cubeK;
+    return oss.str();
+}
+
+CubeHwConfig
+CubeHwConfig::expertDefault()
+{
+    // DaVinci-like defaults (Liao et al., HPCA'21): 64 KiB L0A/L0B,
+    // 256 KiB L0C, 1 MiB L1, 256 KiB UB, 16x16x16 cube.
+    return CubeHwConfig{};
+}
+
+namespace {
+
+std::vector<double>
+kib(std::initializer_list<double> values)
+{
+    std::vector<double> out;
+    for (double v : values)
+        out.push_back(v * 1024.0);
+    return out;
+}
+
+} // namespace
+
+AscendDesignSpace::AscendDesignSpace()
+{
+    // 8 * 8 * 8 * 6 * 6 * 4 * 3 * 4^3 * 3^3 ~= 9.5e8 configurations.
+    space_.addAxis("l0a_bytes", kib({8, 16, 32, 48, 64, 96, 128, 192}));
+    space_.addAxis("l0b_bytes", kib({8, 16, 32, 48, 64, 96, 128, 192}));
+    space_.addAxis("l0c_bytes",
+                   kib({32, 64, 128, 192, 256, 384, 512, 768}));
+    space_.addAxis("l1_bytes", kib({256, 512, 768, 1024, 1536, 2048}));
+    space_.addAxis("ub_bytes", kib({64, 128, 192, 256, 384, 512}));
+    space_.addAxis("pb_bytes", kib({16, 32, 64, 128}));
+    space_.addAxis("icache_bytes", kib({16, 32, 64}));
+    space_.addAxis("l0a_banks", {1, 2, 4, 8});
+    space_.addAxis("l0b_banks", {1, 2, 4, 8});
+    space_.addAxis("l0c_banks", {1, 2, 4, 8});
+    space_.addAxis("cube_m", {8, 16, 32});
+    space_.addAxis("cube_n", {8, 16, 32});
+    space_.addAxis("cube_k", {8, 16, 32});
+}
+
+CubeHwConfig
+AscendDesignSpace::decode(const HwPoint &p) const
+{
+    assert(space_.contains(p));
+    CubeHwConfig cfg;
+    cfg.l0aBytes = static_cast<std::int64_t>(space_.value(p, 0));
+    cfg.l0bBytes = static_cast<std::int64_t>(space_.value(p, 1));
+    cfg.l0cBytes = static_cast<std::int64_t>(space_.value(p, 2));
+    cfg.l1Bytes = static_cast<std::int64_t>(space_.value(p, 3));
+    cfg.ubBytes = static_cast<std::int64_t>(space_.value(p, 4));
+    cfg.pbBytes = static_cast<std::int64_t>(space_.value(p, 5));
+    cfg.icacheBytes = static_cast<std::int64_t>(space_.value(p, 6));
+    cfg.l0aBanks = static_cast<std::int64_t>(space_.value(p, 7));
+    cfg.l0bBanks = static_cast<std::int64_t>(space_.value(p, 8));
+    cfg.l0cBanks = static_cast<std::int64_t>(space_.value(p, 9));
+    cfg.cubeM = static_cast<std::int64_t>(space_.value(p, 10));
+    cfg.cubeN = static_cast<std::int64_t>(space_.value(p, 11));
+    cfg.cubeK = static_cast<std::int64_t>(space_.value(p, 12));
+    return cfg;
+}
+
+HwPoint
+AscendDesignSpace::encodeDefault() const
+{
+    const CubeHwConfig def = CubeHwConfig::expertDefault();
+    const double targets[] = {
+        static_cast<double>(def.l0aBytes),
+        static_cast<double>(def.l0bBytes),
+        static_cast<double>(def.l0cBytes),
+        static_cast<double>(def.l1Bytes),
+        static_cast<double>(def.ubBytes),
+        static_cast<double>(def.pbBytes),
+        static_cast<double>(def.icacheBytes),
+        static_cast<double>(def.l0aBanks),
+        static_cast<double>(def.l0bBanks),
+        static_cast<double>(def.l0cBanks),
+        static_cast<double>(def.cubeM),
+        static_cast<double>(def.cubeN),
+        static_cast<double>(def.cubeK),
+    };
+    HwPoint p(space_.dims(), 0);
+    for (std::size_t i = 0; i < space_.dims(); ++i) {
+        const auto &vals = space_.axis(i).values;
+        std::size_t best = 0;
+        double best_err = std::abs(vals[0] - targets[i]);
+        for (std::size_t j = 1; j < vals.size(); ++j) {
+            const double err = std::abs(vals[j] - targets[i]);
+            if (err < best_err) {
+                best_err = err;
+                best = j;
+            }
+        }
+        p[i] = best;
+    }
+    return p;
+}
+
+} // namespace unico::accel

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ascend-like (DaVinci-style) cube-core hardware template, Sec. 4.1.
+ *
+ * The searchable parameters follow the paper: buffer sizes and bank
+ * groups for L0A/L0B/L0C, the L1 buffer, the unified vector buffer,
+ * the parameter buffer, the instruction-cache size and the M/N/K cube
+ * dimensions — a space of ~1e9 configurations.
+ */
+
+#ifndef UNICO_ACCEL_ASCEND_HH
+#define UNICO_ACCEL_ASCEND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "accel/design_space.hh"
+
+namespace unico::accel {
+
+/** Decoded Ascend-like core configuration. */
+struct CubeHwConfig
+{
+    std::int64_t l0aBytes = 64 * 1024;  ///< cube input A staging
+    std::int64_t l0bBytes = 64 * 1024;  ///< cube input B staging
+    std::int64_t l0cBytes = 256 * 1024; ///< cube accumulator buffer
+    std::int64_t l1Bytes = 1024 * 1024; ///< shared L1 buffer
+    std::int64_t ubBytes = 256 * 1024;  ///< unified (vector) buffer
+    std::int64_t pbBytes = 32 * 1024;   ///< parameter buffer
+    std::int64_t icacheBytes = 32 * 1024; ///< instruction cache
+    std::int64_t l0aBanks = 2;          ///< L0A bank groups
+    std::int64_t l0bBanks = 2;          ///< L0B bank groups
+    std::int64_t l0cBanks = 2;          ///< L0C bank groups
+    std::int64_t cubeM = 16;            ///< cube M dimension
+    std::int64_t cubeN = 16;            ///< cube N dimension
+    std::int64_t cubeK = 16;            ///< cube K dimension
+
+    /** MACs executed by one cube issue. */
+    std::int64_t cubeMacs() const { return cubeM * cubeN * cubeK; }
+
+    /** Human-readable summary. */
+    std::string describe() const;
+
+    /** Expert-selected default configuration (the paper's baseline
+     *  against which UNICO's savings in Fig. 11 are reported). */
+    static CubeHwConfig expertDefault();
+};
+
+/** Design space for the Ascend-like core (~1e9 points). */
+class AscendDesignSpace
+{
+  public:
+    AscendDesignSpace();
+
+    /** The underlying generic discrete space. */
+    const DesignSpace &space() const { return space_; }
+
+    /** Decode an index vector into a configuration. */
+    CubeHwConfig decode(const HwPoint &p) const;
+
+    /** Index vector closest to the expert default configuration. */
+    HwPoint encodeDefault() const;
+
+  private:
+    DesignSpace space_;
+};
+
+} // namespace unico::accel
+
+#endif // UNICO_ACCEL_ASCEND_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power-performance-area (PPA) result type shared by every
+ * estimation engine (analytical cost model and cycle-level
+ * simulator) and by the co-optimization objectives.
+ */
+
+#ifndef UNICO_ACCEL_PPA_HH
+#define UNICO_ACCEL_PPA_HH
+
+#include <cmath>
+#include <limits>
+
+namespace unico::accel {
+
+/**
+ * A single PPA estimate. Units follow the paper's tables:
+ * latency in milliseconds, power in milliwatts, area in mm^2.
+ */
+struct Ppa
+{
+    double latencyMs = 0.0;
+    double powerMw = 0.0;
+    double areaMm2 = 0.0;
+    double energyMj = 0.0;  ///< derived: latency * power (micro-joule)
+    bool feasible = false;  ///< false when buffers/constraints violated
+
+    /** Energy-delay product (mJ * ms), a common mapping loss. */
+    double
+    edp() const
+    {
+        return energyMj * latencyMs;
+    }
+
+    /** Infeasible sentinel with very large objective values. */
+    static Ppa
+    infeasible()
+    {
+        Ppa p;
+        p.latencyMs = 1e12;
+        p.powerMw = 1e9;
+        p.areaMm2 = 1e6;
+        p.energyMj = 1e15;
+        p.feasible = false;
+        return p;
+    }
+
+    /** True if every field is finite and non-negative. */
+    bool
+    valid() const
+    {
+        return std::isfinite(latencyMs) && std::isfinite(powerMw) &&
+               std::isfinite(areaMm2) && latencyMs >= 0.0 &&
+               powerMw >= 0.0 && areaMm2 >= 0.0;
+    }
+};
+
+} // namespace unico::accel
+
+#endif // UNICO_ACCEL_PPA_HH

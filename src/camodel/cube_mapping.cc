@@ -1,0 +1,147 @@
+#include "camodel/cube_mapping.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace unico::camodel {
+
+GemmShape
+GemmShape::fromOp(const workload::TensorOp &op)
+{
+    GemmShape g;
+    if (op.kind == workload::OpKind::DepthwiseConv2D) {
+        // Depthwise runs channel-sequential on the cube: per channel a
+        // small (1 x rs) x (rs x yx) product; model as M=k, K=r*s.
+        g.m = op.k;
+        g.k = op.r * op.s;
+        g.n = op.n * op.y * op.x;
+    } else {
+        g.m = op.k;
+        g.k = op.c * op.r * op.s;
+        g.n = op.n * op.y * op.x;
+    }
+    return g;
+}
+
+std::string
+CubeMapping::describe() const
+{
+    std::ostringstream oss;
+    oss << "L1[" << m1 << "x" << n1 << "x" << k1 << "] L0[" << m0 << "x"
+        << n0 << "x" << k0 << "]"
+        << (doubleBufferA ? " dbA" : "") << (doubleBufferB ? " dbB" : "")
+        << (fuseVector ? " fused" : "");
+    return oss.str();
+}
+
+namespace {
+
+std::vector<std::int64_t>
+powerLadder(std::int64_t extent, std::int64_t lo)
+{
+    std::vector<std::int64_t> out;
+    for (std::int64_t v = lo; v < extent; v *= 2)
+        out.push_back(v);
+    out.push_back(extent);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::int64_t
+snap(const std::vector<std::int64_t> &ladder, std::int64_t v)
+{
+    auto it = std::lower_bound(ladder.begin(), ladder.end(), v);
+    if (it == ladder.end())
+        return ladder.back();
+    if (it != ladder.begin() && (*it - v) > (v - *(it - 1)))
+        --it;
+    return *it;
+}
+
+} // namespace
+
+CubeMappingSpace::CubeMappingSpace(const workload::TensorOp &op)
+    : shape_(GemmShape::fromOp(op)),
+      mLadder_(powerLadder(shape_.m, 8)),
+      nLadder_(powerLadder(shape_.n, 8)),
+      kLadder_(powerLadder(shape_.k, 8))
+{
+}
+
+CubeMapping
+CubeMappingSpace::random(common::Rng &rng) const
+{
+    CubeMapping m;
+    m.m1 = rng.pick(mLadder_);
+    m.n1 = rng.pick(nLadder_);
+    m.k1 = rng.pick(kLadder_);
+    m.m0 = snap(mLadder_, std::max<std::int64_t>(m.m1 / 4, 8));
+    m.n0 = snap(nLadder_, std::max<std::int64_t>(m.n1 / 4, 8));
+    m.k0 = snap(kLadder_, std::max<std::int64_t>(m.k1 / 4, 8));
+    m.doubleBufferA = rng.bernoulli(0.5);
+    m.doubleBufferB = rng.bernoulli(0.5);
+    m.fuseVector = rng.bernoulli(0.5);
+    repair(m);
+    return m;
+}
+
+CubeMapping
+CubeMappingSpace::mutate(const CubeMapping &m, common::Rng &rng) const
+{
+    CubeMapping out = m;
+    auto step = [&](std::int64_t v, const std::vector<std::int64_t> &lad) {
+        auto it = std::lower_bound(lad.begin(), lad.end(), v);
+        std::size_t idx = static_cast<std::size_t>(it - lad.begin());
+        if (idx >= lad.size())
+            idx = lad.size() - 1;
+        if (rng.bernoulli(0.5) && idx + 1 < lad.size())
+            ++idx;
+        else if (idx > 0)
+            --idx;
+        return lad[idx];
+    };
+    switch (rng.uniformInt(std::uint64_t{8})) {
+      case 0: out.m1 = step(out.m1, mLadder_); break;
+      case 1: out.n1 = step(out.n1, nLadder_); break;
+      case 2: out.k1 = step(out.k1, kLadder_); break;
+      case 3: out.m0 = step(out.m0, mLadder_); break;
+      case 4: out.n0 = step(out.n0, nLadder_); break;
+      case 5: out.k0 = step(out.k0, kLadder_); break;
+      case 6: out.doubleBufferA = !out.doubleBufferA; break;
+      default:
+        if (rng.bernoulli(0.5))
+            out.doubleBufferB = !out.doubleBufferB;
+        else
+            out.fuseVector = !out.fuseVector;
+        break;
+    }
+    repair(out);
+    return out;
+}
+
+void
+CubeMappingSpace::repair(CubeMapping &m) const
+{
+    m.m1 = snap(mLadder_, std::clamp<std::int64_t>(m.m1, 1, shape_.m));
+    m.n1 = snap(nLadder_, std::clamp<std::int64_t>(m.n1, 1, shape_.n));
+    m.k1 = snap(kLadder_, std::clamp<std::int64_t>(m.k1, 1, shape_.k));
+    m.m0 = snap(mLadder_, std::clamp<std::int64_t>(m.m0, 1, m.m1));
+    m.n0 = snap(nLadder_, std::clamp<std::int64_t>(m.n0, 1, m.n1));
+    m.k0 = snap(kLadder_, std::clamp<std::int64_t>(m.k0, 1, m.k1));
+    m.m0 = std::min(m.m0, m.m1);
+    m.n0 = std::min(m.n0, m.n1);
+    m.k0 = std::min(m.k0, m.k1);
+    assert(isValid(m));
+}
+
+bool
+CubeMappingSpace::isValid(const CubeMapping &m) const
+{
+    return m.m0 >= 1 && m.n0 >= 1 && m.k0 >= 1 && m.m0 <= m.m1 &&
+           m.n0 <= m.n1 && m.k0 <= m.k1 && m.m1 <= shape_.m &&
+           m.n1 <= shape_.n && m.k1 <= shape_.k;
+}
+
+} // namespace unico::camodel

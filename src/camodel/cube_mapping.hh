@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Software mapping for the Ascend-like cube core.
+ *
+ * Operators are lowered to GEMM (im2col view): M = output channels,
+ * K = c*r*s reduction, N = n*y*x output pixels. A mapping selects the
+ * L1 tile (M1, N1, K1), the L0 tile (M0, N0, K0) staged into the
+ * L0A/L0B/L0C buffers, double-buffering switches and whether the
+ * vector epilogue is fused in UB — the knobs the paper's depth-first
+ * buffer-fusion mapping search explores.
+ */
+
+#ifndef UNICO_CAMODEL_CUBE_MAPPING_HH
+#define UNICO_CAMODEL_CUBE_MAPPING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/tensor_op.hh"
+
+namespace unico::camodel {
+
+/** GEMM view of a tensor operator on the cube core. */
+struct GemmShape
+{
+    std::int64_t m = 1; ///< output channels
+    std::int64_t n = 1; ///< output pixels (n*y*x)
+    std::int64_t k = 1; ///< reduction (c*r*s)
+
+    /** Lower a tensor op to its GEMM shape. */
+    static GemmShape fromOp(const workload::TensorOp &op);
+};
+
+/** A complete cube-core mapping. */
+struct CubeMapping
+{
+    std::int64_t m1 = 64, n1 = 64, k1 = 64;    ///< L1 tile
+    std::int64_t m0 = 16, n0 = 16, k0 = 16;    ///< L0 tile
+    bool doubleBufferA = true;  ///< ping-pong L0A
+    bool doubleBufferB = true;  ///< ping-pong L0B
+    bool fuseVector = true;     ///< fuse vector epilogue in UB
+
+    /** Human-readable summary. */
+    std::string describe() const;
+
+    bool operator==(const CubeMapping &other) const = default;
+};
+
+/** Mapping space (tile ladders + random/mutate) for one operator. */
+class CubeMappingSpace
+{
+  public:
+    explicit CubeMappingSpace(const workload::TensorOp &op);
+
+    /** The lowered GEMM shape. */
+    const GemmShape &shape() const { return shape_; }
+
+    /** Uniform random valid mapping. */
+    CubeMapping random(common::Rng &rng) const;
+
+    /** Local mutation; always returns a valid mapping. */
+    CubeMapping mutate(const CubeMapping &m, common::Rng &rng) const;
+
+    /** Clamp tiles into range and restore l0 <= l1 ordering. */
+    void repair(CubeMapping &m) const;
+
+    /** Structural validity (tile ordering and bounds). */
+    bool isValid(const CubeMapping &m) const;
+
+  private:
+    GemmShape shape_;
+    std::vector<std::int64_t> mLadder_;
+    std::vector<std::int64_t> nLadder_;
+    std::vector<std::int64_t> kLadder_;
+};
+
+} // namespace unico::camodel
+
+#endif // UNICO_CAMODEL_CUBE_MAPPING_HH

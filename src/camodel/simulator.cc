@@ -1,0 +1,312 @@
+#include "camodel/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unico::camodel {
+
+using accel::CubeHwConfig;
+using accel::Ppa;
+
+const char *
+toString(SimEvent::Kind kind)
+{
+    switch (kind) {
+      case SimEvent::Kind::L1Fill: return "l1-fill";
+      case SimEvent::Kind::L0Load: return "l0-load";
+      case SimEvent::Kind::CubeExec: return "cube";
+      case SimEvent::Kind::Epilogue: return "epilogue";
+    }
+    return "?";
+}
+
+namespace {
+
+inline std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Cycles to move @p bytes through an L0 bank group port array; fewer
+ *  bank groups serialize accesses and add conflict stalls. */
+double
+l0MoveCycles(double bytes, std::int64_t banks, double port_bytes)
+{
+    const double bw = port_bytes * static_cast<double>(banks);
+    const double base = bytes / bw;
+    // Single-banked buffers suffer read/write turnaround conflicts.
+    const double conflict = banks <= 1 ? 1.25 : (banks == 2 ? 1.08 : 1.0);
+    return base * conflict;
+}
+
+} // namespace
+
+double
+CycleAccurateModel::areaMm2(const CubeHwConfig &hw) const
+{
+    const double macs = static_cast<double>(hw.cubeMacs());
+    const double buffer_kb =
+        static_cast<double>(hw.l0aBytes + hw.l0bBytes + hw.l0cBytes +
+                            hw.l1Bytes + hw.ubBytes + hw.pbBytes +
+                            hw.icacheBytes) /
+        1024.0;
+    return tech_.fixedAreaMm2 + macs * tech_.macAreaMm2 +
+           buffer_kb * tech_.sramMm2PerKb;
+}
+
+Ppa
+CycleAccurateModel::evaluate(const workload::TensorOp &op,
+                             const CubeHwConfig &hw, const CubeMapping &m,
+                             SimStats *stats_out) const
+{
+    const GemmShape g = GemmShape::fromOp(op);
+    SimStats st;
+
+    // ---- Buffer feasibility ----------------------------------------
+    const double a0_bytes = 2.0 * static_cast<double>(m.m0 * m.k0);
+    const double b0_bytes = 2.0 * static_cast<double>(m.k0 * m.n0);
+    const double c0_bytes = 4.0 * static_cast<double>(m.m0 * m.n0);
+    if (a0_bytes * (m.doubleBufferA ? 2.0 : 1.0) >
+        static_cast<double>(hw.l0aBytes))
+        return Ppa::infeasible();
+    if (b0_bytes * (m.doubleBufferB ? 2.0 : 1.0) >
+        static_cast<double>(hw.l0bBytes))
+        return Ppa::infeasible();
+    if (c0_bytes > static_cast<double>(hw.l0cBytes))
+        return Ppa::infeasible();
+
+    const double a1_bytes = 2.0 * static_cast<double>(m.m1 * m.k1);
+    const double b1_bytes = 2.0 * static_cast<double>(m.k1 * m.n1);
+    const double out1_bytes = 2.0 * static_cast<double>(m.m1 * m.n1);
+    // L1 always ping-pongs input tiles; unfused output also stages
+    // through L1 on its way out.
+    const double l1_need = 2.0 * (a1_bytes + b1_bytes) +
+                           (m.fuseVector ? 0.0 : out1_bytes);
+    if (l1_need > static_cast<double>(hw.l1Bytes))
+        return Ppa::infeasible();
+
+    // Vector epilogue works on (m0 x n1) slabs in UB.
+    const double ub_slab = 2.0 * static_cast<double>(m.m0 * m.n1);
+    if (ub_slab * 2.0 > static_cast<double>(hw.ubBytes))
+        return Ppa::infeasible();
+
+    // ---- Static per-tile costs ----------------------------------------
+    const double cube_issues =
+        static_cast<double>(ceilDiv(m.m0, hw.cubeM)) *
+        static_cast<double>(ceilDiv(m.n0, hw.cubeN)) *
+        static_cast<double>(ceilDiv(m.k0, hw.cubeK));
+    const double cube_cycles = cube_issues + tech_.cubePipelineDepth;
+    const double load_a0 =
+        l0MoveCycles(a0_bytes, hw.l0aBanks, tech_.l0PortBytesPerCycle);
+    const double load_b0 =
+        l0MoveCycles(b0_bytes, hw.l0bBanks, tech_.l0PortBytesPerCycle);
+    const double drain_c0 =
+        l0MoveCycles(c0_bytes, hw.l0cBanks, tech_.l0PortBytesPerCycle);
+
+    // Instruction-cache model: the fused pipeline's loop body spills
+    // out of a small I-cache and pays a refill per L1 tile.
+    const double prog_bytes = 12.0 * 1024.0 + (m.fuseVector ? 9216.0 : 0.0)
+                              + (m.doubleBufferA ? 2048.0 : 0.0)
+                              + (m.doubleBufferB ? 2048.0 : 0.0);
+    const double icache_miss_bytes =
+        std::max(0.0, prog_bytes - static_cast<double>(hw.icacheBytes));
+    const double icache_stall = icache_miss_bytes / 32.0;
+
+    // Parameter-buffer model: per-channel constants that do not fit
+    // the PB are re-fetched per L1 tile.
+    const double param_bytes = 4.0 * static_cast<double>(g.m);
+    const double pb_miss_bytes =
+        std::max(0.0, param_bytes - static_cast<double>(hw.pbBytes));
+    const double pb_stall = pb_miss_bytes / tech_.dramBytesPerCycle;
+
+    // ---- Tile loop ------------------------------------------------------
+    const std::int64_t tm1 = ceilDiv(g.m, m.m1);
+    const std::int64_t tn1 = ceilDiv(g.n, m.n1);
+    const std::int64_t tk1 = ceilDiv(g.k, m.k1);
+    const std::int64_t tm0 = ceilDiv(m.m1, m.m0);
+    const std::int64_t tn0 = ceilDiv(m.n1, m.n0);
+    const std::int64_t tk0 = ceilDiv(m.k1, m.k0);
+
+    const std::int64_t l1_tiles = tm1 * tn1 * tk1;
+    const std::int64_t l0_per_l1 = tm0 * tn0 * tk0;
+
+    // Steady-state extrapolation for very deep loop nests keeps the
+    // simulator bounded while remaining deterministic.
+    std::int64_t sim_l1_tiles = l1_tiles;
+    if (l1_tiles * l0_per_l1 > tech_.maxSimulatedTiles) {
+        sim_l1_tiles = std::max<std::int64_t>(
+            1, tech_.maxSimulatedTiles / std::max<std::int64_t>(
+                   l0_per_l1, 1));
+        st.extrapolated = true;
+    }
+
+    double cycles = 0.0;
+    std::int64_t simulated_l1 = 0;
+    const bool tracing = tech_.traceLimit > 0;
+    auto emit = [&](SimEvent::Kind kind, double start, double end,
+                    std::int64_t tile) {
+        if (tracing && st.trace.size() < tech_.traceLimit)
+            st.trace.push_back(SimEvent{kind, start, end, tile});
+    };
+    for (std::int64_t t1 = 0; t1 < sim_l1_tiles; ++t1) {
+        ++simulated_l1;
+        // DRAM -> L1 fill of the A and B tiles (double buffered at L1:
+        // overlapped with the previous tile's compute, so only the
+        // non-overlapped residue shows up).
+        const double fill_cycles =
+            (a1_bytes + b1_bytes) / tech_.dramBytesPerCycle;
+        emit(SimEvent::Kind::L1Fill, cycles, cycles + fill_cycles, t1);
+
+        // Inner L0 pipeline.
+        double inner = 0.0;
+        double pending_load = load_a0 + load_b0; // first tile preload
+        for (std::int64_t i0 = 0; i0 < l0_per_l1; ++i0) {
+            const double load =
+                (m.doubleBufferA ? 0.0 : load_a0) +
+                (m.doubleBufferB ? 0.0 : load_b0);
+            const double overlapped =
+                (m.doubleBufferA ? load_a0 : 0.0) +
+                (m.doubleBufferB ? load_b0 : 0.0);
+            const double t0 = cycles + inner;
+            emit(SimEvent::Kind::L0Load, t0,
+                 t0 + load_a0 + load_b0, t1);
+            emit(SimEvent::Kind::CubeExec, t0 + load,
+                 t0 + load + cube_cycles, t1);
+            // Ping-pong lets the next load run under the cube; the
+            // tile costs max(cube, overlapped load) plus any
+            // serialized (single-buffered) load.
+            inner += load + std::max(cube_cycles, overlapped);
+            st.cubeBusyCycles += cube_cycles;
+            st.dmaBusyCycles += load_a0 + load_b0;
+            ++st.l0Tiles;
+        }
+        inner += pending_load;
+
+        // Accumulator drain + vector epilogue for the (m1 x n1) block
+        // once the K loop completes (modeled at L1-tile granularity).
+        const bool last_k = ((t1 + 1) % std::max<std::int64_t>(tk1, 1)) ==
+                            0;
+        double epilogue = 0.0;
+        if (last_k) {
+            const double drains = static_cast<double>(tm0 * tn0);
+            const double vec_cycles =
+                static_cast<double>(m.m1) * static_cast<double>(m.n1) /
+                tech_.vecElemsPerCycle;
+            const double writeback =
+                out1_bytes / tech_.dramBytesPerCycle;
+            if (m.fuseVector) {
+                // Vector work overlaps the drain stream.
+                epilogue = drains * drain_c0 +
+                           std::max(vec_cycles, writeback);
+            } else {
+                epilogue = drains * drain_c0 + vec_cycles + writeback;
+            }
+            st.vecBusyCycles += vec_cycles;
+        }
+
+        const double overhead = icache_stall + pb_stall;
+        // L1 double buffering: DRAM fill overlaps inner compute.
+        if (epilogue > 0.0) {
+            const double epi_start =
+                cycles + std::max(inner, fill_cycles);
+            emit(SimEvent::Kind::Epilogue, epi_start,
+                 epi_start + epilogue, t1);
+        }
+        cycles += std::max(inner, fill_cycles) + epilogue + overhead;
+        st.dramBytes += a1_bytes + b1_bytes + (last_k ? out1_bytes : 0.0);
+    }
+    st.l1Tiles = simulated_l1;
+
+    if (st.extrapolated && simulated_l1 > 0) {
+        const double scale = static_cast<double>(l1_tiles) /
+                             static_cast<double>(simulated_l1);
+        cycles *= scale;
+        st.dramBytes *= scale;
+        st.cubeBusyCycles *= scale;
+        st.dmaBusyCycles *= scale;
+        st.vecBusyCycles *= scale;
+    }
+    cycles += 500.0; // kernel launch / barrier overhead
+    st.cycles = cycles;
+
+    // ---- Energy ----------------------------------------------------------
+    const double macs = static_cast<double>(op.macs());
+    const double useful = static_cast<double>(g.m) *
+                          static_cast<double>(g.n) *
+                          static_cast<double>(g.k);
+    // Padding waste: cube issues operate on full cube blocks.
+    const double issued_macs =
+        st.cubeBusyCycles > 0.0
+            ? (st.cubeBusyCycles - tech_.cubePipelineDepth *
+                   static_cast<double>(st.l0Tiles)) *
+                  static_cast<double>(hw.cubeMacs())
+            : useful;
+    const double work_macs = std::max(issued_macs, macs);
+    const double e_mac = work_macs * tech_.macPj;
+
+    // SRAM access energy scales with sqrt(capacity); the 64 KiB
+    // (L0) / 1 MiB (L1) / 256 KiB (UB) reference sizes anchor the
+    // per-access constants.
+    auto sram_pj = [](double base_pj, double bytes, double ref_bytes) {
+        return base_pj * std::sqrt(std::max(bytes, 1024.0) / ref_bytes);
+    };
+    const double pj_l0a =
+        sram_pj(tech_.l0Pj, static_cast<double>(hw.l0aBytes), 65536.0);
+    const double pj_l0b =
+        sram_pj(tech_.l0Pj, static_cast<double>(hw.l0bBytes), 65536.0);
+    const double pj_l0c =
+        sram_pj(tech_.l0Pj, static_cast<double>(hw.l0cBytes), 65536.0);
+    // Per cube issue: M*K reads from L0A, K*N reads from L0B and
+    // M*N fp32 (double-width) accumulator read+writes on L0C.
+    const double e_l0a = work_macs / static_cast<double>(hw.cubeN) *
+                         pj_l0a;
+    const double e_l0b = work_macs / static_cast<double>(hw.cubeM) *
+                         pj_l0b;
+    const double e_l0c = work_macs / static_cast<double>(hw.cubeK) *
+                         4.0 * pj_l0c;
+    const double pj_l1 =
+        sram_pj(tech_.l1Pj, static_cast<double>(hw.l1Bytes), 1048576.0);
+    const double l1_accesses = st.dramBytes; // fill + drain, 16-bit
+    const double e_l1 = l1_accesses * pj_l1;
+    const double pj_ub =
+        sram_pj(tech_.ubPj, static_cast<double>(hw.ubBytes), 262144.0);
+    const double e_ub = st.vecBusyCycles * tech_.vecElemsPerCycle * 2.0 *
+                        pj_ub;
+    const double e_dram = (st.dramBytes / 2.0) * tech_.dramPj;
+    // Clock-tree / periphery burn: every cycle costs a fraction of
+    // the cube's peak dynamic energy whether or not useful work
+    // retires. Oversized cubes idling on DMA stalls pay for it.
+    const double e_idle = tech_.idleFraction *
+                          static_cast<double>(hw.cubeMacs()) *
+                          tech_.macPj * cycles;
+    const double energy_pj =
+        e_mac + e_l0a + e_l0b + e_l0c + e_l1 + e_ub + e_dram + e_idle;
+
+    const double area = areaMm2(hw);
+    const double latency_ns = cycles / tech_.clockGhz;
+    const double dynamic_mw = energy_pj / std::max(latency_ns, 1.0);
+    const double static_mw = tech_.staticMwPerMm2 * area;
+
+    Ppa ppa;
+    ppa.latencyMs = cycles / (tech_.clockGhz * 1e6);
+    ppa.powerMw = dynamic_mw + static_mw;
+    ppa.areaMm2 = area;
+    ppa.energyMj = energy_pj * 1e-9;
+    ppa.feasible = true;
+    if (stats_out)
+        *stats_out = st;
+    return ppa;
+}
+
+double
+CycleAccurateModel::nominalEvalSeconds(const SimStats &stats) const
+{
+    // 2 minutes floor, growing with simulated detail up to 10 minutes
+    // (matches the paper's reported 2-10 min CAModel wall-clock).
+    const double detail =
+        static_cast<double>(stats.l0Tiles) / 1000.0;
+    return std::min(600.0, 120.0 + detail);
+}
+
+} // namespace unico::camodel

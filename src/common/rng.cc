@@ -1,0 +1,137 @@
+#include "common/rng.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace unico::common {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &s : state_)
+        s = sm.next();
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    assert(n > 0);
+    // Lemire-style rejection to remove modulo bias.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+        std::uint64_t t = -n % n;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * n;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights)
+        total += (w > 0.0 ? w : 0.0);
+    if (total <= 0.0)
+        return uniformInt(weights.size());
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (r < w)
+            return i;
+        r -= w;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0x1d8af8f4e2b0c3a5ULL);
+}
+
+} // namespace unico::common

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation used throughout UNICO.
+ *
+ * All stochastic components of the framework (hardware sampling,
+ * mapping search mutation, NSGA-II operators, ...) draw from an
+ * explicitly seeded Rng so that every experiment in the paper
+ * reproduction is bit-for-bit repeatable.
+ */
+
+#ifndef UNICO_COMMON_RNG_HH
+#define UNICO_COMMON_RNG_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace unico::common {
+
+/**
+ * SplitMix64 generator, used to expand a single 64-bit seed into the
+ * state of the main xoshiro256** generator.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64 bits of the stream. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256** based random number generator with convenience helpers.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can be
+ * used with standard <random> distributions if needed, but the
+ * helpers below avoid the cross-platform nondeterminism of libstdc++
+ * distribution implementations.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Raw 64 random bits. */
+    result_type operator()() { return next(); }
+
+    /** Raw 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal variate (Box-Muller, cached second value). */
+    double gaussian();
+
+    /** Normal variate with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli draw with success probability p. */
+    bool bernoulli(double p);
+
+    /** Index drawn proportionally to non-negative weights. */
+    std::size_t categorical(const std::vector<double> &weights);
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        if (v.size() < 2)
+            return;
+        for (std::size_t i = v.size() - 1; i > 0; --i) {
+            std::size_t j = uniformInt(i + 1);
+            std::swap(v[i], v[j]);
+        }
+    }
+
+    /** Pick a uniformly random element (container must be non-empty). */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[uniformInt(v.size())];
+    }
+
+    /** Derive an independent child generator (for parallel jobs). */
+    Rng split();
+
+  private:
+    std::uint64_t state_[4];
+    bool hasCachedGaussian_ = false;
+    double cachedGaussian_ = 0.0;
+};
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_RNG_HH

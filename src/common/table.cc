@@ -1,0 +1,117 @@
+#include "common/table.hh"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace unico::common {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TableWriter::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c] << " |";
+        os << "\n";
+    };
+    auto emit_rule = [&] {
+        os << "+";
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    emit_rule();
+    emit_row(headers_);
+    emit_rule();
+    for (const auto &row : rows_)
+        emit_row(row);
+    emit_rule();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << csvEscape(headers_[c]);
+    os << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csvEscape(row[c]);
+        os << "\n";
+    }
+}
+
+bool
+TableWriter::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    printCsv(out);
+    return static_cast<bool>(out);
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    if (v != 0.0 && (std::fabs(v) < 1e-3 || std::fabs(v) >= 1e6)) {
+        oss << std::scientific << std::setprecision(precision - 1) << v;
+    } else {
+        oss << std::fixed
+            << std::setprecision(std::max(0, precision)) << v;
+    }
+    return oss.str();
+}
+
+std::string
+TableWriter::num(long long v)
+{
+    return std::to_string(v);
+}
+
+} // namespace unico::common

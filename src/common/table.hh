@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for bench harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables/figures;
+ * TableWriter renders the rows in an aligned, human-readable form and
+ * can also dump the same data as CSV for plotting.
+ */
+
+#ifndef UNICO_COMMON_TABLE_HH
+#define UNICO_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace unico::common {
+
+/** Row/column text table with alignment and CSV output. */
+class TableWriter
+{
+  public:
+    /** @param headers column titles. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting for commas/quotes). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to a file; returns false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p precision significant-ish digits. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format an integer value. */
+    static std::string num(long long v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_TABLE_HH

@@ -1,0 +1,85 @@
+#include "common/thread_pool.hh"
+
+namespace unico::common {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wakeWorker_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    wakeWorker_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeWorker_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (queue_.empty() && inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+void
+runParallel(const std::vector<std::function<void()>> &jobs,
+            std::size_t threads)
+{
+    if (threads <= 1) {
+        for (const auto &job : jobs)
+            job();
+        return;
+    }
+    ThreadPool pool(threads);
+    for (const auto &job : jobs)
+        pool.submit(job);
+    pool.waitIdle();
+}
+
+} // namespace unico::common

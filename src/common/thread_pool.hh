@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small fixed-size thread pool.
+ *
+ * Sec. 3.5 of the paper runs each successive-halving round as a set
+ * of standalone parallel jobs. This pool provides that execution
+ * substrate. It intentionally keeps the interface tiny: submit a
+ * void() job, then wait for the whole batch.
+ */
+
+#ifndef UNICO_COMMON_THREAD_POOL_HH
+#define UNICO_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unico::common {
+
+/**
+ * Fixed-size worker pool with batch-wait semantics.
+ *
+ * Jobs must not throw; exceptions escaping a job terminate the
+ * program (the co-optimizer treats infeasible evaluations as penalty
+ * values rather than exceptions).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 selects hardware concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Enqueue a job for asynchronous execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void waitIdle();
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wakeWorker_;
+    std::condition_variable idle_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run @p jobs on a transient pool of @p threads workers and wait.
+ * With threads <= 1 the jobs run inline (deterministic order), which
+ * is also the default on single-core hosts.
+ */
+void runParallel(const std::vector<std::function<void()>> &jobs,
+                 std::size_t threads);
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_THREAD_POOL_HH

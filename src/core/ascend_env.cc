@@ -1,0 +1,173 @@
+#include "core/ascend_env.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "camodel/search.hh"
+#include "core/robustness.hh"
+
+namespace unico::core {
+
+namespace {
+
+constexpr double kUnmappedLatencyMs = 1e7;
+
+/** Multi-layer run over the cycle-level simulator. */
+class AscendMappingRun : public MappingRun
+{
+  public:
+    AscendMappingRun(const std::vector<workload::WeightedOp> &layers,
+                     const std::vector<camodel::CubeMappingSpace> &spaces,
+                     const camodel::CycleAccurateModel &model,
+                     accel::CubeHwConfig hw, std::uint64_t seed)
+        : layers_(layers), model_(model), hw_(hw)
+    {
+        common::Rng seeder(seed);
+        runs_.reserve(layers_.size());
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const workload::TensorOp &op = layers_[l].op;
+            auto evaluator = [this, &op](const camodel::CubeMapping &m) {
+                camodel::SimStats stats;
+                const accel::Ppa ppa =
+                    model_.evaluate(op, hw_, m, &stats);
+                chargedSeconds_ += model_.nominalEvalSeconds(stats);
+                mapping::MappingEval eval;
+                eval.ppa = ppa;
+                eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+                return eval;
+            };
+            runs_.push_back(std::make_unique<camodel::CubeSearchRun>(
+                spaces[l], evaluator, seeder.next()));
+        }
+    }
+
+    void
+    step(int sweeps) override
+    {
+        // One budget unit is a sweep: one simulator query per layer.
+        for (int i = 0; i < sweeps; ++i) {
+            ++cursor_;
+            for (auto &run : runs_)
+                run->step(1);
+            lossHistory_.push_back(networkLoss());
+        }
+    }
+
+    int spent() const override { return static_cast<int>(cursor_); }
+
+    accel::Ppa
+    bestPpa() const override
+    {
+        double latency = 0.0;
+        double energy = 0.0;
+        for (std::size_t l = 0; l < runs_.size(); ++l) {
+            const auto &eval = runs_[l]->bestEval();
+            if (runs_[l]->spent() == 0 || !eval.ppa.feasible)
+                return accel::Ppa::infeasible();
+            const double count = static_cast<double>(layers_[l].count);
+            latency += count * eval.ppa.latencyMs;
+            energy += count * eval.ppa.energyMj;
+        }
+        accel::Ppa ppa;
+        ppa.latencyMs = latency;
+        ppa.energyMj = energy;
+        ppa.powerMw = latency > 0.0 ? energy / latency * 1000.0 : 0.0;
+        ppa.areaMm2 = model_.areaMm2(hw_);
+        ppa.feasible = true;
+        return ppa;
+    }
+
+    const std::vector<double> &
+    bestLossHistory() const override
+    {
+        return lossHistory_;
+    }
+
+    double
+    sensitivity(double alpha) const override
+    {
+        double total_w = 0.0;
+        double acc = 0.0;
+        for (std::size_t l = 0; l < runs_.size(); ++l) {
+            const double w = static_cast<double>(layers_[l].count) *
+                             static_cast<double>(layers_[l].op.macs());
+            acc += w * computeSensitivity(runs_[l]->samples(), alpha);
+            total_w += w;
+        }
+        return total_w > 0.0 ? acc / total_w : 0.0;
+    }
+
+    double chargedSeconds() const override { return chargedSeconds_; }
+
+  private:
+    double
+    networkLoss() const
+    {
+        double total = 0.0;
+        for (std::size_t l = 0; l < runs_.size(); ++l) {
+            const double count = static_cast<double>(layers_[l].count);
+            if (runs_[l]->spent() == 0) {
+                total += count * kUnmappedLatencyMs;
+            } else {
+                total += count *
+                         std::min(runs_[l]->bestLossHistory().back(),
+                                  kUnmappedLatencyMs);
+            }
+        }
+        return total;
+    }
+
+    const std::vector<workload::WeightedOp> &layers_;
+    const camodel::CycleAccurateModel &model_;
+    accel::CubeHwConfig hw_;
+    std::vector<std::unique_ptr<camodel::CubeSearchRun>> runs_;
+    std::vector<double> lossHistory_;
+    std::size_t cursor_ = 0;
+    double chargedSeconds_ = 0.0;
+};
+
+} // namespace
+
+AscendEnv::AscendEnv(std::vector<workload::Network> networks,
+                     AscendEnvOptions opt)
+    : opt_(opt), model_(opt.tech)
+{
+    assert(!networks.empty());
+    for (const auto &net : networks) {
+        for (auto &wop : net.dominantOps(opt_.maxShapesPerNetwork))
+            layers_.push_back(std::move(wop));
+    }
+    mapSpaces_.reserve(layers_.size());
+    for (const auto &wop : layers_)
+        mapSpaces_.emplace_back(wop.op);
+}
+
+const accel::DesignSpace &
+AscendEnv::hwSpace() const
+{
+    return space_.space();
+}
+
+std::unique_ptr<MappingRun>
+AscendEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
+{
+    return std::make_unique<AscendMappingRun>(layers_, mapSpaces_, model_,
+                                              space_.decode(h), seed);
+}
+
+std::string
+AscendEnv::describeHw(const accel::HwPoint &h) const
+{
+    return space_.decode(h).describe();
+}
+
+accel::Ppa
+AscendEnv::evaluateConfig(const accel::HwPoint &h, int budget,
+                          std::uint64_t seed) const
+{
+    auto run = createRun(h, seed);
+    run->step(budget);
+    return run->bestPpa();
+}
+
+} // namespace unico::core

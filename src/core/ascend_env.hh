@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ascend-like co-search environment (Sec. 4.6): the cube-core design
+ * space, the depth-first buffer-fusion mapping search and the
+ * cycle-level simulator as the (expensive) PPA engine. Each query
+ * charges minutes of virtual search cost, reproducing the economics
+ * that make UNICO's fast convergence matter on industrial platforms.
+ */
+
+#ifndef UNICO_CORE_ASCEND_ENV_HH
+#define UNICO_CORE_ASCEND_ENV_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/ascend.hh"
+#include "camodel/simulator.hh"
+#include "core/env.hh"
+#include "workload/network.hh"
+
+namespace unico::core {
+
+/** Construction options for AscendEnv. */
+struct AscendEnvOptions
+{
+    /** Edge-device chip area constraint of Sec. 4.6. */
+    double areaBudgetMm2 = 200.0;
+    std::size_t maxShapesPerNetwork = 5;
+    camodel::CubeTech tech;
+};
+
+/** Ascend-like co-search environment. */
+class AscendEnv : public CoSearchEnv
+{
+  public:
+    AscendEnv(std::vector<workload::Network> networks,
+              AscendEnvOptions opt = AscendEnvOptions{});
+
+    const accel::DesignSpace &hwSpace() const override;
+    std::unique_ptr<MappingRun>
+    createRun(const accel::HwPoint &h, std::uint64_t seed) const override;
+    double areaBudgetMm2() const override { return opt_.areaBudgetMm2; }
+    std::string describeHw(const accel::HwPoint &h) const override;
+
+    /** The typed Ascend design space. */
+    const accel::AscendDesignSpace &ascendSpace() const { return space_; }
+
+    /** The cycle-level PPA engine. */
+    const camodel::CycleAccurateModel &model() const { return model_; }
+
+    /** The count-weighted layer set being co-optimized. */
+    const std::vector<workload::WeightedOp> &layers() const
+    {
+        return layers_;
+    }
+
+    /**
+     * Convenience: run a full-budget mapping search for a decoded
+     * configuration (used to score the expert default in Fig. 11).
+     */
+    accel::Ppa evaluateConfig(const accel::HwPoint &h, int budget,
+                              std::uint64_t seed) const;
+
+  private:
+    AscendEnvOptions opt_;
+    accel::AscendDesignSpace space_;
+    camodel::CycleAccurateModel model_;
+    std::vector<workload::WeightedOp> layers_;
+    std::vector<camodel::CubeMappingSpace> mapSpaces_;
+};
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_ASCEND_ENV_HH

@@ -1,0 +1,380 @@
+#include "core/driver.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/thread_pool.hh"
+#include "core/fidelity.hh"
+#include "core/mobo.hh"
+#include "core/robustness.hh"
+#include "moo/scalarize.hh"
+
+namespace unico::core {
+
+const char *
+toString(BudgetMode mode)
+{
+    switch (mode) {
+      case BudgetMode::FullBudget: return "full";
+      case BudgetMode::SH: return "sh";
+      case BudgetMode::MSH: return "msh";
+      case BudgetMode::Hyperband: return "hyperband";
+    }
+    return "?";
+}
+
+const char *
+toString(UpdateMode mode)
+{
+    switch (mode) {
+      case UpdateMode::All: return "all";
+      case UpdateMode::HighFidelity: return "high-fidelity";
+      case UpdateMode::Champion: return "champion";
+    }
+    return "?";
+}
+
+DriverConfig
+DriverConfig::unico()
+{
+    DriverConfig cfg;
+    cfg.name = "UNICO";
+    cfg.budgetMode = BudgetMode::MSH;
+    cfg.updateMode = UpdateMode::HighFidelity;
+    cfg.useRobustness = true;
+    return cfg;
+}
+
+DriverConfig
+DriverConfig::hascoLike()
+{
+    DriverConfig cfg;
+    cfg.name = "HASCO";
+    cfg.budgetMode = BudgetMode::FullBudget;
+    cfg.updateMode = UpdateMode::Champion;
+    cfg.useRobustness = false;
+    return cfg;
+}
+
+DriverConfig
+DriverConfig::mobohbLike()
+{
+    DriverConfig cfg;
+    cfg.name = "MOBOHB";
+    cfg.budgetMode = BudgetMode::Hyperband;
+    cfg.updateMode = UpdateMode::All;
+    cfg.useRobustness = false;
+    // BOHB interleaves a fixed fraction of random configurations.
+    cfg.randomFraction = 1.0 / 3.0;
+    return cfg;
+}
+
+DriverConfig
+DriverConfig::shChampion()
+{
+    DriverConfig cfg;
+    cfg.name = "SH+ChampionUpdate";
+    cfg.budgetMode = BudgetMode::SH;
+    cfg.updateMode = UpdateMode::Champion;
+    cfg.useRobustness = false;
+    return cfg;
+}
+
+DriverConfig
+DriverConfig::mshChampion()
+{
+    DriverConfig cfg;
+    cfg.name = "MSH+ChampionUpdate";
+    cfg.budgetMode = BudgetMode::MSH;
+    cfg.updateMode = UpdateMode::Champion;
+    cfg.useRobustness = false;
+    return cfg;
+}
+
+std::size_t
+CoSearchResult::minDistanceRecord() const
+{
+    assert(!front.empty());
+    // The representative is picked among fully-searched designs (an
+    // early-stopped sample's mapping is low fidelity and not what a
+    // designer would ship), normalized by the nadir of that same
+    // subset so low-fidelity archive points cannot skew the scales.
+    std::vector<const moo::ParetoFront::Entry *> shippable;
+    for (const auto &entry : front.entries())
+        if (records[entry.id].fullySearched)
+            shippable.push_back(&entry);
+    if (shippable.empty()) {
+        const auto nadir = moo::nadirPoint(front.points());
+        return static_cast<std::size_t>(
+            front.minDistanceEntry(nadir).id);
+    }
+    std::vector<moo::Objectives> pts;
+    pts.reserve(shippable.size());
+    for (const auto *entry : shippable)
+        pts.push_back(entry->objectives);
+    const auto nadir = moo::nadirPoint(pts);
+
+    const moo::ParetoFront::Entry *best = nullptr;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const auto *entry : shippable) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < entry->objectives.size(); ++i) {
+            const double s = nadir[i] > 0.0 ? nadir[i] : 1.0;
+            const double v = entry->objectives[i] / s;
+            acc += v * v;
+        }
+        if (acc < best_dist) {
+            best_dist = acc;
+            best = entry;
+        }
+    }
+    return static_cast<std::size_t>(best->id);
+}
+
+CoOptimizer::CoOptimizer(CoSearchEnv &env, DriverConfig cfg)
+    : env_(env), cfg_(std::move(cfg))
+{
+    assert(cfg_.batchSize >= 1);
+    assert(cfg_.maxIter >= 1);
+}
+
+namespace {
+
+/** Penalty objectives recorded for HW with no feasible mapping;
+ *  fixed constants keep min-max normalization bounded. */
+moo::Objectives
+penaltyObjectives(std::size_t dims)
+{
+    moo::Objectives y = {1e6, 1e5, 1e3, 10.0};
+    y.resize(dims, 10.0);
+    return y;
+}
+
+} // namespace
+
+CoSearchResult
+CoOptimizer::run()
+{
+    const std::size_t num_obj = cfg_.useRobustness ? 4 : 3;
+    MoboConfig mobo_cfg;
+    mobo_cfg.randomFraction = cfg_.randomFraction;
+    mobo_cfg.useArd = cfg_.ardSurrogate;
+    MoboHwSampler sampler(env_.hwSpace(), num_obj, cfg_.seed, mobo_cfg);
+    HighFidelitySelector selector(
+        std::vector<double>(num_obj, 1.0 / static_cast<double>(num_obj)));
+    common::EvalClock clock(cfg_.workers);
+    CoSearchResult result;
+
+    const std::vector<double> champion_w(
+        num_obj, 1.0 / static_cast<double>(num_obj));
+
+    // Even the smallest SH round must seed every layer once.
+    const int min_budget =
+        std::max(cfg_.minBudgetPerRound, env_.minSeedBudget());
+
+    for (int iter = 0; iter < cfg_.maxIter; ++iter) {
+        // Batch size and round count for this trial. Hyperband
+        // cycles through SH brackets of decreasing aggressiveness:
+        // bracket s starts n_s ~ (s_max+1)/(s+1) * eta^s candidates
+        // at budget bMax * eta^{-s}.
+        std::size_t batch_n = static_cast<std::size_t>(cfg_.batchSize);
+        int rounds = shRounds(batch_n);
+        if (cfg_.budgetMode == BudgetMode::Hyperband) {
+            const double eta = cfg_.sh.eta;
+            const double budget_ratio = std::max(
+                static_cast<double>(cfg_.sh.bMax) /
+                    static_cast<double>(std::max(min_budget, 1)),
+                eta);
+            const int s_max = std::max(
+                1, static_cast<int>(
+                       std::floor(std::log(budget_ratio) /
+                                  std::log(eta))));
+            const int s = s_max - (iter % (s_max + 1));
+            rounds = s + 1;
+            batch_n = static_cast<std::size_t>(std::llround(
+                (s_max + 1.0) / (s + 1.0) * std::pow(eta, s)));
+            batch_n = std::clamp<std::size_t>(
+                batch_n, 2,
+                static_cast<std::size_t>(2 * cfg_.batchSize));
+        }
+
+        // --- Line 4: sample a batch of N hardware configurations.
+        const auto batch = sampler.sampleBatch(batch_n);
+
+        std::vector<std::unique_ptr<MappingRun>> runs;
+        runs.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            runs.push_back(env_.createRun(
+                batch[i], cfg_.seed ^ (0x9e3779b97f4a7c15ULL *
+                                       (iter * 1000 + i + 1))));
+
+        // --- Lines 5-9: adaptive SW mapping search.
+        std::vector<std::size_t> alive(batch.size());
+        for (std::size_t i = 0; i < alive.size(); ++i)
+            alive[i] = i;
+
+        auto grow_to = [&](const std::vector<std::size_t> &set,
+                           int budget) {
+            std::vector<double> task_seconds(set.size(), 0.0);
+            // Each job owns one MappingRun, so the round's jobs run
+            // concurrently on host threads without synchronization
+            // and deterministically (Sec. 3.5).
+            std::vector<std::function<void()>> jobs;
+            jobs.reserve(set.size());
+            for (std::size_t i = 0; i < set.size(); ++i) {
+                jobs.push_back([&, i] {
+                    MappingRun &run = *runs[set[i]];
+                    const double before = run.chargedSeconds();
+                    const int delta = budget - run.spent();
+                    if (delta > 0)
+                        run.step(delta);
+                    task_seconds[i] = run.chargedSeconds() - before;
+                });
+            }
+            common::runParallel(jobs, cfg_.realThreads);
+            clock.chargeParallel(task_seconds);
+        };
+
+        if (cfg_.budgetMode == BudgetMode::FullBudget) {
+            grow_to(alive, std::max(cfg_.sh.bMax, min_budget));
+        } else {
+            for (int j = 1; j <= rounds && !alive.empty(); ++j) {
+                const int budget =
+                    roundBudget(cfg_.sh, j, rounds, min_budget);
+                grow_to(alive, budget);
+                if (j == rounds)
+                    break;
+                // Survivor selection by TV (and AUC under MSH).
+                std::vector<double> tv, auc;
+                tv.reserve(alive.size());
+                auc.reserve(alive.size());
+                for (std::size_t idx : alive) {
+                    tv.push_back(runs[idx]->bestLossHistory().back());
+                    auc.push_back(
+                        convergenceAuc(runs[idx]->bestLossHistory()));
+                }
+                // MSH/SH keep kFrac of the set; Hyperband brackets
+                // keep 1/eta per round.
+                const double keep_frac =
+                    cfg_.budgetMode == BudgetMode::Hyperband
+                        ? 1.0 / cfg_.sh.eta
+                        : cfg_.sh.kFrac;
+                const auto k = std::max<std::size_t>(
+                    1, static_cast<std::size_t>(std::floor(
+                           keep_frac *
+                           static_cast<double>(alive.size()))));
+                const std::size_t p =
+                    cfg_.budgetMode == BudgetMode::MSH
+                        ? static_cast<std::size_t>(std::floor(
+                              cfg_.sh.pFrac *
+                              static_cast<double>(alive.size())))
+                        : 0;
+                const auto keep = selectSurvivors(tv, auc, k, p);
+                std::vector<std::size_t> next;
+                next.reserve(keep.size());
+                for (std::size_t local : keep)
+                    next.push_back(alive[local]);
+                alive = std::move(next);
+            }
+        }
+
+        // --- Assess the batch: final PPA, robustness, constraints.
+        std::vector<moo::Objectives> batch_y(batch.size());
+        std::vector<std::size_t> record_idx(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            HwEvalRecord rec;
+            rec.hw = batch[i];
+            rec.ppa = runs[i]->bestPpa();
+            rec.budgetSpent = runs[i]->spent();
+            rec.iteration = iter;
+            // R is always recorded (it is cheap and Sec. 4.3 inspects
+            // it even for runs trained without it); useRobustness
+            // only controls whether it becomes a 4th objective.
+            rec.sensitivity = runs[i]->sensitivity(cfg_.alpha);
+            rec.constraintOk =
+                rec.ppa.feasible &&
+                rec.ppa.powerMw <= env_.powerBudgetMw() &&
+                rec.ppa.areaMm2 <= env_.areaBudgetMm2();
+            rec.fullySearched = rec.budgetSpent >= cfg_.sh.bMax;
+
+            if (rec.ppa.feasible) {
+                batch_y[i] = {rec.ppa.latencyMs, rec.ppa.powerMw,
+                              rec.ppa.areaMm2};
+                if (cfg_.useRobustness)
+                    batch_y[i].push_back(rec.sensitivity);
+            } else {
+                batch_y[i] = penaltyObjectives(num_obj);
+            }
+
+            record_idx[i] = result.records.size();
+            result.records.push_back(std::move(rec));
+        }
+
+        // --- Lines 10-12: surrogate update and Pareto maintenance.
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            sampler.observe(batch[i], batch_y[i], false);
+
+        std::vector<std::size_t> hf_local;
+        switch (cfg_.updateMode) {
+          case UpdateMode::All:
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                hf_local.push_back(i);
+            break;
+          case UpdateMode::Champion: {
+            std::size_t best = 0;
+            double best_v = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                const double v = moo::parego(
+                    sampler.normalize(batch_y[i]), champion_w);
+                if (v < best_v) {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            hf_local.push_back(best);
+            break;
+          }
+          case UpdateMode::HighFidelity: {
+            std::vector<moo::Objectives> normalized;
+            normalized.reserve(batch.size());
+            for (const auto &y : batch_y)
+                normalized.push_back(sampler.normalize(y));
+            hf_local = selector.select(normalized);
+            break;
+          }
+        }
+        for (std::size_t local : hf_local) {
+            const std::size_t obs_index =
+                sampler.observations() - batch.size() + local;
+            sampler.setHighFidelity(obs_index, true);
+            result.records[record_idx[local]].highFidelity = true;
+        }
+
+        // Every constraint-satisfying sample is a real (HW, mapping)
+        // design point and enters the archive; the min-distance
+        // *representative* is restricted to fully-searched designs.
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const auto &rec = result.records[record_idx[i]];
+            if (rec.constraintOk) {
+                result.front.insert({rec.ppa.latencyMs, rec.ppa.powerMw,
+                                     rec.ppa.areaMm2},
+                                    record_idx[i]);
+            }
+        }
+
+        clock.chargeOverhead(1.0); // surrogate refit bookkeeping
+        result.trace.push_back(
+            TracePoint{clock.hours(), result.front.points()});
+    }
+
+    result.totalHours = clock.hours();
+    // Count actual PPA queries (budget spent), not scheduled jobs.
+    result.evaluations = 0;
+    for (const auto &rec : result.records)
+        result.evaluations += static_cast<std::uint64_t>(rec.budgetSpent);
+    return result;
+}
+
+} // namespace unico::core

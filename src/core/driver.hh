@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The bi-level co-optimization driver (Algorithm 1).
+ *
+ * One configurable driver implements UNICO and the paper's
+ * comparison points as mode combinations:
+ *
+ *   UNICO            = MSH budgets + HighFidelity update + R metric
+ *   MSH + Champion   = ablation of Sec. 4.5
+ *   SH  + Champion   = ablation of Sec. 4.5
+ *   MOBOHB-like      = SH budgets + update with all samples
+ *   HASCO-like       = full budget for every sample + Champion update
+ *                      ("ChampionUpdate without SH", Sec. 4.5)
+ */
+
+#ifndef UNICO_CORE_DRIVER_HH
+#define UNICO_CORE_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/design_space.hh"
+#include "accel/ppa.hh"
+#include "common/eval_clock.hh"
+#include "core/env.hh"
+#include "core/sh.hh"
+#include "moo/pareto.hh"
+
+namespace unico::core {
+
+/** SW search budget allocation policy across a HW batch. */
+enum class BudgetMode {
+    FullBudget, ///< every candidate receives bMax (no early stopping)
+    SH,         ///< default successive halving (TV only)
+    MSH,        ///< modified successive halving (TV + AUC quota)
+    Hyperband,  ///< SH brackets of varying aggressiveness (BOHB-style)
+};
+
+/** Surrogate-model update policy. */
+enum class UpdateMode {
+    All,          ///< train on every sample (BOHB-style)
+    HighFidelity, ///< High Fidelity Update Rule (UUL)
+    Champion,     ///< train only on each batch's best sample
+};
+
+/** Human-readable mode names. */
+const char *toString(BudgetMode mode);
+const char *toString(UpdateMode mode);
+
+/** Full driver configuration. */
+struct DriverConfig
+{
+    std::string name = "unico";       ///< label used in reports
+    int batchSize = 30;               ///< N, HW samples per MOBO trial
+    int maxIter = 10;                 ///< MaxIter MOBO trials
+    ShConfig sh;                      ///< bMax / eta / kFrac / pFrac
+    BudgetMode budgetMode = BudgetMode::MSH;
+    UpdateMode updateMode = UpdateMode::HighFidelity;
+    bool useRobustness = true;        ///< append R as 4th objective
+    double alpha = 0.05;              ///< sub-optimal quantile for R
+    /** Fraction of HW samples drawn at random instead of by the
+     *  acquisition (BOHB-style exploration; MOBOHB uses 1/3). */
+    double randomFraction = 0.0;
+    /** Use per-dimension ARD lengthscales in the surrogate. */
+    bool ardSurrogate = false;
+    std::size_t workers = 8;          ///< virtual worker pool size
+    /** Host threads actually used to run SW-search jobs of one SH
+     *  round concurrently (Sec. 3.5's parallel implementation).
+     *  Results are bit-identical to the serial execution: each job
+     *  owns its MappingRun and its seeded RNG. */
+    std::size_t realThreads = 1;
+    int minBudgetPerRound = 8;        ///< floor on per-round budget
+    std::uint64_t seed = 1;
+
+    /** The canonical UNICO configuration. */
+    static DriverConfig unico();
+    /** HASCO-like baseline: full budget + champion update, no R. */
+    static DriverConfig hascoLike();
+    /** MOBOHB-like baseline: default SH + update-with-all, no R. */
+    static DriverConfig mobohbLike();
+    /** Ablation: default SH + champion update, no R. */
+    static DriverConfig shChampion();
+    /** Ablation: modified SH + champion update, no R. */
+    static DriverConfig mshChampion();
+};
+
+/** One fully evaluated hardware sample. */
+struct HwEvalRecord
+{
+    accel::HwPoint hw;
+    accel::Ppa ppa;            ///< PPA at the best mapping found
+    double sensitivity = 0.0;  ///< R (0 when robustness disabled)
+    int budgetSpent = 0;       ///< SW evaluations granted by SH
+    bool constraintOk = false; ///< feasible and within power/area
+    bool fullySearched = false; ///< survived to the full b_max budget
+    bool highFidelity = false; ///< passed the surrogate update rule
+    int iteration = 0;         ///< MOBO trial that produced it
+};
+
+/** Pareto-front snapshot along the search-cost axis. */
+struct TracePoint
+{
+    double hours;                        ///< virtual search cost
+    std::vector<moo::Objectives> front;  ///< (lat, pow, area) points
+};
+
+/** Outcome of one co-search. */
+struct CoSearchResult
+{
+    std::vector<HwEvalRecord> records; ///< every HW evaluated
+    moo::ParetoFront front;  ///< constrained (lat, pow, area) front;
+                             ///< entry ids index into records
+    std::vector<TracePoint> trace; ///< per-iteration snapshots
+    double totalHours = 0.0;
+    std::uint64_t evaluations = 0;
+
+    /** Record index of the min-Euclidean-distance Pareto design
+     *  (Sec. 4.2); requires a non-empty front. */
+    std::size_t minDistanceRecord() const;
+};
+
+/** The bi-level co-optimizer. */
+class CoOptimizer
+{
+  public:
+    CoOptimizer(CoSearchEnv &env, DriverConfig cfg);
+
+    /** Execute Algorithm 1 and return the search outcome. */
+    CoSearchResult run();
+
+  private:
+    CoSearchEnv &env_;
+    DriverConfig cfg_;
+};
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_DRIVER_HH

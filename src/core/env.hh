@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Abstract co-search environment.
+ *
+ * UNICO (Sec. 3.5) is an algorithm framework, portable across
+ * platforms: it needs only (1) a discrete HW design space, (2) a
+ * budgeted, resumable SW mapping search per hardware sample, and
+ * (3) a PPA estimation engine with a known evaluation cost. This
+ * interface captures exactly that contract; concrete environments
+ * bind the spatial template + analytical model (open-source
+ * platform) or the Ascend-like core + cycle-level simulator.
+ */
+
+#ifndef UNICO_CORE_ENV_HH
+#define UNICO_CORE_ENV_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/design_space.hh"
+#include "accel/ppa.hh"
+#include "mapping/engine.hh"
+
+namespace unico::core {
+
+/**
+ * One in-progress SW mapping search for a fixed hardware sample.
+ *
+ * Contract: bestLossHistory() gains one (monotone non-increasing)
+ * entry per evaluation; chargedSeconds() accumulates the nominal
+ * virtual cost of the PPA queries issued so far.
+ */
+class MappingRun
+{
+  public:
+    virtual ~MappingRun() = default;
+
+    /** Spend @p evals more mapping evaluations. */
+    virtual void step(int evals) = 0;
+
+    /** Total evaluations spent. */
+    virtual int spent() const = 0;
+
+    /** PPA of the best mapping found so far (aggregated over the
+     *  workload's layers). */
+    virtual accel::Ppa bestPpa() const = 0;
+
+    /** Best-so-far mapping loss after each evaluation. */
+    virtual const std::vector<double> &bestLossHistory() const = 0;
+
+    /**
+     * Robustness / sensitivity metric R of Eq. (2) computed from the
+     * mapping-search landscape seen so far.
+     * @param alpha right-tail fraction defining the sub-optimal
+     *        mapping (paper uses alpha = 0.05, i.e. the 95% point).
+     */
+    virtual double sensitivity(double alpha) const = 0;
+
+    /** Virtual seconds of PPA-evaluation cost charged so far. */
+    virtual double chargedSeconds() const = 0;
+};
+
+/** A co-search environment: HW space + SW search + PPA engine. */
+class CoSearchEnv
+{
+  public:
+    virtual ~CoSearchEnv() = default;
+
+    /** The hardware design space. */
+    virtual const accel::DesignSpace &hwSpace() const = 0;
+
+    /** Begin a SW mapping search for hardware @p h. */
+    virtual std::unique_ptr<MappingRun>
+    createRun(const accel::HwPoint &h, std::uint64_t seed) const = 0;
+
+    /** Power envelope (mW); infinity when unconstrained. */
+    virtual double
+    powerBudgetMw() const
+    {
+        return std::numeric_limits<double>::infinity();
+    }
+
+    /** Area envelope (mm^2); infinity when unconstrained. */
+    virtual double
+    areaBudgetMm2() const
+    {
+        return std::numeric_limits<double>::infinity();
+    }
+
+    /** Human-readable hardware description. */
+    virtual std::string describeHw(const accel::HwPoint &h) const = 0;
+
+    /**
+     * Smallest useful SW search budget for one hardware sample —
+     * typically the number of distinct layers, so that even the
+     * first successive-halving round seeds every layer once.
+     */
+    virtual int minSeedBudget() const { return 1; }
+};
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_ENV_HH

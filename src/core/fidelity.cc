@@ -1,0 +1,70 @@
+#include "core/fidelity.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/statistics.hh"
+#include "moo/scalarize.hh"
+
+namespace unico::core {
+
+HighFidelitySelector::HighFidelitySelector(std::vector<double> weights,
+                                           double rho, double percentile)
+    : weights_(std::move(weights)),
+      rho_(rho),
+      percentile_(percentile),
+      vBest_(std::numeric_limits<double>::infinity()),
+      uul_(std::numeric_limits<double>::infinity())
+{
+    assert(!weights_.empty());
+}
+
+double
+HighFidelitySelector::scalar(const moo::Objectives &normalized_y) const
+{
+    return moo::parego(normalized_y, weights_, rho_);
+}
+
+std::vector<std::size_t>
+HighFidelitySelector::select(
+    const std::vector<moo::Objectives> &normalized_batch)
+{
+    std::vector<std::size_t> selected;
+    if (normalized_batch.empty())
+        return selected;
+
+    // Step 1: fidelity scalar per sample; track the global best.
+    std::vector<double> v(normalized_batch.size(), 0.0);
+    for (std::size_t i = 0; i < normalized_batch.size(); ++i) {
+        v[i] = scalar(normalized_batch[i]);
+        vBest_ = std::min(vBest_, v[i]);
+    }
+
+    // Steps 2-3: distance to the best scalar; keep d <= UUL.
+    std::vector<double> kept_d;
+    for (std::size_t i = 0; i < normalized_batch.size(); ++i) {
+        const double d = std::abs(v[i] - vBest_);
+        if (d <= uul_) {
+            selected.push_back(i);
+            kept_d.push_back(d);
+        }
+    }
+    // Never return an empty update set: the best sample of the batch
+    // always qualifies (its distance can exceed a collapsed UUL when
+    // the batch is uniformly poor).
+    if (selected.empty()) {
+        const std::size_t best_idx = static_cast<std::size_t>(
+            std::min_element(v.begin(), v.end()) - v.begin());
+        selected.push_back(best_idx);
+        kept_d.push_back(std::abs(v[best_idx] - vBest_));
+    }
+
+    // Step 4: refresh the Upper Update Limit.
+    distances_.insert(distances_.end(), kept_d.begin(), kept_d.end());
+    uul_ = common::percentile(distances_, percentile_);
+    return selected;
+}
+
+} // namespace unico::core

@@ -1,0 +1,178 @@
+#include "core/mobo.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "moo/scalarize.hh"
+
+namespace unico::core {
+
+MoboHwSampler::MoboHwSampler(const accel::DesignSpace &space,
+                             std::size_t num_objectives,
+                             std::uint64_t seed, MoboConfig cfg)
+    : space_(space),
+      numObjectives_(num_objectives),
+      cfg_(cfg),
+      rng_(seed)
+{
+    assert(num_objectives > 0);
+}
+
+void
+MoboHwSampler::observe(const accel::HwPoint &h, const moo::Objectives &y,
+                       bool high_fidelity)
+{
+    assert(y.size() == numObjectives_);
+    Obs obs;
+    obs.h = h;
+    obs.x = space_.normalize(h);
+    obs.y = y;
+    obs.highFidelity = high_fidelity;
+    all_.push_back(std::move(obs));
+    seenKeys_.insert(space_.key(h));
+
+    if (ideal_.empty()) {
+        ideal_ = y;
+        nadir_ = y;
+    } else {
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            ideal_[i] = std::min(ideal_[i], y[i]);
+            nadir_[i] = std::max(nadir_[i], y[i]);
+        }
+    }
+}
+
+void
+MoboHwSampler::setHighFidelity(std::size_t index, bool high_fidelity)
+{
+    assert(index < all_.size());
+    all_[index].highFidelity = high_fidelity;
+}
+
+std::size_t
+MoboHwSampler::highFidelityCount() const
+{
+    std::size_t count = 0;
+    for (const auto &obs : all_)
+        if (obs.highFidelity)
+            ++count;
+    return count;
+}
+
+moo::Objectives
+MoboHwSampler::normalize(const moo::Objectives &y) const
+{
+    if (ideal_.empty())
+        return moo::Objectives(y.size(), 0.0);
+    return moo::normalizeObjectives(y, ideal_, nadir_);
+}
+
+accel::HwPoint
+MoboHwSampler::proposeOne(const std::set<std::string> &batch_keys)
+{
+    // Gather the high-fidelity training set.
+    std::vector<std::vector<double>> x;
+    std::vector<const Obs *> hf;
+    for (const auto &obs : all_) {
+        if (obs.highFidelity) {
+            hf.push_back(&obs);
+            x.push_back(obs.x);
+        }
+    }
+    if (hf.size() < 4) {
+        // Cold start: explore randomly.
+        return space_.randomPoint(rng_);
+    }
+
+    // ParEGO: scalarize the high-fidelity targets under a fresh
+    // random weight vector, then fit a single-output GP.
+    const auto w = moo::randomSimplexWeights(numObjectives_, rng_);
+    std::vector<double> s;
+    s.reserve(hf.size());
+    for (const Obs *obs : hf)
+        s.push_back(moo::parego(normalize(obs->y), w, cfg_.rho));
+
+    surrogate::GaussianProcess gp(kernelParams_);
+    if (!kernelTuned_) {
+        if (cfg_.useArd)
+            gp.fitArd(x, s, cfg_.maxGpPoints);
+        else
+            gp.fitWithHyperopt(x, s, cfg_.maxGpPoints);
+        kernelParams_ = gp.params();
+        kernelTuned_ = true;
+    } else {
+        gp.fit(x, s, cfg_.maxGpPoints);
+    }
+    const double incumbent = *std::min_element(s.begin(), s.end());
+
+    // Candidate pool: uniform random plus mutations of the elite.
+    std::vector<accel::HwPoint> pool;
+    pool.reserve(cfg_.candidatePool + cfg_.eliteMutants);
+    for (std::size_t i = 0; i < cfg_.candidatePool; ++i)
+        pool.push_back(space_.randomPoint(rng_));
+    const auto order = [&] {
+        std::vector<std::size_t> idx(hf.size());
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(),
+                  [&](std::size_t a, std::size_t b) { return s[a] < s[b]; });
+        return idx;
+    }();
+    const std::size_t elites = std::min<std::size_t>(8, order.size());
+    for (std::size_t i = 0; i < cfg_.eliteMutants; ++i) {
+        const Obs *elite = hf[order[i % elites]];
+        pool.push_back(space_.neighbor(elite->h, rng_, 2));
+    }
+
+    // Expected-improvement maximization over the pool, skipping
+    // configurations already evaluated or already in this batch.
+    double best_ei = -1.0;
+    accel::HwPoint best = pool.front();
+    bool found = false;
+    for (const auto &cand : pool) {
+        const std::string key = space_.key(cand);
+        if (batch_keys.count(key) || seenKeys_.count(key))
+            continue;
+        const auto pred = gp.predict(space_.normalize(cand));
+        const double ei = surrogate::expectedImprovement(pred, incumbent);
+        if (ei > best_ei) {
+            best_ei = ei;
+            best = cand;
+            found = true;
+        }
+    }
+    if (!found)
+        return space_.randomPoint(rng_);
+    return best;
+}
+
+std::vector<accel::HwPoint>
+MoboHwSampler::sampleBatch(std::size_t n)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<accel::HwPoint> batch;
+    std::set<std::string> batch_keys;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        accel::HwPoint h = rng_.bernoulli(cfg_.randomFraction)
+                               ? space_.randomPoint(rng_)
+                               : proposeOne(batch_keys);
+        // Retry a few times to keep the batch diverse; accept
+        // duplicates only as a last resort (tiny spaces).
+        for (int attempt = 0;
+             attempt < 16 && batch_keys.count(space_.key(h)); ++attempt)
+            h = space_.randomPoint(rng_);
+        batch_keys.insert(space_.key(h));
+        batch.push_back(std::move(h));
+    }
+    overheadSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return batch;
+}
+
+} // namespace unico::core

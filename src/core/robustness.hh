@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The hardware robustness (sensitivity) metric R of Sec. 3.4:
+ *
+ *     R = Delta * (1 + F(theta)),
+ *     F(theta) = (6/pi^2) theta^2 - (5/pi) theta + 1,
+ *
+ * where Delta is the 2-norm distance, in relative (latency, power)
+ * space, between the *optimal* mapping (the converged best) and a
+ * *sub-optimal* mapping (the one whose loss sits at the (1-alpha)
+ * right-tail percentile of the search's loss history), and theta in
+ * [0, pi] is the angle of that displacement w.r.t. the horizontal
+ * (latency) axis. R = 0 means the hardware is insensitive to the SW
+ * mapping search; smaller is more robust.
+ */
+
+#ifndef UNICO_CORE_ROBUSTNESS_HH
+#define UNICO_CORE_ROBUSTNESS_HH
+
+#include <vector>
+
+#include "mapping/engine.hh"
+
+namespace unico::core {
+
+/** The asymmetric angle penalty F(theta) of Fig. 5(c). */
+double fTheta(double theta);
+
+/**
+ * The angle theta in [0, pi] of the displacement from the
+ * sub-optimal point to the optimal point in (latency, power) space,
+ * measured against the horizontal axis: theta < pi/2 when power
+ * decreases toward the optimum (favorable), theta > pi/2 when it
+ * increases.
+ */
+double displacementAngle(double lat_opt, double pow_opt, double lat_sub,
+                         double pow_sub);
+
+/**
+ * Compute R from a mapping search's raw sample history.
+ *
+ * The optimal point is the feasible sample with the smallest loss;
+ * the sub-optimal point is the feasible sample whose loss is closest
+ * to the alpha-quantile (from the best side) of all feasible losses.
+ * Delta uses latency/power *relative* to the optimal point so that R
+ * is scale-free across workloads. Returns 0 when fewer than two
+ * feasible samples exist (no evidence of sensitivity).
+ *
+ * @param samples raw mapping evaluations
+ * @param alpha   sub-optimal quantile (default 0.05 = the 95%
+ *                right-tail percentile of the paper)
+ */
+double computeSensitivity(const std::vector<mapping::SamplePoint> &samples,
+                          double alpha = 0.05);
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_ROBUSTNESS_HH

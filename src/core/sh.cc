@@ -1,0 +1,86 @@
+#include "core/sh.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/statistics.hh"
+
+namespace unico::core {
+
+std::vector<std::size_t>
+selectSurvivors(const std::vector<double> &tv,
+                const std::vector<double> &auc, std::size_t k,
+                std::size_t p)
+{
+    assert(tv.size() == auc.size());
+    const std::size_t n = tv.size();
+    k = std::min(k, n);
+    p = std::min(p, k);
+
+    const auto tv_order = common::argsortAscending(tv);
+    const auto auc_order = common::argsortDescending(auc);
+
+    std::vector<bool> taken(n, false);
+    std::vector<std::size_t> survivors;
+    survivors.reserve(k);
+
+    // Top-(k - p) by terminal value.
+    for (std::size_t i = 0; i < n && survivors.size() < k - p; ++i) {
+        const std::size_t idx = tv_order[i];
+        if (!taken[idx]) {
+            taken[idx] = true;
+            survivors.push_back(idx);
+        }
+    }
+    // Top-p by AUC, skipping candidates already promoted by TV
+    // (the disjointness constraint of Sec. 3.3).
+    for (std::size_t i = 0; i < n && survivors.size() < k; ++i) {
+        const std::size_t idx = auc_order[i];
+        if (!taken[idx]) {
+            taken[idx] = true;
+            survivors.push_back(idx);
+        }
+    }
+    // Backfill from TV if AUC ties exhausted the pool early.
+    for (std::size_t i = 0; i < n && survivors.size() < k; ++i) {
+        const std::size_t idx = tv_order[i];
+        if (!taken[idx]) {
+            taken[idx] = true;
+            survivors.push_back(idx);
+        }
+    }
+    return survivors;
+}
+
+int
+roundBudget(const ShConfig &cfg, int j, int rounds, int min_budget)
+{
+    assert(j >= 1 && j <= rounds);
+    const double b = static_cast<double>(cfg.bMax) *
+                     std::pow(cfg.eta, -(rounds - j));
+    return std::max(static_cast<int>(std::floor(b)), min_budget);
+}
+
+int
+shRounds(std::size_t n)
+{
+    if (n <= 1)
+        return 1;
+    return static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(n))));
+}
+
+double
+convergenceAuc(const std::vector<double> &best_loss_history)
+{
+    if (best_loss_history.size() < 2)
+        return 0.0;
+    std::vector<double> logged;
+    logged.reserve(best_loss_history.size());
+    for (double v : best_loss_history)
+        logged.push_back(std::log10(std::max(v, 1e-15)));
+    return common::aucAboveTerminal(logged);
+}
+
+} // namespace unico::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Successive halving (SH) and the paper's modified successive
+ * halving (MSH, Sec. 3.3): survivor selection by terminal value (TV)
+ * augmented with an area-under-curve (AUC) convergence-rate quota.
+ *
+ * Survivors H^k = H_TV^(k-p)  UNION  H_AUC^(p), with the AUC picks
+ * drawn from candidates not already promoted by TV. Setting p = 0
+ * recovers default SH.
+ */
+
+#ifndef UNICO_CORE_SH_HH
+#define UNICO_CORE_SH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace unico::core {
+
+/** Parameters of (modified) successive halving. */
+struct ShConfig
+{
+    int bMax = 300;      ///< maximum SW search budget per candidate
+    double eta = 2.0;    ///< budget growth per round
+    double kFrac = 0.5;  ///< survivor fraction per round
+    double pFrac = 0.15; ///< AUC-promoted fraction (0 = default SH)
+};
+
+/**
+ * Select the indices of the survivors of one SH/MSH round.
+ *
+ * @param tv  terminal values (smaller is better), one per candidate
+ * @param auc convergence AUC (larger is better), one per candidate
+ * @param k   total survivors
+ * @param p   how many survivors are promoted by AUC (p <= k); AUC
+ *            picks skip candidates already promoted by TV
+ * @return indices of survivors (TV picks first, then AUC picks)
+ */
+std::vector<std::size_t>
+selectSurvivors(const std::vector<double> &tv,
+                const std::vector<double> &auc, std::size_t k,
+                std::size_t p);
+
+/**
+ * The cumulative budget after round @p j (1-based) of @p rounds
+ * total rounds: b_j = bMax * eta^{-(rounds - j)}, clamped to at
+ * least @p min_budget.
+ */
+int roundBudget(const ShConfig &cfg, int j, int rounds, int min_budget);
+
+/** Number of SH rounds for a batch of @p n candidates:
+ *  ceil(log2(n)), at least 1. */
+int shRounds(std::size_t n);
+
+/**
+ * Convergence AUC of a best-so-far loss history (Fig. 4b), computed
+ * on log10-compressed losses so that infeasibility penalty values do
+ * not dominate the area.
+ */
+double convergenceAuc(const std::vector<double> &best_loss_history);
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_SH_HH

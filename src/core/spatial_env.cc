@@ -1,0 +1,181 @@
+#include "core/spatial_env.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/robustness.hh"
+
+namespace unico::core {
+
+namespace {
+
+/** Latency penalty (ms) for a layer with no feasible mapping yet. */
+constexpr double kUnmappedLatencyMs = 1e7;
+
+/**
+ * Multi-layer mapping run: one budgeted search per unique layer
+ * shape, stepped round-robin; the recorded loss is the count-weighted
+ * network latency under the current per-layer incumbents.
+ */
+class SpatialMappingRun : public MappingRun
+{
+  public:
+    SpatialMappingRun(const std::vector<workload::WeightedOp> &layers,
+                      const std::vector<mapping::MappingSpace> &spaces,
+                      const costmodel::AnalyticalCostModel &model,
+                      accel::SpatialHwConfig hw,
+                      mapping::EngineKind engine, std::uint64_t seed)
+        : layers_(layers), model_(model), hw_(hw)
+    {
+        common::Rng seeder(seed);
+        runs_.reserve(layers_.size());
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+            const workload::TensorOp &op = layers_[l].op;
+            auto evaluator = [this, &op](const mapping::Mapping &m) {
+                const accel::Ppa ppa = model_.evaluate(op, hw_, m);
+                mapping::MappingEval eval;
+                eval.ppa = ppa;
+                eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+                return eval;
+            };
+            runs_.push_back(mapping::startSearch(
+                engine, spaces[l], evaluator, seeder.next()));
+        }
+    }
+
+    void
+    step(int sweeps) override
+    {
+        // One budget unit is a *sweep*: one mapping evaluation per
+        // unique layer (the paper's budget b counts per-operator
+        // search steps).
+        for (int i = 0; i < sweeps; ++i) {
+            ++cursor_;
+            for (auto &run : runs_) {
+                run->step(1);
+                chargedSeconds_ += costmodel::AnalyticalCostModel::
+                    nominalEvalSeconds();
+            }
+            lossHistory_.push_back(networkLoss());
+        }
+    }
+
+    int spent() const override { return static_cast<int>(cursor_); }
+
+    accel::Ppa
+    bestPpa() const override
+    {
+        double latency = 0.0;
+        double energy = 0.0;
+        for (std::size_t l = 0; l < runs_.size(); ++l) {
+            const auto &eval = runs_[l]->bestEval();
+            if (runs_[l]->spent() == 0 || !eval.ppa.feasible)
+                return accel::Ppa::infeasible();
+            const double count = static_cast<double>(layers_[l].count);
+            latency += count * eval.ppa.latencyMs;
+            energy += count * eval.ppa.energyMj;
+        }
+        accel::Ppa ppa;
+        ppa.latencyMs = latency;
+        ppa.energyMj = energy;
+        // mJ / ms == W; report mW.
+        ppa.powerMw = latency > 0.0 ? energy / latency * 1000.0 : 0.0;
+        ppa.areaMm2 = model_.areaMm2(hw_);
+        ppa.feasible = true;
+        return ppa;
+    }
+
+    const std::vector<double> &
+    bestLossHistory() const override
+    {
+        return lossHistory_;
+    }
+
+    double
+    sensitivity(double alpha) const override
+    {
+        // Count*MACs-weighted mean of per-layer sensitivities: every
+        // layer's mapping landscape contributes in proportion to its
+        // share of network execution.
+        double total_w = 0.0;
+        double acc = 0.0;
+        for (std::size_t l = 0; l < runs_.size(); ++l) {
+            const double w = static_cast<double>(layers_[l].count) *
+                             static_cast<double>(layers_[l].op.macs());
+            acc += w * computeSensitivity(runs_[l]->samples(), alpha);
+            total_w += w;
+        }
+        return total_w > 0.0 ? acc / total_w : 0.0;
+    }
+
+    double chargedSeconds() const override { return chargedSeconds_; }
+
+  private:
+    double
+    networkLoss() const
+    {
+        double total = 0.0;
+        for (std::size_t l = 0; l < runs_.size(); ++l) {
+            const double count = static_cast<double>(layers_[l].count);
+            if (runs_[l]->spent() == 0) {
+                total += count * kUnmappedLatencyMs;
+            } else {
+                total += count *
+                         std::min(runs_[l]->bestLossHistory().back(),
+                                  kUnmappedLatencyMs);
+            }
+        }
+        return total;
+    }
+
+    const std::vector<workload::WeightedOp> &layers_;
+    const costmodel::AnalyticalCostModel &model_;
+    accel::SpatialHwConfig hw_;
+    std::vector<std::unique_ptr<mapping::SearchRun>> runs_;
+    std::vector<double> lossHistory_;
+    std::size_t cursor_ = 0;
+    double chargedSeconds_ = 0.0;
+};
+
+} // namespace
+
+SpatialEnv::SpatialEnv(std::vector<workload::Network> networks,
+                       SpatialEnvOptions opt)
+    : opt_(opt), space_(opt.scenario), model_(opt.tech)
+{
+    assert(!networks.empty());
+    for (const auto &net : networks) {
+        for (auto &wop : net.dominantOps(opt_.maxShapesPerNetwork))
+            layers_.push_back(std::move(wop));
+    }
+    mapSpaces_.reserve(layers_.size());
+    for (const auto &wop : layers_)
+        mapSpaces_.emplace_back(wop.op);
+}
+
+const accel::DesignSpace &
+SpatialEnv::hwSpace() const
+{
+    return space_.space();
+}
+
+std::unique_ptr<MappingRun>
+SpatialEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
+{
+    return std::make_unique<SpatialMappingRun>(
+        layers_, mapSpaces_, model_, space_.decode(h), opt_.engine, seed);
+}
+
+double
+SpatialEnv::powerBudgetMw() const
+{
+    return accel::powerBudgetMw(opt_.scenario);
+}
+
+std::string
+SpatialEnv::describeHw(const accel::HwPoint &h) const
+{
+    return space_.decode(h).describe();
+}
+
+} // namespace unico::core

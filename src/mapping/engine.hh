@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Software-mapping search engine interface.
+ *
+ * A mature mapping optimizer (Sec. 2.1) exposes a budgeted,
+ * resumable, monotonically-improving search. SearchRun models one
+ * in-progress search for a fixed (workload, hardware) pair:
+ * successive halving grants additional budget to surviving runs by
+ * calling step() again, and the recorded histories feed both the
+ * AUC promotion criterion of the modified successive halving and the
+ * robustness metric R.
+ */
+
+#ifndef UNICO_MAPPING_ENGINE_HH
+#define UNICO_MAPPING_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "accel/ppa.hh"
+#include "common/rng.hh"
+#include "mapping/mapping.hh"
+
+namespace unico::mapping {
+
+/** Result of evaluating one mapping candidate. */
+struct MappingEval
+{
+    accel::Ppa ppa;     ///< PPA estimate (may be infeasible)
+    double loss = 1e18; ///< scalar mapping-search objective
+};
+
+/** PPA estimation callback: mapping -> evaluation. */
+using MappingEvaluator = std::function<MappingEval(const Mapping &)>;
+
+/** One raw evaluated sample, retained for the robustness metric. */
+struct SamplePoint
+{
+    double loss;
+    double latencyMs;
+    double powerMw;
+    bool feasible;
+};
+
+/**
+ * A resumable mapping search in progress.
+ *
+ * Invariants: bestLossHistory() has one entry per spent evaluation
+ * and is monotonically non-increasing; best() corresponds to
+ * bestLossHistory().back().
+ */
+class SearchRun
+{
+  public:
+    virtual ~SearchRun() = default;
+
+    /** Spend @p evals more evaluations of search budget. */
+    virtual void step(int evals) = 0;
+
+    /** Total evaluations spent so far. */
+    int spent() const { return static_cast<int>(bestLoss_.size()); }
+
+    /** Best mapping found so far. */
+    const Mapping &best() const { return bestMapping_; }
+
+    /** Evaluation of the best mapping. */
+    const MappingEval &bestEval() const { return bestEval_; }
+
+    /** Best-so-far loss after each evaluation (monotone). */
+    const std::vector<double> &bestLossHistory() const { return bestLoss_; }
+
+    /** Every raw sample seen (for the R metric's percentile point). */
+    const std::vector<SamplePoint> &samples() const { return samples_; }
+
+  protected:
+    /** Record an evaluation and update the incumbent. */
+    void
+    record(const Mapping &m, const MappingEval &eval)
+    {
+        samples_.push_back(SamplePoint{eval.loss, eval.ppa.latencyMs,
+                                       eval.ppa.powerMw,
+                                       eval.ppa.feasible});
+        if (bestLoss_.empty() || eval.loss < bestEval_.loss) {
+            bestEval_ = eval;
+            bestMapping_ = m;
+        }
+        bestLoss_.push_back(bestEval_.loss);
+    }
+
+  private:
+    Mapping bestMapping_;
+    MappingEval bestEval_;
+    std::vector<double> bestLoss_;
+    std::vector<SamplePoint> samples_;
+};
+
+/** Available search-engine families. */
+enum class EngineKind {
+    Random,    ///< uniform random sampling
+    Annealing, ///< FlexTensor-style simulated annealing
+    Genetic,   ///< GAMMA-style steady-state genetic search
+};
+
+/** Human-readable engine name. */
+const char *toString(EngineKind kind);
+
+/**
+ * Start a resumable mapping search of the given family.
+ *
+ * @param kind engine family
+ * @param space mapping space of the target operator
+ * @param evaluator PPA estimation callback
+ * @param seed deterministic seed for this run
+ */
+std::unique_ptr<SearchRun> startSearch(EngineKind kind,
+                                       const MappingSpace &space,
+                                       MappingEvaluator evaluator,
+                                       std::uint64_t seed);
+
+} // namespace unico::mapping
+
+#endif // UNICO_MAPPING_ENGINE_HH

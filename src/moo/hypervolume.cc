@@ -1,0 +1,134 @@
+#include "moo/hypervolume.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace unico::moo {
+
+namespace {
+
+/** Keep only mutually non-dominated points that improve on ref. */
+std::vector<Objectives>
+filterPoints(const std::vector<Objectives> &points, const Objectives &ref)
+{
+    std::vector<Objectives> kept;
+    for (const auto &p : points) {
+        bool inside = true;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            if (p[i] >= ref[i]) {
+                inside = false;
+                break;
+            }
+        }
+        if (!inside)
+            continue;
+        bool dominated = false;
+        for (const auto &q : kept) {
+            if (dominates(q, p) || q == p) {
+                dominated = true;
+                break;
+            }
+        }
+        if (dominated)
+            continue;
+        kept.erase(std::remove_if(kept.begin(), kept.end(),
+                                  [&](const Objectives &q) {
+                                      return dominates(p, q);
+                                  }),
+                   kept.end());
+        kept.push_back(p);
+    }
+    return kept;
+}
+
+double hvRecursive(std::vector<Objectives> points, const Objectives &ref);
+
+/** Exact sweep for two objectives. */
+double
+hv2d(std::vector<Objectives> points, const Objectives &ref)
+{
+    std::sort(points.begin(), points.end(),
+              [](const Objectives &a, const Objectives &b) {
+                  return a[0] < b[0];
+              });
+    double volume = 0.0;
+    double prev_y = ref[1];
+    for (const auto &p : points) {
+        if (p[1] < prev_y) {
+            volume += (ref[0] - p[0]) * (prev_y - p[1]);
+            prev_y = p[1];
+        }
+    }
+    return volume;
+}
+
+/**
+ * Slicing on the last objective: integrate slabs bottom-up; the slab
+ * [z_i, z_{i+1}) is covered by the projection of every point whose
+ * last coordinate is <= z_i.
+ */
+double
+hvSlicing(std::vector<Objectives> points, const Objectives &ref)
+{
+    const std::size_t d = ref.size();
+    Objectives sub_ref(ref.begin(), ref.end() - 1);
+    std::sort(points.begin(), points.end(),
+              [d](const Objectives &a, const Objectives &b) {
+                  return a[d - 1] < b[d - 1];
+              });
+    double volume = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double z_lo = points[i][d - 1];
+        const double z_hi =
+            i + 1 < points.size() ? points[i + 1][d - 1] : ref[d - 1];
+        if (z_hi <= z_lo)
+            continue;
+        // All points with last coordinate <= z_lo cover this slab.
+        std::vector<Objectives> proj;
+        for (std::size_t j = 0; j <= i; ++j)
+            proj.emplace_back(points[j].begin(), points[j].end() - 1);
+        volume += (z_hi - z_lo) * hvRecursive(std::move(proj), sub_ref);
+    }
+    return volume;
+}
+
+double
+hvRecursive(std::vector<Objectives> points, const Objectives &ref)
+{
+    points = filterPoints(points, ref);
+    if (points.empty())
+        return 0.0;
+    if (ref.size() == 1) {
+        double best = ref[0];
+        for (const auto &p : points)
+            best = std::min(best, p[0]);
+        return ref[0] - best;
+    }
+    if (ref.size() == 2)
+        return hv2d(std::move(points), ref);
+    return hvSlicing(std::move(points), ref);
+}
+
+} // namespace
+
+double
+hypervolume(const std::vector<Objectives> &points, const Objectives &ref)
+{
+    for ([[maybe_unused]] const auto &p : points)
+        assert(p.size() == ref.size());
+    return hvRecursive(points, ref);
+}
+
+double
+hypervolumeDifference(const std::vector<Objectives> &points,
+                      const Objectives &ref, const Objectives &ideal)
+{
+    assert(ref.size() == ideal.size());
+    double box = 1.0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        box *= std::max(ref[i] - ideal[i], 0.0);
+    return box - hypervolume(points, ref);
+}
+
+} // namespace unico::moo

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Hypervolume indicator for minimization problems.
+ *
+ * Hypervolume (and the hypervolume *difference* to a reference ideal)
+ * is the convergence metric of Figs. 7 and 10. The implementation is
+ * a WFG-style recursive slicing algorithm, exact for the 2-4
+ * objective fronts that appear in the co-optimization.
+ */
+
+#ifndef UNICO_MOO_HYPERVOLUME_HH
+#define UNICO_MOO_HYPERVOLUME_HH
+
+#include <vector>
+
+#include "moo/pareto.hh"
+
+namespace unico::moo {
+
+/**
+ * Hypervolume dominated by @p points w.r.t. reference point @p ref
+ * (minimization; points must be <= ref in every coordinate to
+ * contribute; others are clipped out).
+ */
+double hypervolume(const std::vector<Objectives> &points,
+                   const Objectives &ref);
+
+/**
+ * Hypervolume difference: HV of the box [ideal, ref] minus the HV of
+ * @p points — smaller is better, reaching 0 when the front collapses
+ * onto the ideal point. This is the y-axis of Fig. 7.
+ */
+double hypervolumeDifference(const std::vector<Objectives> &points,
+                             const Objectives &ref,
+                             const Objectives &ideal);
+
+} // namespace unico::moo
+
+#endif // UNICO_MOO_HYPERVOLUME_HH

@@ -1,0 +1,91 @@
+#include "moo/indicators.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace unico::moo {
+
+namespace {
+
+double
+euclidean(const Objectives &a, const Objectives &b)
+{
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc);
+}
+
+} // namespace
+
+double
+igd(const std::vector<Objectives> &approximation,
+    const std::vector<Objectives> &reference)
+{
+    if (reference.empty())
+        return 0.0;
+    if (approximation.empty())
+        return std::numeric_limits<double>::infinity();
+    double total = 0.0;
+    for (const auto &ref : reference) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto &a : approximation)
+            best = std::min(best, euclidean(ref, a));
+        total += best;
+    }
+    return total / static_cast<double>(reference.size());
+}
+
+double
+additiveEpsilon(const std::vector<Objectives> &approximation,
+                const std::vector<Objectives> &reference)
+{
+    if (reference.empty())
+        return 0.0;
+    if (approximation.empty())
+        return std::numeric_limits<double>::infinity();
+    double eps = -std::numeric_limits<double>::infinity();
+    for (const auto &ref : reference) {
+        // Best approximation point for this reference point.
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto &a : approximation) {
+            double worst_dim = -std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < ref.size(); ++i)
+                worst_dim = std::max(worst_dim, a[i] - ref[i]);
+            best = std::min(best, worst_dim);
+        }
+        eps = std::max(eps, best);
+    }
+    return eps;
+}
+
+double
+spread2d(std::vector<Objectives> front)
+{
+    if (front.size() < 3)
+        return 0.0;
+    assert(front.front().size() == 2);
+    std::sort(front.begin(), front.end(),
+              [](const Objectives &a, const Objectives &b) {
+                  return a[0] < b[0];
+              });
+    std::vector<double> gaps;
+    gaps.reserve(front.size() - 1);
+    double mean = 0.0;
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        gaps.push_back(euclidean(front[i - 1], front[i]));
+        mean += gaps.back();
+    }
+    mean /= static_cast<double>(gaps.size());
+    if (mean <= 0.0)
+        return 0.0;
+    double dev = 0.0;
+    for (double g : gaps)
+        dev += std::abs(g - mean);
+    return dev / (static_cast<double>(gaps.size()) * mean);
+}
+
+} // namespace unico::moo

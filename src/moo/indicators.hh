@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Additional multi-objective quality indicators: inverted
+ * generational distance (IGD), additive epsilon indicator and front
+ * spread. Complements hypervolume for quantitative comparisons in
+ * the ablation benches.
+ */
+
+#ifndef UNICO_MOO_INDICATORS_HH
+#define UNICO_MOO_INDICATORS_HH
+
+#include <vector>
+
+#include "moo/pareto.hh"
+
+namespace unico::moo {
+
+/**
+ * Inverted generational distance: mean Euclidean distance from each
+ * reference-front point to its nearest approximation point (lower is
+ * better). Returns +inf if the approximation is empty.
+ */
+double igd(const std::vector<Objectives> &approximation,
+           const std::vector<Objectives> &reference);
+
+/**
+ * Additive epsilon indicator: the smallest epsilon such that every
+ * reference point is weakly dominated by some approximation point
+ * shifted by epsilon (lower is better; <= 0 means the approximation
+ * covers the reference). Returns +inf for an empty approximation.
+ */
+double additiveEpsilon(const std::vector<Objectives> &approximation,
+                       const std::vector<Objectives> &reference);
+
+/**
+ * Front spread: mean pairwise-neighbor gap deviation (the NSGA-II
+ * Delta metric); 0 for a perfectly even 2-objective front. Fronts
+ * with fewer than 3 points return 0.
+ */
+double spread2d(std::vector<Objectives> front);
+
+} // namespace unico::moo
+
+#endif // UNICO_MOO_INDICATORS_HH

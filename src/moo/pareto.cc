@@ -1,0 +1,141 @@
+#include "moo/pareto.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace unico::moo {
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    assert(a.size() == b.size());
+    bool strictly = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictly = true;
+    }
+    return strictly;
+}
+
+bool
+ParetoFront::insert(const Objectives &objectives, std::uint64_t id)
+{
+    for (const auto &e : entries_) {
+        if (dominates(e.objectives, objectives) ||
+            e.objectives == objectives)
+            return false;
+    }
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&](const Entry &e) {
+                           return dominates(objectives, e.objectives);
+                       }),
+        entries_.end());
+    entries_.push_back(Entry{objectives, id});
+    return true;
+}
+
+std::vector<Objectives>
+ParetoFront::points() const
+{
+    std::vector<Objectives> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.objectives);
+    return out;
+}
+
+const ParetoFront::Entry &
+ParetoFront::minDistanceEntry(const Objectives &scale) const
+{
+    assert(!entries_.empty());
+    const Entry *best = &entries_.front();
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const auto &e : entries_) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < e.objectives.size(); ++i) {
+            const double s =
+                (i < scale.size() && scale[i] > 0.0) ? scale[i] : 1.0;
+            const double v = e.objectives[i] / s;
+            acc += v * v;
+        }
+        if (acc < best_dist) {
+            best_dist = acc;
+            best = &e;
+        }
+    }
+    return *best;
+}
+
+std::vector<std::vector<std::size_t>>
+nonDominatedSort(const std::vector<Objectives> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<std::vector<std::size_t>> dominated(n);
+    std::vector<int> dom_count(n, 0);
+    std::vector<std::vector<std::size_t>> fronts;
+
+    std::vector<std::size_t> current;
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < n; ++q) {
+            if (p == q)
+                continue;
+            if (dominates(points[p], points[q]))
+                dominated[p].push_back(q);
+            else if (dominates(points[q], points[p]))
+                ++dom_count[p];
+        }
+        if (dom_count[p] == 0)
+            current.push_back(p);
+    }
+    while (!current.empty()) {
+        fronts.push_back(current);
+        std::vector<std::size_t> next;
+        for (std::size_t p : current) {
+            for (std::size_t q : dominated[p]) {
+                if (--dom_count[q] == 0)
+                    next.push_back(q);
+            }
+        }
+        current = std::move(next);
+    }
+    return fronts;
+}
+
+std::vector<double>
+crowdingDistance(const std::vector<Objectives> &points,
+                 const std::vector<std::size_t> &front)
+{
+    const std::size_t n = front.size();
+    std::vector<double> dist(n, 0.0);
+    if (n == 0)
+        return dist;
+    const std::size_t dims = points[front[0]].size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t d = 0; d < dims; ++d) {
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return points[front[a]][d] < points[front[b]][d];
+                  });
+        const double lo = points[front[order.front()]][d];
+        const double hi = points[front[order.back()]][d];
+        dist[order.front()] = std::numeric_limits<double>::infinity();
+        dist[order.back()] = std::numeric_limits<double>::infinity();
+        if (hi <= lo)
+            continue;
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            dist[order[i]] += (points[front[order[i + 1]]][d] -
+                               points[front[order[i - 1]]][d]) /
+                              (hi - lo);
+        }
+    }
+    return dist;
+}
+
+} // namespace unico::moo

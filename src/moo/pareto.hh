@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pareto-dominance utilities for minimization problems:
+ * incremental Pareto-front maintenance, fast non-dominated sorting
+ * and crowding distance (the NSGA-II machinery).
+ */
+
+#ifndef UNICO_MOO_PARETO_HH
+#define UNICO_MOO_PARETO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace unico::moo {
+
+/** Objective vector (all objectives minimized). */
+using Objectives = std::vector<double>;
+
+/** True if @p a Pareto-dominates @p b (<= everywhere, < somewhere). */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/** A Pareto-front archive carrying an opaque payload id per point. */
+class ParetoFront
+{
+  public:
+    /** One archived non-dominated point. */
+    struct Entry
+    {
+        Objectives objectives;
+        std::uint64_t id;
+    };
+
+    /**
+     * Try to insert a point. Returns true if it is non-dominated
+     * w.r.t. the archive (dominated incumbents are evicted); returns
+     * false and leaves the archive unchanged if it is dominated.
+     * Duplicate objective vectors are kept only once.
+     */
+    bool insert(const Objectives &objectives, std::uint64_t id);
+
+    /** Archived entries (unspecified order). */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Number of archived points. */
+    std::size_t size() const { return entries_.size(); }
+
+    bool empty() const { return entries_.empty(); }
+
+    /** Objective vectors only. */
+    std::vector<Objectives> points() const;
+
+    /**
+     * The entry minimizing the Euclidean distance to the origin of
+     * the (optionally normalized) objective space — the paper's
+     * min-Euclidean-distance representative design (Sec. 4.2).
+     * @param scale per-objective divisor (empty = no scaling).
+     */
+    const Entry &minDistanceEntry(const Objectives &scale = {}) const;
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Fast non-dominated sort; returns fronts of indices into @p points,
+ * best (rank-0) front first.
+ */
+std::vector<std::vector<std::size_t>>
+nonDominatedSort(const std::vector<Objectives> &points);
+
+/**
+ * NSGA-II crowding distance of each member of @p front (indices into
+ * @p points). Boundary points get +infinity.
+ */
+std::vector<double>
+crowdingDistance(const std::vector<Objectives> &points,
+                 const std::vector<std::size_t> &front);
+
+} // namespace unico::moo
+
+#endif // UNICO_MOO_PARETO_HH

@@ -1,0 +1,81 @@
+#include "moo/scalarize.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace unico::moo {
+
+double
+parego(const Objectives &y, const std::vector<double> &w, double rho)
+{
+    assert(y.size() == w.size());
+    assert(!y.empty());
+    double max_term = -std::numeric_limits<double>::infinity();
+    double sum_term = 0.0;
+    for (std::size_t j = 0; j < y.size(); ++j) {
+        const double wy = w[j] * y[j];
+        max_term = std::max(max_term, wy);
+        sum_term += wy;
+    }
+    return max_term + rho * sum_term;
+}
+
+std::vector<double>
+randomSimplexWeights(std::size_t dims, common::Rng &rng)
+{
+    assert(dims > 0);
+    // Exponential spacings normalized to 1 give a uniform Dirichlet(1)
+    // draw on the simplex.
+    std::vector<double> w(dims, 0.0);
+    double total = 0.0;
+    for (auto &x : w) {
+        double u;
+        do {
+            u = rng.uniform();
+        } while (u <= 0.0);
+        x = -std::log(u);
+        total += x;
+    }
+    for (auto &x : w)
+        x /= total;
+    return w;
+}
+
+Objectives
+idealPoint(const std::vector<Objectives> &points)
+{
+    assert(!points.empty());
+    Objectives ideal = points.front();
+    for (const auto &p : points)
+        for (std::size_t i = 0; i < ideal.size(); ++i)
+            ideal[i] = std::min(ideal[i], p[i]);
+    return ideal;
+}
+
+Objectives
+nadirPoint(const std::vector<Objectives> &points)
+{
+    assert(!points.empty());
+    Objectives nadir = points.front();
+    for (const auto &p : points)
+        for (std::size_t i = 0; i < nadir.size(); ++i)
+            nadir[i] = std::max(nadir[i], p[i]);
+    return nadir;
+}
+
+Objectives
+normalizeObjectives(const Objectives &y, const Objectives &ideal,
+                    const Objectives &nadir)
+{
+    assert(y.size() == ideal.size() && y.size() == nadir.size());
+    Objectives out(y.size(), 0.0);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double span = nadir[i] - ideal[i];
+        out[i] = span > 0.0 ? (y[i] - ideal[i]) / span : 0.0;
+    }
+    return out;
+}
+
+} // namespace unico::moo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Scalarization helpers: objective normalization, random simplex
+ * weights and the augmented-Tchebycheff ParEGO scalar of Eq. (1),
+ *
+ *     v_ParEGO = max_j (w_j y_j) + rho * Y^T W,    rho = 0.2,
+ *
+ * used both by the High Fidelity Update Rule (Sec. 3.2) and by the
+ * acquisition optimization.
+ */
+
+#ifndef UNICO_MOO_SCALARIZE_HH
+#define UNICO_MOO_SCALARIZE_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "moo/pareto.hh"
+
+namespace unico::moo {
+
+/** Default augmentation coefficient of Eq. (1). */
+inline constexpr double kParegoRho = 0.2;
+
+/**
+ * The ParEGO scalar of Eq. (1). @p y and @p w must have equal size
+ * and @p w should lie on the probability simplex.
+ */
+double parego(const Objectives &y, const std::vector<double> &w,
+              double rho = kParegoRho);
+
+/** Uniform random weight vector on the @p dims-simplex. */
+std::vector<double> randomSimplexWeights(std::size_t dims,
+                                         common::Rng &rng);
+
+/** Per-dimension minimum over a set of objective vectors. */
+Objectives idealPoint(const std::vector<Objectives> &points);
+
+/** Per-dimension maximum over a set of objective vectors. */
+Objectives nadirPoint(const std::vector<Objectives> &points);
+
+/**
+ * Min-max normalize @p y into [0,1]^d given ideal/nadir bounds
+ * (degenerate dimensions map to 0).
+ */
+Objectives normalizeObjectives(const Objectives &y, const Objectives &ideal,
+                               const Objectives &nadir);
+
+} // namespace unico::moo
+
+#endif // UNICO_MOO_SCALARIZE_HH

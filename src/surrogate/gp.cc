@@ -1,0 +1,193 @@
+#include "surrogate/gp.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/statistics.hh"
+
+namespace unico::surrogate {
+
+GaussianProcess::GaussianProcess(KernelParams params) : params_(params)
+{
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &x,
+                     const std::vector<double> &y, std::size_t max_points)
+{
+    assert(x.size() == y.size());
+    trained_ = false;
+    if (x.empty())
+        return;
+
+    const std::size_t n = x.size();
+    const std::size_t start = n > max_points ? n - max_points : 0;
+    x_.assign(x.begin() + static_cast<std::ptrdiff_t>(start), x.end());
+    std::vector<double> y_kept(y.begin() + static_cast<std::ptrdiff_t>(start),
+                               y.end());
+
+    yMean_ = common::mean(y_kept);
+    yScale_ = common::stddev(y_kept);
+    if (yScale_ <= 1e-12)
+        yScale_ = 1.0;
+    yStd_.resize(y_kept.size());
+    for (std::size_t i = 0; i < y_kept.size(); ++i)
+        yStd_[i] = (y_kept[i] - yMean_) / yScale_;
+
+    rebuild();
+}
+
+void
+GaussianProcess::rebuild()
+{
+    const std::size_t n = x_.size();
+    linalg::Matrix k(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = kernelValue(params_, x_[i], x_[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += params_.noise;
+    }
+    chol_ = std::make_unique<linalg::Cholesky>(std::move(k));
+    if (!chol_->ok()) {
+        trained_ = false;
+        return;
+    }
+    alpha_ = chol_->solve(yStd_);
+    // log p(y) = -0.5 yᵀ α - Σ log L_ii - n/2 log 2π
+    double fit_term = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        fit_term += yStd_[i] * alpha_[i];
+    lml_ = -0.5 * fit_term - chol_->halfLogDet() -
+           0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+    trained_ = true;
+}
+
+void
+GaussianProcess::fitWithHyperopt(const std::vector<std::vector<double>> &x,
+                                 const std::vector<double> &y,
+                                 std::size_t max_points)
+{
+    params_.ardLengthscales.clear(); // isotropic grid search
+    fit(x, y, max_points);
+    if (!trained_ || x_.size() < 4)
+        return;
+
+    static const double lengthscales[] = {0.1, 0.2, 0.35, 0.6, 1.0};
+    static const double noises[] = {1e-4, 1e-2};
+    KernelParams best = params_;
+    double best_lml = lml_;
+    for (double l : lengthscales) {
+        for (double nz : noises) {
+            params_.lengthscale = l;
+            params_.noise = nz;
+            rebuild();
+            if (trained_ && lml_ > best_lml) {
+                best_lml = lml_;
+                best = params_;
+            }
+        }
+    }
+    params_ = best;
+    rebuild();
+}
+
+void
+GaussianProcess::fitArd(const std::vector<std::vector<double>> &x,
+                        const std::vector<double> &y,
+                        std::size_t max_points, int passes)
+{
+    fitWithHyperopt(x, y, max_points);
+    if (!trained_ || x_.empty() || x_[0].size() < 2)
+        return;
+
+    const std::size_t dims = x_[0].size();
+    params_.ardLengthscales.assign(dims, params_.lengthscale);
+    rebuild();
+    if (!trained_)
+        return;
+
+    // Coordinate-wise LML ascent over a multiplicative ladder.
+    static const double scales[] = {0.35, 0.6, 1.0, 1.8, 3.2};
+    for (int pass = 0; pass < passes; ++pass) {
+        for (std::size_t d = 0; d < dims; ++d) {
+            const double base = params_.ardLengthscales[d];
+            double best_l = base;
+            double best_lml = lml_;
+            for (double scale : scales) {
+                if (scale == 1.0)
+                    continue;
+                params_.ardLengthscales[d] = base * scale;
+                rebuild();
+                if (trained_ && lml_ > best_lml) {
+                    best_lml = lml_;
+                    best_l = params_.ardLengthscales[d];
+                }
+            }
+            params_.ardLengthscales[d] = best_l;
+            rebuild();
+        }
+    }
+}
+
+Prediction
+GaussianProcess::predict(const std::vector<double> &x) const
+{
+    Prediction out;
+    if (!trained_) {
+        out.mean = yMean_;
+        out.variance = params_.variance * yScale_ * yScale_;
+        if (out.variance <= 0.0)
+            out.variance = 1.0;
+        return out;
+    }
+    const std::size_t n = x_.size();
+    std::vector<double> kstar(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        kstar[i] = kernelValue(params_, x, x_[i]);
+
+    double mean_std = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        mean_std += kstar[i] * alpha_[i];
+
+    const std::vector<double> v = chol_->solveLower(kstar);
+    double explained = 0.0;
+    for (double vi : v)
+        explained += vi * vi;
+    const double var_std = std::max(
+        kernelValue(params_, x, x) - explained, 1e-12);
+
+    out.mean = mean_std * yScale_ + yMean_;
+    out.variance = var_std * yScale_ * yScale_;
+    return out;
+}
+
+double
+GaussianProcess::logMarginalLikelihood() const
+{
+    return trained_ ? lml_ : -std::numeric_limits<double>::infinity();
+}
+
+double
+expectedImprovement(const Prediction &pred, double best)
+{
+    const double sigma = std::sqrt(std::max(pred.variance, 1e-18));
+    const double z = (best - pred.mean) / sigma;
+    // Standard normal pdf/cdf.
+    const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+    const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    const double ei = (best - pred.mean) * cdf + sigma * pdf;
+    return std::max(ei, 0.0);
+}
+
+double
+lowerConfidenceBound(const Prediction &pred, double beta)
+{
+    return pred.mean - beta * std::sqrt(std::max(pred.variance, 0.0));
+}
+
+} // namespace unico::surrogate

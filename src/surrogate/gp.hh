@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Exact Gaussian-process regression — the MOBO surrogate model.
+ *
+ * One GP is trained per co-optimization objective (latency, power,
+ * area, sensitivity); inputs are normalized hardware configurations.
+ * Targets are standardized internally, observation noise is jittered
+ * and hyperparameters are selected by log-marginal-likelihood grid
+ * search (robust at the small sample counts of HW search).
+ */
+
+#ifndef UNICO_SURROGATE_GP_HH
+#define UNICO_SURROGATE_GP_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "surrogate/kernel.hh"
+
+namespace unico::surrogate {
+
+/** Posterior mean/variance at a query point. */
+struct Prediction
+{
+    double mean = 0.0;
+    double variance = 1.0;
+};
+
+/** Exact GP regressor with internal target standardization. */
+class GaussianProcess
+{
+  public:
+    explicit GaussianProcess(KernelParams params = KernelParams{});
+
+    /**
+     * Fit the GP to (X, y). When @p max_points is exceeded the most
+     * recent observations are kept (subset-of-data approximation),
+     * bounding the O(n^3) cost.
+     */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y, std::size_t max_points = 512);
+
+    /**
+     * Fit with hyperparameter selection: grid search over
+     * lengthscales/noise maximizing log marginal likelihood, then a
+     * final fit at the best setting.
+     */
+    void fitWithHyperopt(const std::vector<std::vector<double>> &x,
+                         const std::vector<double> &y,
+                         std::size_t max_points = 512);
+
+    /**
+     * Fit with per-dimension ARD lengthscales: starts from the
+     * isotropic hyperopt optimum and runs @p passes rounds of
+     * coordinate-wise log-marginal-likelihood ascent over each
+     * dimension's lengthscale. Irrelevant inputs end up with long
+     * lengthscales and stop influencing the posterior.
+     */
+    void fitArd(const std::vector<std::vector<double>> &x,
+                const std::vector<double> &y,
+                std::size_t max_points = 512, int passes = 2);
+
+    /** True once fit() succeeded with at least one sample. */
+    bool trained() const { return trained_; }
+
+    /** Number of retained training points. */
+    std::size_t size() const { return x_.size(); }
+
+    /** Posterior prediction at @p x (prior if untrained). */
+    Prediction predict(const std::vector<double> &x) const;
+
+    /** Log marginal likelihood of the current fit. */
+    double logMarginalLikelihood() const;
+
+    /** Current kernel hyperparameters. */
+    const KernelParams &params() const { return params_; }
+
+  private:
+    void rebuild();
+
+    KernelParams params_;
+    std::vector<std::vector<double>> x_;
+    std::vector<double> yStd_;  ///< standardized targets
+    double yMean_ = 0.0;
+    double yScale_ = 1.0;
+    std::vector<double> alpha_; ///< K^{-1} y
+    std::unique_ptr<linalg::Cholesky> chol_;
+    bool trained_ = false;
+    double lml_ = 0.0;
+};
+
+/**
+ * Expected improvement for minimization: EI(x) = E[max(best - f, 0)].
+ * @param best incumbent (smallest observed value, standardized to the
+ *        same scale as @p pred).
+ */
+double expectedImprovement(const Prediction &pred, double best);
+
+/** Lower confidence bound mean - beta * stddev (minimization). */
+double lowerConfidenceBound(const Prediction &pred, double beta);
+
+} // namespace unico::surrogate
+
+#endif // UNICO_SURROGATE_GP_HH

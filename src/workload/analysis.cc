@@ -1,0 +1,96 @@
+#include "workload/analysis.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unico::workload {
+
+OperatorMix
+analyzeMix(const Network &net)
+{
+    OperatorMix mix;
+    mix.layerCount = net.size();
+    mix.uniqueShapeCount = net.uniqueOps().size();
+    std::int64_t conv = 0, dw = 0, gemm = 0;
+    for (const auto &op : net.ops()) {
+        const std::int64_t macs = op.macs();
+        mix.totalMacs += macs;
+        mix.totalParams += op.weightElems();
+        mix.totalActivations += op.inputElems() + op.outputElems();
+        switch (op.kind) {
+          case OpKind::Conv2D:
+            conv += macs;
+            break;
+          case OpKind::DepthwiseConv2D:
+            dw += macs;
+            break;
+          case OpKind::Gemm:
+          case OpKind::Gemv:
+            gemm += macs;
+            break;
+          case OpKind::Elementwise:
+            break;
+        }
+    }
+    if (mix.totalMacs > 0) {
+        const auto total = static_cast<double>(mix.totalMacs);
+        mix.convMacFraction = static_cast<double>(conv) / total;
+        mix.depthwiseMacFraction = static_cast<double>(dw) / total;
+        mix.gemmMacFraction = static_cast<double>(gemm) / total;
+    }
+    return mix;
+}
+
+std::vector<RooflinePoint>
+roofline(const Network &net, double peak_macs_per_cycle,
+         double bytes_per_cycle)
+{
+    assert(peak_macs_per_cycle > 0.0 && bytes_per_cycle > 0.0);
+    std::vector<RooflinePoint> out;
+    out.reserve(net.size());
+    const double ridge = peak_macs_per_cycle / bytes_per_cycle;
+    for (const auto &op : net.ops()) {
+        RooflinePoint pt;
+        pt.layer = op.name;
+        pt.intensity = op.arithmeticIntensity();
+        pt.memoryBound = pt.intensity < ridge;
+        pt.attainableMacsPerCycle =
+            pt.memoryBound ? pt.intensity * bytes_per_cycle
+                           : peak_macs_per_cycle;
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+double
+memoryBoundMacFraction(const Network &net, double peak_macs_per_cycle,
+                       double bytes_per_cycle)
+{
+    const auto points = roofline(net, peak_macs_per_cycle,
+                                 bytes_per_cycle);
+    double bound = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto macs = static_cast<double>(net.ops()[i].macs());
+        total += macs;
+        if (points[i].memoryBound)
+            bound += macs;
+    }
+    return total > 0.0 ? bound / total : 0.0;
+}
+
+double
+rooflineCycles(const Network &net, double peak_macs_per_cycle,
+               double bytes_per_cycle)
+{
+    const auto points = roofline(net, peak_macs_per_cycle,
+                                 bytes_per_cycle);
+    double cycles = 0.0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const auto macs = static_cast<double>(net.ops()[i].macs());
+        cycles += macs / std::max(points[i].attainableMacsPerCycle,
+                                  1e-12);
+    }
+    return cycles;
+}
+
+} // namespace unico::workload

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload characterization: operator mix, arithmetic-intensity
+ * profile and roofline estimates for a network on a given
+ * compute/bandwidth budget. Used by examples and benches to explain
+ * *why* a co-searched design behaves the way it does (e.g. which
+ * networks are DRAM-bound on a candidate accelerator).
+ */
+
+#ifndef UNICO_WORKLOAD_ANALYSIS_HH
+#define UNICO_WORKLOAD_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/network.hh"
+
+namespace unico::workload {
+
+/** Aggregate operator-mix statistics of a network. */
+struct OperatorMix
+{
+    std::int64_t totalMacs = 0;
+    std::int64_t totalParams = 0;        ///< weight elements
+    std::int64_t totalActivations = 0;   ///< input+output elements
+    double convMacFraction = 0.0;        ///< dense conv share of MACs
+    double depthwiseMacFraction = 0.0;
+    double gemmMacFraction = 0.0;        ///< GEMM+GEMV share
+    std::size_t layerCount = 0;
+    std::size_t uniqueShapeCount = 0;
+};
+
+/** Compute the operator mix of @p net. */
+OperatorMix analyzeMix(const Network &net);
+
+/** Roofline classification of one operator on a machine model. */
+struct RooflinePoint
+{
+    std::string layer;
+    double intensity = 0.0;    ///< MACs per byte
+    double attainableMacsPerCycle = 0.0;
+    bool memoryBound = false;
+};
+
+/**
+ * Roofline estimate for every layer of @p net on a machine with
+ * @p peak_macs_per_cycle compute and @p bytes_per_cycle DRAM
+ * bandwidth (no on-chip reuse beyond the operator's intrinsic
+ * reuse — a conservative bound).
+ */
+std::vector<RooflinePoint> roofline(const Network &net,
+                                    double peak_macs_per_cycle,
+                                    double bytes_per_cycle);
+
+/**
+ * Fraction of a network's MACs that are memory bound under the
+ * machine model (weighted by MACs).
+ */
+double memoryBoundMacFraction(const Network &net,
+                              double peak_macs_per_cycle,
+                              double bytes_per_cycle);
+
+/**
+ * Lower-bound execution cycles of @p net on the machine model:
+ * sum over layers of max(compute cycles, traffic cycles).
+ */
+double rooflineCycles(const Network &net, double peak_macs_per_cycle,
+                      double bytes_per_cycle);
+
+} // namespace unico::workload
+
+#endif // UNICO_WORKLOAD_ANALYSIS_HH

@@ -1,0 +1,47 @@
+#include "workload/network.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace unico::workload {
+
+std::int64_t
+Network::totalMacs() const
+{
+    std::int64_t total = 0;
+    for (const auto &op : ops_)
+        total += op.macs();
+    return total;
+}
+
+std::vector<WeightedOp>
+Network::uniqueOps() const
+{
+    std::map<std::string, WeightedOp> by_shape;
+    for (const auto &op : ops_) {
+        auto [it, inserted] = by_shape.try_emplace(op.shapeKey(),
+                                                   WeightedOp{op, 0});
+        it->second.count += 1;
+        (void)inserted;
+    }
+    std::vector<WeightedOp> out;
+    out.reserve(by_shape.size());
+    for (auto &entry : by_shape)
+        out.push_back(std::move(entry.second));
+    std::sort(out.begin(), out.end(),
+              [](const WeightedOp &a, const WeightedOp &b) {
+                  return a.count * a.op.macs() > b.count * b.op.macs();
+              });
+    return out;
+}
+
+std::vector<WeightedOp>
+Network::dominantOps(std::size_t max_shapes) const
+{
+    auto all = uniqueOps();
+    if (all.size() > max_shapes)
+        all.resize(max_shapes);
+    return all;
+}
+
+} // namespace unico::workload

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A DNN workload: an ordered list of tensor operators plus helpers
+ * for deduplicating repeated layer shapes, which keeps per-network
+ * co-search tractable (the PPA of a network is the count-weighted sum
+ * over unique shapes).
+ */
+
+#ifndef UNICO_WORKLOAD_NETWORK_HH
+#define UNICO_WORKLOAD_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/tensor_op.hh"
+
+namespace unico::workload {
+
+/** A unique operator shape and its multiplicity within a network. */
+struct WeightedOp
+{
+    TensorOp op;        ///< representative operator
+    std::int64_t count; ///< occurrences of this exact shape
+};
+
+/** An ordered DNN workload. */
+class Network
+{
+  public:
+    Network() = default;
+
+    /** @param name human readable network name. */
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    /** Append a layer. */
+    void add(TensorOp op) { ops_.push_back(std::move(op)); }
+
+    const std::string &name() const { return name_; }
+    const std::vector<TensorOp> &ops() const { return ops_; }
+    std::size_t size() const { return ops_.size(); }
+
+    /** Total MAC count across all layers. */
+    std::int64_t totalMacs() const;
+
+    /**
+     * Unique layer shapes with multiplicities, ordered by descending
+     * contribution (count * MACs) so truncation keeps the layers that
+     * dominate end-to-end latency.
+     */
+    std::vector<WeightedOp> uniqueOps() const;
+
+    /**
+     * The @p max_shapes highest-contribution unique shapes. Used by
+     * benches under --scale to bound mapping-search work while
+     * preserving the network's performance profile.
+     */
+    std::vector<WeightedOp> dominantOps(std::size_t max_shapes) const;
+
+  private:
+    std::string name_;
+    std::vector<TensorOp> ops_;
+};
+
+} // namespace unico::workload
+
+#endif // UNICO_WORKLOAD_NETWORK_HH

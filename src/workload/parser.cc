@@ -1,0 +1,202 @@
+#include "workload/parser.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace unico::workload {
+
+ParseError::ParseError(std::size_t line, const std::string &message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line)
+{
+}
+
+namespace {
+
+/** Parsed key=value pairs of one operator line. */
+using KeyValues = std::map<std::string, std::int64_t>;
+
+KeyValues
+parseKeyValues(std::size_t line_no, std::istringstream &iss)
+{
+    KeyValues kv;
+    std::string token;
+    while (iss >> token) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= token.size())
+            throw ParseError(line_no, "expected key=value, got '" +
+                                          token + "'");
+        const std::string key = token.substr(0, eq);
+        std::int64_t value = 0;
+        try {
+            value = std::stoll(token.substr(eq + 1));
+        } catch (const std::exception &) {
+            throw ParseError(line_no, "invalid integer in '" + token +
+                                          "'");
+        }
+        if (value < 1)
+            throw ParseError(line_no,
+                             "value of '" + key + "' must be >= 1");
+        if (!kv.emplace(key, value).second)
+            throw ParseError(line_no, "duplicate key '" + key + "'");
+    }
+    return kv;
+}
+
+std::int64_t
+require(std::size_t line_no, KeyValues &kv, const std::string &key)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        throw ParseError(line_no, "missing required key '" + key + "'");
+    const std::int64_t v = it->second;
+    kv.erase(it);
+    return v;
+}
+
+std::int64_t
+optional(KeyValues &kv, const std::string &key, std::int64_t fallback)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return fallback;
+    const std::int64_t v = it->second;
+    kv.erase(it);
+    return v;
+}
+
+void
+rejectLeftovers(std::size_t line_no, const KeyValues &kv)
+{
+    if (!kv.empty())
+        throw ParseError(line_no,
+                         "unknown key '" + kv.begin()->first + "'");
+}
+
+} // namespace
+
+Network
+parseNetwork(std::istream &in, const std::string &name)
+{
+    Network net(name);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream iss(line);
+        std::string kind, op_name;
+        if (!(iss >> kind))
+            continue; // blank line
+        if (!(iss >> op_name))
+            throw ParseError(line_no, "missing operator name");
+        KeyValues kv = parseKeyValues(line_no, iss);
+
+        if (kind == "conv") {
+            const auto k = require(line_no, kv, "k");
+            const auto c = require(line_no, kv, "c");
+            const auto y = require(line_no, kv, "y");
+            const auto x = require(line_no, kv, "x");
+            const auto r = require(line_no, kv, "r");
+            const auto s = require(line_no, kv, "s");
+            const auto stride = optional(kv, "stride", 1);
+            const auto n = optional(kv, "n", 1);
+            rejectLeftovers(line_no, kv);
+            net.add(TensorOp::conv(op_name, k, c, y, x, r, s, stride, n));
+        } else if (kind == "depthwise") {
+            const auto k = require(line_no, kv, "k");
+            const auto y = require(line_no, kv, "y");
+            const auto x = require(line_no, kv, "x");
+            const auto r = require(line_no, kv, "r");
+            const auto s = require(line_no, kv, "s");
+            const auto stride = optional(kv, "stride", 1);
+            rejectLeftovers(line_no, kv);
+            net.add(TensorOp::depthwise(op_name, k, y, x, r, s, stride));
+        } else if (kind == "gemm") {
+            const auto m = require(line_no, kv, "m");
+            const auto nn = require(line_no, kv, "n");
+            const auto kk = require(line_no, kv, "k");
+            rejectLeftovers(line_no, kv);
+            net.add(TensorOp::gemm(op_name, m, nn, kk));
+        } else if (kind == "gemv") {
+            const auto m = require(line_no, kv, "m");
+            const auto kk = require(line_no, kv, "k");
+            rejectLeftovers(line_no, kv);
+            net.add(TensorOp::gemv(op_name, m, kk));
+        } else {
+            throw ParseError(line_no,
+                             "unknown operator kind '" + kind + "'");
+        }
+    }
+    return net;
+}
+
+Network
+parseNetworkString(const std::string &text, const std::string &name)
+{
+    std::istringstream iss(text);
+    return parseNetwork(iss, name);
+}
+
+Network
+parseNetworkFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open workload file: " + path);
+    // Network name = file basename without extension.
+    std::string name = path;
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    const auto dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name = name.substr(0, dot);
+    return parseNetwork(in, name);
+}
+
+std::string
+toText(const Network &net)
+{
+    std::ostringstream oss;
+    oss << "# network: " << net.name() << "\n";
+    for (const auto &op : net.ops()) {
+        switch (op.kind) {
+          case OpKind::Conv2D:
+            oss << "conv " << op.name << " k=" << op.k << " c=" << op.c
+                << " y=" << op.y << " x=" << op.x << " r=" << op.r
+                << " s=" << op.s;
+            if (op.strideX != 1)
+                oss << " stride=" << op.strideX;
+            if (op.n != 1)
+                oss << " n=" << op.n;
+            break;
+          case OpKind::DepthwiseConv2D:
+            oss << "depthwise " << op.name << " k=" << op.k << " y="
+                << op.y << " x=" << op.x << " r=" << op.r << " s="
+                << op.s;
+            if (op.strideX != 1)
+                oss << " stride=" << op.strideX;
+            break;
+          case OpKind::Gemm:
+            oss << "gemm " << op.name << " m=" << op.k << " n=" << op.x
+                << " k=" << op.c;
+            break;
+          case OpKind::Gemv:
+            oss << "gemv " << op.name << " m=" << op.k << " k=" << op.c;
+            break;
+          case OpKind::Elementwise:
+            oss << "# (elementwise " << op.name << " omitted)";
+            break;
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace unico::workload

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text workload parser so downstream users can co-optimize for
+ * their own networks without recompiling. Format: one operator per
+ * line,
+ *
+ *     # comment
+ *     conv      <name> k=64 c=32 y=28 x=28 r=3 s=3 [stride=1] [n=1]
+ *     depthwise <name> k=256 y=14 x=14 r=3 s=3 [stride=1]
+ *     gemm      <name> m=384 n=768 k=768
+ *     gemv      <name> m=1000 k=4096
+ *
+ * Keys may appear in any order; unknown keys are an error.
+ */
+
+#ifndef UNICO_WORKLOAD_PARSER_HH
+#define UNICO_WORKLOAD_PARSER_HH
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "workload/network.hh"
+
+namespace unico::workload {
+
+/** Error with 1-based line information. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(std::size_t line, const std::string &message);
+
+    /** 1-based line number of the offending input. */
+    std::size_t line() const { return line_; }
+
+  private:
+    std::size_t line_;
+};
+
+/** Parse a network from a stream. @throws ParseError. */
+Network parseNetwork(std::istream &in, const std::string &name);
+
+/** Parse a network from a string. @throws ParseError. */
+Network parseNetworkString(const std::string &text,
+                           const std::string &name);
+
+/** Parse a network from a file. @throws ParseError or
+ *  std::runtime_error when the file cannot be opened. */
+Network parseNetworkFile(const std::string &path);
+
+/** Serialize a network back into the parser's text format. */
+std::string toText(const Network &net);
+
+} // namespace unico::workload
+
+#endif // UNICO_WORKLOAD_PARSER_HH

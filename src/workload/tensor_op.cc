@@ -1,0 +1,151 @@
+#include "workload/tensor_op.hh"
+
+#include <sstream>
+
+namespace unico::workload {
+
+const char *
+toString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2D: return "Conv2D";
+      case OpKind::DepthwiseConv2D: return "DepthwiseConv2D";
+      case OpKind::Gemm: return "Gemm";
+      case OpKind::Gemv: return "Gemv";
+      case OpKind::Elementwise: return "Elementwise";
+    }
+    return "Unknown";
+}
+
+TensorOp
+TensorOp::conv(std::string name, std::int64_t k, std::int64_t c,
+               std::int64_t y, std::int64_t x, std::int64_t r, std::int64_t s,
+               std::int64_t stride, std::int64_t n)
+{
+    TensorOp op;
+    op.name = std::move(name);
+    op.kind = OpKind::Conv2D;
+    op.n = n;
+    op.k = k;
+    op.c = c;
+    op.y = y;
+    op.x = x;
+    op.r = r;
+    op.s = s;
+    op.strideY = stride;
+    op.strideX = stride;
+    return op;
+}
+
+TensorOp
+TensorOp::depthwise(std::string name, std::int64_t k, std::int64_t y,
+                    std::int64_t x, std::int64_t r, std::int64_t s,
+                    std::int64_t stride)
+{
+    TensorOp op;
+    op.name = std::move(name);
+    op.kind = OpKind::DepthwiseConv2D;
+    op.k = k;
+    op.c = 1;
+    op.y = y;
+    op.x = x;
+    op.r = r;
+    op.s = s;
+    op.strideY = stride;
+    op.strideX = stride;
+    return op;
+}
+
+TensorOp
+TensorOp::gemm(std::string name, std::int64_t m, std::int64_t nn,
+               std::int64_t kk)
+{
+    TensorOp op;
+    op.name = std::move(name);
+    op.kind = OpKind::Gemm;
+    op.k = m;
+    op.c = kk;
+    op.x = nn;
+    return op;
+}
+
+TensorOp
+TensorOp::gemv(std::string name, std::int64_t m, std::int64_t kk)
+{
+    TensorOp op;
+    op.name = std::move(name);
+    op.kind = OpKind::Gemv;
+    op.k = m;
+    op.c = kk;
+    return op;
+}
+
+std::int64_t
+TensorOp::macs() const
+{
+    return n * k * c * y * x * r * s;
+}
+
+std::int64_t
+TensorOp::outputElems() const
+{
+    return n * k * y * x;
+}
+
+std::int64_t
+TensorOp::weightElems() const
+{
+    return k * c * r * s;
+}
+
+std::int64_t
+TensorOp::inputHeight() const
+{
+    return (y - 1) * strideY + r;
+}
+
+std::int64_t
+TensorOp::inputWidth() const
+{
+    return (x - 1) * strideX + s;
+}
+
+std::int64_t
+TensorOp::inputElems() const
+{
+    const std::int64_t channels =
+        kind == OpKind::DepthwiseConv2D ? k : c;
+    return n * channels * inputHeight() * inputWidth();
+}
+
+double
+TensorOp::arithmeticIntensity() const
+{
+    const double bytes =
+        2.0 * static_cast<double>(inputElems() + weightElems() +
+                                  outputElems());
+    if (bytes <= 0.0)
+        return 0.0;
+    return static_cast<double>(macs()) / bytes;
+}
+
+bool
+TensorOp::sameShape(const TensorOp &other) const
+{
+    return kind == other.kind && n == other.n && k == other.k &&
+           c == other.c && y == other.y && x == other.x && r == other.r &&
+           s == other.s && strideY == other.strideY &&
+           strideX == other.strideX;
+}
+
+std::string
+TensorOp::shapeKey() const
+{
+    std::ostringstream oss;
+    oss << toString(kind) << ':' << n << 'x' << k << 'x' << c << 'x' << y
+        << 'x' << x << 'x' << r << 'x' << s << ':' << strideY << ','
+        << strideX;
+    return oss.str();
+}
+
+} // namespace unico::workload

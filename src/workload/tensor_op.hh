@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tensor-operator workload description.
+ *
+ * Following the paper (Fig. 1), every operator is normalized to the
+ * canonical 7-D convolution loop nest
+ *
+ *     for n in N:  for k in K:  for c in C:
+ *       for y in Y: for x in X: for r in R: for s in S:
+ *         Out[n,k,y,x] += W[k,c,r,s] * In[n,c,y*sy+r,x*sx+s]
+ *
+ * GEMM/GEMV operators are expressed as degenerate convolutions
+ * (R = S = 1, Y = 1). The cost models and mapping space consume only
+ * these loop extents, so this single representation covers every
+ * network in the evaluation.
+ */
+
+#ifndef UNICO_WORKLOAD_TENSOR_OP_HH
+#define UNICO_WORKLOAD_TENSOR_OP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unico::workload {
+
+/** Operator category (affects reuse structure and vector-unit load). */
+enum class OpKind {
+    Conv2D,          ///< dense 2-D convolution
+    DepthwiseConv2D, ///< per-channel convolution (C == 1 per group)
+    Gemm,            ///< general matrix-matrix multiply
+    Gemv,            ///< general matrix-vector multiply
+    Elementwise,     ///< activation / add; vector-unit bound
+};
+
+/** Human-readable operator kind name. */
+const char *toString(OpKind kind);
+
+/**
+ * A single tensor operator expressed over the canonical 7-D nest.
+ *
+ * All extents are >= 1. For DepthwiseConv2D, @c c is the channel
+ * multiplier within a group (always 1 here) and @c k carries the
+ * channel count.
+ */
+struct TensorOp
+{
+    std::string name;           ///< layer name, e.g. "conv3_2"
+    OpKind kind = OpKind::Conv2D;
+
+    std::int64_t n = 1;         ///< batch
+    std::int64_t k = 1;         ///< output channels (GEMM rows M)
+    std::int64_t c = 1;         ///< input channels (GEMM reduction K)
+    std::int64_t y = 1;         ///< output height
+    std::int64_t x = 1;         ///< output width (GEMM cols N)
+    std::int64_t r = 1;         ///< filter height
+    std::int64_t s = 1;         ///< filter width
+    std::int64_t strideY = 1;   ///< vertical stride
+    std::int64_t strideX = 1;   ///< horizontal stride
+
+    /** Dense convolution factory. */
+    static TensorOp conv(std::string name, std::int64_t k, std::int64_t c,
+                         std::int64_t y, std::int64_t x, std::int64_t r,
+                         std::int64_t s, std::int64_t stride = 1,
+                         std::int64_t n = 1);
+
+    /** Depthwise convolution factory (channels in @p k). */
+    static TensorOp depthwise(std::string name, std::int64_t k,
+                              std::int64_t y, std::int64_t x, std::int64_t r,
+                              std::int64_t s, std::int64_t stride = 1);
+
+    /** GEMM factory: (m x kk) * (kk x nn). */
+    static TensorOp gemm(std::string name, std::int64_t m, std::int64_t nn,
+                         std::int64_t kk);
+
+    /** GEMV factory: (m x kk) * (kk). */
+    static TensorOp gemv(std::string name, std::int64_t m, std::int64_t kk);
+
+    /** Multiply-accumulate count of the full nest. */
+    std::int64_t macs() const;
+
+    /** Output tensor elements. */
+    std::int64_t outputElems() const;
+
+    /** Weight tensor elements. */
+    std::int64_t weightElems() const;
+
+    /** Input tensor elements (activation footprint). */
+    std::int64_t inputElems() const;
+
+    /** Input height consumed (Y * strideY + R - strideY). */
+    std::int64_t inputHeight() const;
+
+    /** Input width consumed. */
+    std::int64_t inputWidth() const;
+
+    /** Arithmetic intensity: MACs per byte moved (2-byte elements). */
+    double arithmeticIntensity() const;
+
+    /** Structural equality on shape (name ignored). */
+    bool sameShape(const TensorOp &other) const;
+
+    /** Stable shape-only key for deduplication. */
+    std::string shapeKey() const;
+};
+
+} // namespace unico::workload
+
+#endif // UNICO_WORKLOAD_TENSOR_OP_HH

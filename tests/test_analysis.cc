@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for workload characterization (operator mix, roofline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/analysis.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico::workload;
+
+TEST(OperatorMixAnalysis, FractionsSumToOneForCoveredKinds)
+{
+    for (const char *name : {"mobilenet", "resnet", "bert"}) {
+        const auto mix = analyzeMix(makeNetwork(name));
+        const double sum = mix.convMacFraction +
+                           mix.depthwiseMacFraction +
+                           mix.gemmMacFraction;
+        EXPECT_NEAR(sum, 1.0, 1e-12) << name;
+        EXPECT_GT(mix.totalMacs, 0) << name;
+        EXPECT_GT(mix.totalParams, 0) << name;
+        EXPECT_GT(mix.layerCount, 0u) << name;
+        EXPECT_LE(mix.uniqueShapeCount, mix.layerCount) << name;
+    }
+}
+
+TEST(OperatorMixAnalysis, KindFractionsMatchArchitecture)
+{
+    EXPECT_GT(analyzeMix(makeBert()).gemmMacFraction, 0.95);
+    EXPECT_GT(analyzeMix(makeVgg()).convMacFraction, 0.5);
+    EXPECT_GT(analyzeMix(makeMobileNet()).depthwiseMacFraction, 0.01);
+    EXPECT_LT(analyzeMix(makeBert()).depthwiseMacFraction, 1e-12);
+}
+
+TEST(OperatorMixAnalysis, EmptyNetwork)
+{
+    const auto mix = analyzeMix(Network("empty"));
+    EXPECT_EQ(mix.totalMacs, 0);
+    EXPECT_DOUBLE_EQ(mix.convMacFraction, 0.0);
+}
+
+TEST(Roofline, ClassifiesByRidgePoint)
+{
+    Network net("toy");
+    // High-reuse conv (compute bound) and a GEMV (memory bound).
+    net.add(TensorOp::conv("conv", 128, 128, 56, 56, 3, 3));
+    net.add(TensorOp::gemv("fc", 1000, 4096));
+    const auto pts = roofline(net, 256.0, 16.0); // ridge = 16 MAC/B
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_FALSE(pts[0].memoryBound);
+    EXPECT_TRUE(pts[1].memoryBound);
+    EXPECT_DOUBLE_EQ(pts[0].attainableMacsPerCycle, 256.0);
+    EXPECT_LT(pts[1].attainableMacsPerCycle, 256.0);
+}
+
+TEST(Roofline, MoreBandwidthNeverSlower)
+{
+    const auto net = makeMobileNet();
+    const double slow = rooflineCycles(net, 256.0, 8.0);
+    const double fast = rooflineCycles(net, 256.0, 64.0);
+    EXPECT_LE(fast, slow);
+    EXPECT_GT(fast, 0.0);
+}
+
+TEST(Roofline, MorePeakComputeNeverSlower)
+{
+    const auto net = makeResNet();
+    const double small = rooflineCycles(net, 64.0, 32.0);
+    const double big = rooflineCycles(net, 1024.0, 32.0);
+    EXPECT_LE(big, small);
+}
+
+TEST(Roofline, CyclesLowerBoundedByComputeRoof)
+{
+    const auto net = makeVgg();
+    const double peak = 512.0;
+    const double cycles = rooflineCycles(net, peak, 1e9);
+    // With infinite bandwidth every layer hits the compute roof.
+    EXPECT_NEAR(cycles,
+                static_cast<double>(net.totalMacs()) / peak,
+                cycles * 1e-9);
+}
+
+TEST(Roofline, MemoryBoundFractionMonotoneInBandwidth)
+{
+    const auto net = makeMobileNetV2();
+    const double starved = memoryBoundMacFraction(net, 256.0, 1.0);
+    const double rich = memoryBoundMacFraction(net, 256.0, 1024.0);
+    EXPECT_GE(starved, rich);
+    EXPECT_GE(starved, 0.0);
+    EXPECT_LE(starved, 1.0);
+}
+
+TEST(Roofline, GemvNetworksMoreMemoryBound)
+{
+    // BERT (large GEMMs, high reuse) vs MobileNet (depthwise layers
+    // with little reuse): at a bandwidth-starved design point the
+    // depthwise network has a larger memory-bound share.
+    const double bert = memoryBoundMacFraction(makeBert(), 256.0, 4.0);
+    const double mobilenet =
+        memoryBoundMacFraction(makeMobileNet(), 256.0, 4.0);
+    EXPECT_GT(mobilenet, bert);
+}

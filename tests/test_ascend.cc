@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the Ascend-like cube-core design space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/ascend.hh"
+#include "common/rng.hh"
+
+using namespace unico::accel;
+
+TEST(Ascend, SpaceSizeMatchesPaperOrder)
+{
+    const AscendDesignSpace ds;
+    // Paper: ~1e9 configurations.
+    EXPECT_GT(ds.space().cardinality(), 1e8);
+    EXPECT_LT(ds.space().cardinality(), 1e10);
+}
+
+TEST(Ascend, ThirteenAxes)
+{
+    const AscendDesignSpace ds;
+    EXPECT_EQ(ds.space().dims(), 13u);
+}
+
+TEST(Ascend, DecodeProducesValidConfigs)
+{
+    const AscendDesignSpace ds;
+    unico::common::Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const auto cfg = ds.decode(ds.space().randomPoint(rng));
+        EXPECT_GE(cfg.l0aBytes, 8 * 1024);
+        EXPECT_GE(cfg.l0bBytes, 8 * 1024);
+        EXPECT_GE(cfg.l0cBytes, 32 * 1024);
+        EXPECT_GE(cfg.l1Bytes, 256 * 1024);
+        EXPECT_GE(cfg.l0aBanks, 1);
+        EXPECT_LE(cfg.l0aBanks, 8);
+        EXPECT_TRUE(cfg.cubeM == 8 || cfg.cubeM == 16 || cfg.cubeM == 32);
+        EXPECT_GT(cfg.cubeMacs(), 0);
+    }
+}
+
+TEST(Ascend, ExpertDefaultValues)
+{
+    const CubeHwConfig def = CubeHwConfig::expertDefault();
+    EXPECT_EQ(def.l0aBytes, 64 * 1024);
+    EXPECT_EQ(def.l0bBytes, 64 * 1024);
+    EXPECT_EQ(def.l0cBytes, 256 * 1024);
+    EXPECT_EQ(def.l1Bytes, 1024 * 1024);
+    EXPECT_EQ(def.cubeM, 16);
+    EXPECT_EQ(def.cubeMacs(), 16 * 16 * 16);
+}
+
+TEST(Ascend, EncodeDefaultRoundTrips)
+{
+    const AscendDesignSpace ds;
+    const HwPoint p = ds.encodeDefault();
+    ASSERT_TRUE(ds.space().contains(p));
+    const CubeHwConfig decoded = ds.decode(p);
+    const CubeHwConfig def = CubeHwConfig::expertDefault();
+    EXPECT_EQ(decoded.l0aBytes, def.l0aBytes);
+    EXPECT_EQ(decoded.l0bBytes, def.l0bBytes);
+    EXPECT_EQ(decoded.l0cBytes, def.l0cBytes);
+    EXPECT_EQ(decoded.l1Bytes, def.l1Bytes);
+    EXPECT_EQ(decoded.ubBytes, def.ubBytes);
+    EXPECT_EQ(decoded.cubeM, def.cubeM);
+    EXPECT_EQ(decoded.cubeN, def.cubeN);
+    EXPECT_EQ(decoded.cubeK, def.cubeK);
+}
+
+TEST(Ascend, DescribeMentionsBuffers)
+{
+    const CubeHwConfig def = CubeHwConfig::expertDefault();
+    const std::string desc = def.describe();
+    EXPECT_NE(desc.find("l0a=64K"), std::string::npos);
+    EXPECT_NE(desc.find("cube=16x16x16"), std::string::npos);
+}

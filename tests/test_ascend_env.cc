@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the Ascend-like co-search environment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ascend_env.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+using core::AscendEnv;
+using core::AscendEnvOptions;
+
+namespace {
+
+AscendEnv
+makeEnv()
+{
+    AscendEnvOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    return AscendEnv({workload::makeFsrcnn(120, 320)}, opt);
+}
+
+} // namespace
+
+TEST(AscendEnv, AreaBudgetFromOptions)
+{
+    const auto env = makeEnv();
+    EXPECT_DOUBLE_EQ(env.areaBudgetMm2(), 200.0);
+    EXPECT_TRUE(std::isinf(env.powerBudgetMw()));
+}
+
+TEST(AscendEnv, RunMonotoneAndBudgeted)
+{
+    const auto env = makeEnv();
+    const auto h = env.ascendSpace().encodeDefault();
+    auto run = env.createRun(h, 1);
+    run->step(24);
+    EXPECT_EQ(run->spent(), 24);
+    const auto &hist = run->bestLossHistory();
+    ASSERT_EQ(hist.size(), 24u);
+    for (std::size_t i = 1; i < hist.size(); ++i)
+        ASSERT_LE(hist[i], hist[i - 1]);
+}
+
+TEST(AscendEnv, ChargesMinutesPerQuery)
+{
+    const auto env = makeEnv();
+    auto run = env.createRun(env.ascendSpace().encodeDefault(), 2);
+    run->step(4);
+    // Every CAModel query costs 2-10 virtual minutes; a sweep issues
+    // one query per layer.
+    const double queries =
+        4.0 * static_cast<double>(env.layers().size());
+    EXPECT_GE(run->chargedSeconds(), queries * 120.0);
+    EXPECT_LE(run->chargedSeconds(), queries * 600.0);
+}
+
+TEST(AscendEnv, DefaultConfigFindsFeasibleMapping)
+{
+    const auto env = makeEnv();
+    const accel::Ppa ppa =
+        env.evaluateConfig(env.ascendSpace().encodeDefault(), 40, 3);
+    ASSERT_TRUE(ppa.feasible);
+    EXPECT_GT(ppa.latencyMs, 0.0);
+    EXPECT_LT(ppa.areaMm2, 200.0);
+}
+
+TEST(AscendEnv, SensitivityNonNegative)
+{
+    const auto env = makeEnv();
+    auto run = env.createRun(env.ascendSpace().encodeDefault(), 4);
+    run->step(30);
+    EXPECT_GE(run->sensitivity(0.05), 0.0);
+}
+
+TEST(AscendEnv, DeterministicRuns)
+{
+    const auto env = makeEnv();
+    const auto h = env.ascendSpace().encodeDefault();
+    auto a = env.createRun(h, 5);
+    auto b = env.createRun(h, 5);
+    a->step(20);
+    b->step(20);
+    EXPECT_DOUBLE_EQ(a->bestPpa().latencyMs, b->bestPpa().latencyMs);
+}
+
+TEST(AscendEnv, DescribeHwMentionsCube)
+{
+    const auto env = makeEnv();
+    const std::string desc =
+        env.describeHw(env.ascendSpace().encodeDefault());
+    EXPECT_NE(desc.find("cube="), std::string::npos);
+}

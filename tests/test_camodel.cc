@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the cycle-level Ascend-like simulator: feasibility,
+ * double buffering, bank groups, extrapolation and cost charging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "camodel/simulator.hh"
+
+using namespace unico;
+using accel::CubeHwConfig;
+using accel::Ppa;
+using camodel::CubeMapping;
+using camodel::CycleAccurateModel;
+using camodel::GemmShape;
+using camodel::SimStats;
+using workload::TensorOp;
+
+namespace {
+
+TensorOp
+gemmOp()
+{
+    return TensorOp::gemm("g", 512, 512, 512);
+}
+
+CubeMapping
+baseMapping()
+{
+    CubeMapping m;
+    m.m1 = 128;
+    m.n1 = 128;
+    m.k1 = 128;
+    m.m0 = 32;
+    m.n0 = 32;
+    m.k0 = 32;
+    return m;
+}
+
+} // namespace
+
+TEST(GemmShapeLowering, ConvLowersToIm2col)
+{
+    const TensorOp conv = TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+    const GemmShape g = GemmShape::fromOp(conv);
+    EXPECT_EQ(g.m, 64);
+    EXPECT_EQ(g.k, 32 * 3 * 3);
+    EXPECT_EQ(g.n, 28 * 28);
+}
+
+TEST(GemmShapeLowering, DepthwiseChannelSequential)
+{
+    const TensorOp dw = TensorOp::depthwise("d", 128, 14, 14, 3, 3);
+    const GemmShape g = GemmShape::fromOp(dw);
+    EXPECT_EQ(g.m, 128);
+    EXPECT_EQ(g.k, 9);
+}
+
+TEST(CaModel, DefaultConfigRunsFeasibly)
+{
+    const CycleAccurateModel model;
+    SimStats stats;
+    const Ppa ppa = model.evaluate(gemmOp(), CubeHwConfig::expertDefault(),
+                                   baseMapping(), &stats);
+    ASSERT_TRUE(ppa.feasible);
+    EXPECT_GT(ppa.latencyMs, 0.0);
+    EXPECT_GT(ppa.powerMw, 0.0);
+    EXPECT_GT(stats.cycles, 0.0);
+    EXPECT_GT(stats.l0Tiles, 0);
+}
+
+TEST(CaModel, L0OverflowInfeasible)
+{
+    const CycleAccurateModel model;
+    CubeHwConfig hw = CubeHwConfig::expertDefault();
+    hw.l0aBytes = 1024; // cannot hold a 32x32 int16 tile ping-ponged
+    const Ppa ppa = model.evaluate(gemmOp(), hw, baseMapping());
+    EXPECT_FALSE(ppa.feasible);
+}
+
+TEST(CaModel, L1OverflowInfeasible)
+{
+    const CycleAccurateModel model;
+    CubeHwConfig hw = CubeHwConfig::expertDefault();
+    hw.l1Bytes = 16 * 1024;
+    const Ppa ppa = model.evaluate(gemmOp(), hw, baseMapping());
+    EXPECT_FALSE(ppa.feasible);
+}
+
+TEST(CaModel, SingleBufferFitsWhereDoubleDoesNot)
+{
+    const CycleAccurateModel model;
+    CubeHwConfig hw = CubeHwConfig::expertDefault();
+    // Exactly one 32x32 int16 tile (2 KiB): ping-pong needs 4 KiB.
+    hw.l0aBytes = 2048;
+    CubeMapping db = baseMapping();
+    db.doubleBufferA = true;
+    EXPECT_FALSE(model.evaluate(gemmOp(), hw, db).feasible);
+    CubeMapping sb = baseMapping();
+    sb.doubleBufferA = false;
+    EXPECT_TRUE(model.evaluate(gemmOp(), hw, sb).feasible);
+}
+
+TEST(CaModel, DoubleBufferingReducesLatency)
+{
+    const CycleAccurateModel model;
+    const CubeHwConfig hw = CubeHwConfig::expertDefault();
+    CubeMapping on = baseMapping();
+    on.doubleBufferA = on.doubleBufferB = true;
+    CubeMapping off = baseMapping();
+    off.doubleBufferA = off.doubleBufferB = false;
+    const Ppa p_on = model.evaluate(gemmOp(), hw, on);
+    const Ppa p_off = model.evaluate(gemmOp(), hw, off);
+    ASSERT_TRUE(p_on.feasible && p_off.feasible);
+    EXPECT_LT(p_on.latencyMs, p_off.latencyMs);
+}
+
+TEST(CaModel, MoreBankGroupsNeverSlower)
+{
+    const CycleAccurateModel model;
+    CubeHwConfig few = CubeHwConfig::expertDefault();
+    few.l0aBanks = few.l0bBanks = 1;
+    CubeHwConfig many = CubeHwConfig::expertDefault();
+    many.l0aBanks = many.l0bBanks = 8;
+    // Use single buffering so load time is on the critical path.
+    CubeMapping m = baseMapping();
+    m.doubleBufferA = m.doubleBufferB = false;
+    const Ppa p_few = model.evaluate(gemmOp(), few, m);
+    const Ppa p_many = model.evaluate(gemmOp(), many, m);
+    ASSERT_TRUE(p_few.feasible && p_many.feasible);
+    EXPECT_LE(p_many.latencyMs, p_few.latencyMs);
+}
+
+TEST(CaModel, BiggerCubeFinishesFaster)
+{
+    const CycleAccurateModel model;
+    CubeHwConfig small = CubeHwConfig::expertDefault();
+    small.cubeM = small.cubeN = small.cubeK = 8;
+    CubeHwConfig large = CubeHwConfig::expertDefault();
+    large.cubeM = large.cubeN = large.cubeK = 32;
+    const Ppa p_small = model.evaluate(gemmOp(), small, baseMapping());
+    const Ppa p_large = model.evaluate(gemmOp(), large, baseMapping());
+    ASSERT_TRUE(p_small.feasible && p_large.feasible);
+    EXPECT_LT(p_large.latencyMs, p_small.latencyMs);
+    EXPECT_GT(model.areaMm2(large), model.areaMm2(small));
+}
+
+TEST(CaModel, ExtrapolationKeepsSimulationBounded)
+{
+    camodel::CubeTech tech;
+    tech.maxSimulatedTiles = 500;
+    const CycleAccurateModel capped(tech);
+    const CycleAccurateModel full; // default large cap
+    SimStats st_capped, st_full;
+    const Ppa a = capped.evaluate(gemmOp(), CubeHwConfig::expertDefault(),
+                                  baseMapping(), &st_capped);
+    const Ppa b = full.evaluate(gemmOp(), CubeHwConfig::expertDefault(),
+                                baseMapping(), &st_full);
+    ASSERT_TRUE(a.feasible && b.feasible);
+    EXPECT_TRUE(st_capped.extrapolated);
+    EXPECT_LT(st_capped.l0Tiles, st_full.l0Tiles);
+    // Extrapolated latency within 10% of the fully simulated one.
+    EXPECT_NEAR(a.latencyMs / b.latencyMs, 1.0, 0.1);
+}
+
+TEST(CaModel, NominalEvalSecondsInPaperRange)
+{
+    const CycleAccurateModel model;
+    SimStats stats;
+    model.evaluate(gemmOp(), CubeHwConfig::expertDefault(), baseMapping(),
+                   &stats);
+    const double sec = model.nominalEvalSeconds(stats);
+    EXPECT_GE(sec, 120.0);
+    EXPECT_LE(sec, 600.0);
+}
+
+TEST(CaModel, AreaWithinEdgeConstraintForDefault)
+{
+    const CycleAccurateModel model;
+    EXPECT_LT(model.areaMm2(CubeHwConfig::expertDefault()), 200.0);
+}
+
+TEST(CaModel, IcachePressureSlowsFusedKernels)
+{
+    const CycleAccurateModel model;
+    CubeHwConfig small_ic = CubeHwConfig::expertDefault();
+    small_ic.icacheBytes = 16 * 1024;
+    CubeHwConfig big_ic = CubeHwConfig::expertDefault();
+    big_ic.icacheBytes = 64 * 1024;
+    CubeMapping fused = baseMapping();
+    fused.fuseVector = true;
+    const Ppa slow = model.evaluate(gemmOp(), small_ic, fused);
+    const Ppa fast = model.evaluate(gemmOp(), big_ic, fused);
+    ASSERT_TRUE(slow.feasible && fast.feasible);
+    EXPECT_LT(fast.latencyMs, slow.latencyMs);
+}
+
+TEST(CaModel, TraceDisabledByDefault)
+{
+    const CycleAccurateModel model;
+    SimStats stats;
+    model.evaluate(gemmOp(), CubeHwConfig::expertDefault(), baseMapping(),
+                   &stats);
+    EXPECT_TRUE(stats.trace.empty());
+}
+
+TEST(CaModel, TraceEventsWellFormed)
+{
+    camodel::CubeTech tech;
+    tech.traceLimit = 256;
+    const CycleAccurateModel model(tech);
+    SimStats stats;
+    const Ppa ppa = model.evaluate(gemmOp(), CubeHwConfig::expertDefault(),
+                                   baseMapping(), &stats);
+    ASSERT_TRUE(ppa.feasible);
+    ASSERT_FALSE(stats.trace.empty());
+    EXPECT_LE(stats.trace.size(), 256u);
+    bool has_fill = false, has_load = false, has_cube = false;
+    for (const auto &ev : stats.trace) {
+        EXPECT_LE(ev.startCycle, ev.endCycle);
+        EXPECT_GE(ev.startCycle, 0.0);
+        EXPECT_GE(ev.l1Tile, 0);
+        has_fill |= ev.kind == camodel::SimEvent::Kind::L1Fill;
+        has_load |= ev.kind == camodel::SimEvent::Kind::L0Load;
+        has_cube |= ev.kind == camodel::SimEvent::Kind::CubeExec;
+    }
+    EXPECT_TRUE(has_fill);
+    EXPECT_TRUE(has_load);
+    EXPECT_TRUE(has_cube);
+}
+
+TEST(CaModel, TraceDoesNotChangeTiming)
+{
+    camodel::CubeTech traced;
+    traced.traceLimit = 64;
+    const CycleAccurateModel with(traced), without;
+    SimStats sa, sb;
+    const Ppa pa = with.evaluate(gemmOp(), CubeHwConfig::expertDefault(),
+                                 baseMapping(), &sa);
+    const Ppa pb = without.evaluate(gemmOp(),
+                                    CubeHwConfig::expertDefault(),
+                                    baseMapping(), &sb);
+    EXPECT_DOUBLE_EQ(pa.latencyMs, pb.latencyMs);
+    EXPECT_DOUBLE_EQ(sa.cycles, sb.cycles);
+}
+
+TEST(CaModel, TraceEventKindNames)
+{
+    EXPECT_STREQ(toString(camodel::SimEvent::Kind::L1Fill), "l1-fill");
+    EXPECT_STREQ(toString(camodel::SimEvent::Kind::CubeExec), "cube");
+}

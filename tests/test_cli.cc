@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+using unico::common::CliArgs;
+
+namespace {
+
+CliArgs
+parse(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v(argv);
+    return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+} // namespace
+
+TEST(Cli, ParsesKeyValuePairs)
+{
+    const auto args = parse({"prog", "--seed", "42", "--out", "x.csv"});
+    EXPECT_EQ(args.getInt("seed", 0), 42);
+    EXPECT_EQ(args.getString("out", ""), "x.csv");
+}
+
+TEST(Cli, EqualsSyntax)
+{
+    const auto args = parse({"prog", "--scale=0.5"});
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 1.0), 0.5);
+}
+
+TEST(Cli, FlagsWithoutValues)
+{
+    const auto args = parse({"prog", "--verbose", "--seed", "3"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.getInt("seed", 0), 3);
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const auto args = parse({"prog"});
+    EXPECT_FALSE(args.has("seed"));
+    EXPECT_EQ(args.getInt("seed", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 2.5), 2.5);
+    EXPECT_EQ(args.getString("out", "def"), "def");
+}
+
+TEST(Cli, PositionalArguments)
+{
+    const auto args = parse({"prog", "input.txt", "--k", "1", "more"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "input.txt");
+    EXPECT_EQ(args.positional()[1], "more");
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, NegativeNumbers)
+{
+    const auto args = parse({"prog", "--offset", "-12"});
+    EXPECT_EQ(args.getInt("offset", 0), -12);
+}

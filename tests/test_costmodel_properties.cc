@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Property-based tests of the analytical cost model: invariants that
+ * must hold over random (operator, hardware, mapping) triples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "costmodel/analytical.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+using accel::Ppa;
+using accel::Scenario;
+using accel::SpatialDesignSpace;
+using costmodel::AnalyticalCostModel;
+using mapping::Mapping;
+using mapping::MappingSpace;
+using workload::TensorOp;
+
+namespace {
+
+std::vector<TensorOp>
+sampleOps()
+{
+    std::vector<TensorOp> ops;
+    for (const char *name : {"mobilenet", "resnet", "bert", "unet"}) {
+        for (const auto &wop :
+             workload::makeNetwork(name).dominantOps(2))
+            ops.push_back(wop.op);
+    }
+    return ops;
+}
+
+} // namespace
+
+/** Sweep across operators from the zoo. */
+class CostModelPropertySweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    TensorOp op() const { return sampleOps()[GetParam()]; }
+};
+
+TEST_P(CostModelPropertySweep, FeasibleResultsAreAlwaysValid)
+{
+    const AnalyticalCostModel model;
+    const SpatialDesignSpace ds(Scenario::Edge);
+    const TensorOp operator_ = op();
+    const MappingSpace space(operator_);
+    common::Rng rng(1000 + GetParam());
+    int feasible = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto hw = ds.decode(ds.space().randomPoint(rng));
+        const Mapping m = space.random(rng);
+        const Ppa ppa = model.evaluate(operator_, hw, m);
+        if (!ppa.feasible)
+            continue;
+        ++feasible;
+        ASSERT_TRUE(ppa.valid());
+        ASSERT_GT(ppa.latencyMs, 0.0);
+        ASSERT_GT(ppa.powerMw, 0.0);
+        ASSERT_GT(ppa.energyMj, 0.0);
+        ASSERT_DOUBLE_EQ(ppa.areaMm2, model.areaMm2(hw));
+    }
+    // Minimal mappings guarantee some feasibility exists; random ones
+    // should find at least a handful too.
+    const Mapping minimal = space.minimal();
+    bool any_minimal_feasible = false;
+    for (int i = 0; i < 50; ++i) {
+        const auto hw = ds.decode(ds.space().randomPoint(rng));
+        any_minimal_feasible |=
+            model.evaluate(operator_, hw, minimal).feasible;
+    }
+    EXPECT_TRUE(any_minimal_feasible);
+    (void)feasible;
+}
+
+TEST_P(CostModelPropertySweep, MinimalMappingFeasibleOnRoomyHw)
+{
+    const AnalyticalCostModel model;
+    const TensorOp operator_ = op();
+    const MappingSpace space(operator_);
+    accel::SpatialHwConfig hw;
+    hw.peX = hw.peY = 8;
+    hw.l1Bytes = 32 * 1024;
+    hw.l2Bytes = 1024 * 1024;
+    hw.nocBandwidth = 128;
+    EXPECT_TRUE(model.evaluate(operator_, hw, space.minimal()).feasible);
+}
+
+TEST_P(CostModelPropertySweep, LatencyScalesDownWithClock)
+{
+    costmodel::TechParams slow_tech;
+    slow_tech.clockGhz = 0.5;
+    costmodel::TechParams fast_tech;
+    fast_tech.clockGhz = 2.0;
+    const AnalyticalCostModel slow(slow_tech), fast(fast_tech);
+    const TensorOp operator_ = op();
+    const MappingSpace space(operator_);
+    accel::SpatialHwConfig hw;
+    hw.peX = hw.peY = 8;
+    hw.l1Bytes = 32 * 1024;
+    hw.l2Bytes = 1024 * 1024;
+    const Mapping m = space.minimal();
+    const Ppa p_slow = slow.evaluate(operator_, hw, m);
+    const Ppa p_fast = fast.evaluate(operator_, hw, m);
+    ASSERT_TRUE(p_slow.feasible && p_fast.feasible);
+    EXPECT_NEAR(p_slow.latencyMs / p_fast.latencyMs, 4.0, 1e-6);
+}
+
+TEST_P(CostModelPropertySweep, EnergyIndependentOfClock)
+{
+    costmodel::TechParams a_tech, b_tech;
+    a_tech.clockGhz = 0.8;
+    b_tech.clockGhz = 1.6;
+    const AnalyticalCostModel a(a_tech), b(b_tech);
+    const TensorOp operator_ = op();
+    const MappingSpace space(operator_);
+    accel::SpatialHwConfig hw;
+    hw.peX = hw.peY = 4;
+    hw.l1Bytes = 32 * 1024;
+    hw.l2Bytes = 1024 * 1024;
+    const Mapping m = space.minimal();
+    const Ppa pa = a.evaluate(operator_, hw, m);
+    const Ppa pb = b.evaluate(operator_, hw, m);
+    ASSERT_TRUE(pa.feasible && pb.feasible);
+    EXPECT_NEAR(pa.energyMj, pb.energyMj, pa.energyMj * 1e-9);
+}
+
+TEST_P(CostModelPropertySweep, BiggerL1NeverBreaksFeasibility)
+{
+    const AnalyticalCostModel model;
+    const SpatialDesignSpace ds(Scenario::Edge);
+    const TensorOp operator_ = op();
+    const MappingSpace space(operator_);
+    common::Rng rng(2000 + GetParam());
+    for (int i = 0; i < 200; ++i) {
+        auto hw = ds.decode(ds.space().randomPoint(rng));
+        const Mapping m = space.random(rng);
+        const bool feasible_before =
+            model.evaluate(operator_, hw, m).feasible;
+        hw.l1Bytes *= 4;
+        hw.l2Bytes *= 4;
+        const bool feasible_after =
+            model.evaluate(operator_, hw, m).feasible;
+        if (feasible_before) {
+            ASSERT_TRUE(feasible_after);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZooOps, CostModelPropertySweep,
+                         ::testing::Range(0, 8));
+
+TEST(CostModelProperty, DeterministicEvaluation)
+{
+    const AnalyticalCostModel model;
+    const auto ops = sampleOps();
+    const MappingSpace space(ops[0]);
+    common::Rng rng(77);
+    accel::SpatialHwConfig hw;
+    hw.peX = 6;
+    hw.peY = 9;
+    hw.l1Bytes = 8 * 1024;
+    hw.l2Bytes = 256 * 1024;
+    const Mapping m = space.random(rng);
+    const Ppa a = model.evaluate(ops[0], hw, m);
+    const Ppa b = model.evaluate(ops[0], hw, m);
+    EXPECT_DOUBLE_EQ(a.latencyMs, b.latencyMs);
+    EXPECT_DOUBLE_EQ(a.energyMj, b.energyMj);
+}

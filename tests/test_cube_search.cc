@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the depth-first buffer-fusion cube mapping search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "camodel/search.hh"
+#include "camodel/simulator.hh"
+
+using namespace unico;
+using accel::CubeHwConfig;
+using camodel::CubeMapping;
+using camodel::CubeMappingSpace;
+using camodel::CubeSearchRun;
+using camodel::CycleAccurateModel;
+using workload::TensorOp;
+
+namespace {
+
+TensorOp
+gemmOp()
+{
+    return TensorOp::gemm("g", 512, 512, 512);
+}
+
+mapping::MappingEval
+simEval(const CycleAccurateModel &model, const TensorOp &op,
+        const accel::CubeHwConfig &hw, const CubeMapping &m)
+{
+    mapping::MappingEval eval;
+    eval.ppa = model.evaluate(op, hw, m);
+    eval.loss = eval.ppa.feasible ? eval.ppa.latencyMs : 1e12;
+    return eval;
+}
+
+} // namespace
+
+TEST(CubeMappingSpace, RandomAndMutateStayValid)
+{
+    const CubeMappingSpace space(gemmOp());
+    common::Rng rng(1);
+    CubeMapping m = space.random(rng);
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(space.isValid(m));
+        m = space.mutate(m, rng);
+    }
+}
+
+TEST(CubeMappingSpace, RepairClampsTiles)
+{
+    const CubeMappingSpace space(gemmOp());
+    CubeMapping m;
+    m.m1 = 100000;
+    m.m0 = 200000;
+    space.repair(m);
+    EXPECT_TRUE(space.isValid(m));
+    EXPECT_LE(m.m1, 512);
+    EXPECT_LE(m.m0, m.m1);
+}
+
+TEST(CubeMappingSpace, DescribeMentionsTiles)
+{
+    CubeMapping m;
+    EXPECT_NE(m.describe().find("L1["), std::string::npos);
+    EXPECT_NE(m.describe().find("L0["), std::string::npos);
+}
+
+TEST(CubeSearch, MonotoneAndBudgetExact)
+{
+    const CubeMappingSpace space(gemmOp());
+    const CycleAccurateModel model;
+    const auto op = gemmOp();
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    CubeSearchRun run(
+        space,
+        [&](const CubeMapping &m) { return simEval(model, op, hw, m); },
+        3);
+    run.step(60);
+    EXPECT_EQ(run.spent(), 60);
+    const auto &hist = run.bestLossHistory();
+    ASSERT_EQ(hist.size(), 60u);
+    for (std::size_t i = 1; i < hist.size(); ++i)
+        ASSERT_LE(hist[i], hist[i - 1]);
+    EXPECT_LT(run.bestEval().loss, 1e12); // found a feasible mapping
+}
+
+TEST(CubeSearch, ResumableDeterministically)
+{
+    const CubeMappingSpace space(gemmOp());
+    const CycleAccurateModel model;
+    const auto op = gemmOp();
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    auto make_eval = [&](const CubeMapping &m) {
+        return simEval(model, op, hw, m);
+    };
+    CubeSearchRun chunked(space, make_eval, 7);
+    chunked.step(20);
+    chunked.step(30);
+    CubeSearchRun oneshot(space, make_eval, 7);
+    oneshot.step(50);
+    EXPECT_DOUBLE_EQ(chunked.bestEval().loss, oneshot.bestEval().loss);
+}
+
+TEST(CubeSearch, ImprovesOverFirstSample)
+{
+    const CubeMappingSpace space(gemmOp());
+    const CycleAccurateModel model;
+    const auto op = gemmOp();
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    CubeSearchRun run(
+        space,
+        [&](const CubeMapping &m) { return simEval(model, op, hw, m); },
+        11);
+    run.step(80);
+    EXPECT_LE(run.bestLossHistory().back(),
+              run.bestLossHistory().front());
+}
+
+TEST(CubeSearch, SamplesRecordFeasibility)
+{
+    const CubeMappingSpace space(gemmOp());
+    const CycleAccurateModel model;
+    const auto op = gemmOp();
+    accel::CubeHwConfig hw = accel::CubeHwConfig::expertDefault();
+    hw.l0aBytes = 8 * 1024; // tight: large tiles become infeasible
+    CubeSearchRun run(
+        space,
+        [&](const CubeMapping &m) { return simEval(model, op, hw, m); },
+        13);
+    run.step(60);
+    EXPECT_EQ(run.samples().size(), 60u);
+    for (const auto &s : run.samples())
+        EXPECT_EQ(s.feasible, s.loss < 1e12);
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the mapping search engines: budget accounting, the
+ * monotone best-so-far contract (Sec. 3.1), resumability, and basic
+ * optimization competence on a synthetic landscape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mapping/engine.hh"
+#include "workload/tensor_op.hh"
+
+using namespace unico::mapping;
+using unico::workload::TensorOp;
+
+namespace {
+
+TensorOp
+convOp()
+{
+    return TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+}
+
+/**
+ * Synthetic smooth evaluator: loss favors large, balanced L1 tiles.
+ * Deterministic in the mapping so engines can be compared.
+ */
+MappingEval
+syntheticEval(const Mapping &m)
+{
+    double loss = 1000.0;
+    for (int d = 0; d < kNumDims; ++d)
+        loss -= std::log2(static_cast<double>(m.l1Tile[d]) + 1.0) * 10.0;
+    loss += std::abs(static_cast<double>(m.l1Tile[DimK]) -
+                     static_cast<double>(m.l1Tile[DimX])) *
+            0.5;
+    MappingEval eval;
+    eval.loss = loss;
+    eval.ppa.latencyMs = loss;
+    eval.ppa.powerMw = 100.0;
+    eval.ppa.areaMm2 = 1.0;
+    eval.ppa.feasible = true;
+    return eval;
+}
+
+} // namespace
+
+/** Shared contract tests over all engine families. */
+class EngineContract : public ::testing::TestWithParam<EngineKind>
+{
+};
+
+TEST_P(EngineContract, SpendsExactBudget)
+{
+    const MappingSpace space(convOp());
+    auto run = startSearch(GetParam(), space, syntheticEval, 1);
+    run->step(37);
+    EXPECT_EQ(run->spent(), 37);
+    EXPECT_EQ(run->bestLossHistory().size(), 37u);
+    EXPECT_EQ(run->samples().size(), 37u);
+}
+
+TEST_P(EngineContract, BestLossHistoryIsMonotone)
+{
+    const MappingSpace space(convOp());
+    auto run = startSearch(GetParam(), space, syntheticEval, 2);
+    run->step(200);
+    const auto &hist = run->bestLossHistory();
+    for (std::size_t i = 1; i < hist.size(); ++i)
+        ASSERT_LE(hist[i], hist[i - 1]);
+}
+
+TEST_P(EngineContract, BestMatchesHistoryTail)
+{
+    const MappingSpace space(convOp());
+    auto run = startSearch(GetParam(), space, syntheticEval, 3);
+    run->step(100);
+    EXPECT_DOUBLE_EQ(run->bestEval().loss, run->bestLossHistory().back());
+    // Re-evaluating the reported best mapping reproduces its loss.
+    EXPECT_DOUBLE_EQ(syntheticEval(run->best()).loss,
+                     run->bestEval().loss);
+}
+
+TEST_P(EngineContract, ResumableInChunks)
+{
+    const MappingSpace space(convOp());
+    auto chunked = startSearch(GetParam(), space, syntheticEval, 4);
+    chunked->step(25);
+    chunked->step(25);
+    chunked->step(50);
+    auto oneshot = startSearch(GetParam(), space, syntheticEval, 4);
+    oneshot->step(100);
+    // Identical seeds and deterministic evaluator: identical search.
+    EXPECT_EQ(chunked->spent(), oneshot->spent());
+    EXPECT_DOUBLE_EQ(chunked->bestEval().loss, oneshot->bestEval().loss);
+}
+
+TEST_P(EngineContract, MoreBudgetNeverWorse)
+{
+    const MappingSpace space(convOp());
+    auto small = startSearch(GetParam(), space, syntheticEval, 5);
+    small->step(30);
+    auto large = startSearch(GetParam(), space, syntheticEval, 5);
+    large->step(300);
+    EXPECT_LE(large->bestEval().loss, small->bestEval().loss);
+}
+
+TEST_P(EngineContract, ImprovesOverInitialSample)
+{
+    const MappingSpace space(convOp());
+    auto run = startSearch(GetParam(), space, syntheticEval, 6);
+    run->step(400);
+    const auto &hist = run->bestLossHistory();
+    EXPECT_LT(hist.back(), hist.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineContract,
+                         ::testing::Values(EngineKind::Random,
+                                           EngineKind::Annealing,
+                                           EngineKind::Genetic),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+TEST(Engine, GuidedBeatsRandomOnSmoothLandscape)
+{
+    const MappingSpace space(convOp());
+    double random_best = 0.0, annealing_best = 0.0, genetic_best = 0.0;
+    // Average over seeds to avoid luck.
+    const int seeds = 5, budget = 300;
+    for (int s = 0; s < seeds; ++s) {
+        auto r = startSearch(EngineKind::Random, space, syntheticEval,
+                             100 + s);
+        r->step(budget);
+        random_best += r->bestEval().loss;
+        auto a = startSearch(EngineKind::Annealing, space, syntheticEval,
+                             100 + s);
+        a->step(budget);
+        annealing_best += a->bestEval().loss;
+        auto g = startSearch(EngineKind::Genetic, space, syntheticEval,
+                             100 + s);
+        g->step(budget);
+        genetic_best += g->bestEval().loss;
+    }
+    // Guided engines should be at least competitive with random on a
+    // smooth landscape (small slack: the ladder-step moves of the
+    // annealer climb 7 dimensions slowly at this budget).
+    EXPECT_LE(annealing_best, random_best * 1.05);
+    EXPECT_LE(genetic_best, random_best);
+}
+
+TEST(Engine, ToStringNames)
+{
+    EXPECT_STREQ(toString(EngineKind::Random), "random");
+    EXPECT_STREQ(toString(EngineKind::Annealing), "annealing");
+    EXPECT_STREQ(toString(EngineKind::Genetic), "genetic");
+}
+
+TEST(Engine, RecordsInfeasibleSamples)
+{
+    const MappingSpace space(convOp());
+    int calls = 0;
+    auto evaluator = [&calls](const Mapping &m) {
+        ++calls;
+        MappingEval eval = syntheticEval(m);
+        if (calls % 2 == 0) {
+            eval.ppa = unico::accel::Ppa::infeasible();
+            eval.loss = 1e12;
+        }
+        return eval;
+    };
+    auto run = startSearch(EngineKind::Annealing, space, evaluator, 9);
+    run->step(50);
+    int infeasible = 0;
+    for (const auto &s : run->samples())
+        infeasible += s.feasible ? 0 : 1;
+    EXPECT_EQ(infeasible, 25);
+    EXPECT_LT(run->bestEval().loss, 1e12); // best is a feasible one
+}
+
+TEST(Engine, FirstSampleIsAlwaysFeasibleMinimal)
+{
+    // The contract behind SpatialEnv's "first sweep already feasible"
+    // guarantee: each engine's first evaluation is the minimal
+    // mapping.
+    const MappingSpace space(convOp());
+    for (auto kind : {EngineKind::Random, EngineKind::Annealing,
+                      EngineKind::Genetic}) {
+        Mapping first_seen;
+        bool captured = false;
+        auto evaluator = [&](const Mapping &m) {
+            if (!captured) {
+                first_seen = m;
+                captured = true;
+            }
+            return syntheticEval(m);
+        };
+        auto run = startSearch(kind, space, evaluator, 42);
+        run->step(1);
+        ASSERT_TRUE(captured);
+        EXPECT_TRUE(first_seen == space.minimal())
+            << toString(kind);
+    }
+}

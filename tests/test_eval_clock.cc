@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the virtual-time EvalClock ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/eval_clock.hh"
+
+using unico::common::EvalClock;
+
+TEST(EvalClock, SequentialCharges)
+{
+    EvalClock clock(1);
+    clock.charge(10.0);
+    clock.charge(5.0);
+    EXPECT_DOUBLE_EQ(clock.seconds(), 15.0);
+    EXPECT_EQ(clock.evaluations(), 2u);
+}
+
+TEST(EvalClock, HoursConversion)
+{
+    EvalClock clock;
+    clock.charge(7200.0);
+    EXPECT_DOUBLE_EQ(clock.hours(), 2.0);
+}
+
+TEST(EvalClock, ParallelSingleWorkerSums)
+{
+    EvalClock clock(1);
+    clock.chargeParallel({3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(clock.seconds(), 12.0);
+    EXPECT_EQ(clock.evaluations(), 3u);
+}
+
+TEST(EvalClock, ParallelManyWorkersTakesMakespan)
+{
+    EvalClock clock(3);
+    clock.chargeParallel({3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(clock.seconds(), 5.0);
+}
+
+TEST(EvalClock, ParallelListScheduling)
+{
+    // Two workers, tasks {6,4,3,3}: LPT gives loads {6+3, 4+3} = 9, 7.
+    EvalClock clock(2);
+    clock.chargeParallel({6.0, 4.0, 3.0, 3.0});
+    EXPECT_DOUBLE_EQ(clock.seconds(), 9.0);
+}
+
+TEST(EvalClock, EmptyParallelBatchIsFree)
+{
+    EvalClock clock(4);
+    clock.chargeParallel({});
+    EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+    EXPECT_EQ(clock.evaluations(), 0u);
+}
+
+TEST(EvalClock, OverheadDoesNotCountEvaluations)
+{
+    EvalClock clock;
+    clock.chargeOverhead(42.0);
+    EXPECT_DOUBLE_EQ(clock.seconds(), 42.0);
+    EXPECT_EQ(clock.evaluations(), 0u);
+}
+
+TEST(EvalClock, ZeroWorkersClampedToOne)
+{
+    EvalClock clock(0);
+    EXPECT_EQ(clock.workers(), 1u);
+    clock.chargeParallel({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(clock.seconds(), 2.0);
+}
+
+TEST(EvalClock, ResetClearsState)
+{
+    EvalClock clock(2);
+    clock.charge(100.0);
+    clock.reset();
+    EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+    EXPECT_EQ(clock.evaluations(), 0u);
+    EXPECT_EQ(clock.workers(), 2u);
+}
+
+TEST(EvalClock, MoreWorkersNeverSlower)
+{
+    const std::vector<double> tasks = {5.0, 2.0, 8.0, 1.0, 4.0, 4.0};
+    double prev = 1e18;
+    for (std::size_t w = 1; w <= 8; ++w) {
+        EvalClock clock(w);
+        clock.chargeParallel(tasks);
+        EXPECT_LE(clock.seconds(), prev + 1e-12);
+        prev = clock.seconds();
+    }
+}

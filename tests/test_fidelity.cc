@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the High Fidelity Update Rule (Sec. 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fidelity.hh"
+
+using unico::core::HighFidelitySelector;
+using unico::moo::Objectives;
+
+namespace {
+
+HighFidelitySelector
+makeSelector()
+{
+    return HighFidelitySelector({0.25, 0.25, 0.25, 0.25});
+}
+
+} // namespace
+
+TEST(Fidelity, ScalarMatchesEq1)
+{
+    HighFidelitySelector sel({0.5, 0.5});
+    // max(0.5*0.2, 0.5*0.8) + 0.2*(0.1+0.4) = 0.4 + 0.1 = 0.5.
+    EXPECT_DOUBLE_EQ(sel.scalar({0.2, 0.8}), 0.5);
+}
+
+TEST(Fidelity, FirstTrialSelectsEverything)
+{
+    auto sel = makeSelector();
+    const std::vector<Objectives> batch = {
+        {0.1, 0.1, 0.1, 0.1},
+        {0.9, 0.9, 0.9, 0.9},
+        {0.5, 0.5, 0.5, 0.5},
+    };
+    const auto selected = sel.select(batch);
+    EXPECT_EQ(selected.size(), batch.size());
+}
+
+TEST(Fidelity, UulSetAfterFirstTrial)
+{
+    auto sel = makeSelector();
+    EXPECT_TRUE(std::isinf(sel.uul()));
+    sel.select({{0.1, 0.1, 0.1, 0.1}, {0.9, 0.9, 0.9, 0.9}});
+    EXPECT_FALSE(std::isinf(sel.uul()));
+    EXPECT_GE(sel.uul(), 0.0);
+}
+
+TEST(Fidelity, BestScalarTracksMinimum)
+{
+    auto sel = makeSelector();
+    sel.select({{0.5, 0.5, 0.5, 0.5}});
+    const double v1 = sel.bestScalar();
+    sel.select({{0.1, 0.1, 0.1, 0.1}});
+    EXPECT_LT(sel.bestScalar(), v1);
+}
+
+TEST(Fidelity, LaterTrialsFilterFarSamples)
+{
+    auto sel = makeSelector();
+    // Trial 1: tight cluster near the best -> small UUL.
+    std::vector<Objectives> tight;
+    for (int i = 0; i < 20; ++i) {
+        const double v = 0.10 + 0.001 * i;
+        tight.push_back({v, v, v, v});
+    }
+    sel.select(tight);
+    const double uul = sel.uul();
+    EXPECT_LT(uul, 0.1);
+
+    // Trial 2: half near the best, half far away.
+    std::vector<Objectives> mixed;
+    for (int i = 0; i < 5; ++i)
+        mixed.push_back({0.1, 0.1, 0.1, 0.1});
+    for (int i = 0; i < 5; ++i)
+        mixed.push_back({0.95, 0.95, 0.95, 0.95});
+    const auto selected = sel.select(mixed);
+    EXPECT_EQ(selected.size(), 5u);
+    for (std::size_t idx : selected)
+        EXPECT_LT(idx, 5u); // only the near-best half survives
+}
+
+TEST(Fidelity, NeverReturnsEmptySelection)
+{
+    auto sel = makeSelector();
+    // Collapse UUL to ~0 with identical samples.
+    std::vector<Objectives> same(30, {0.1, 0.1, 0.1, 0.1});
+    sel.select(same);
+    // A uniformly bad batch still yields its champion.
+    const auto selected = sel.select({{0.9, 0.9, 0.9, 0.9},
+                                      {0.8, 0.8, 0.8, 0.8}});
+    ASSERT_EQ(selected.size(), 1u);
+    EXPECT_EQ(selected[0], 1u); // the better of the two
+}
+
+TEST(Fidelity, EmptyBatchHandled)
+{
+    auto sel = makeSelector();
+    EXPECT_TRUE(sel.select({}).empty());
+}
+
+TEST(Fidelity, UulTendsToTightenOnConcentratingSamples)
+{
+    auto sel = makeSelector();
+    // Early trial: spread-out batch.
+    std::vector<Objectives> spread;
+    for (int i = 0; i < 10; ++i) {
+        const double v = 0.1 * i;
+        spread.push_back({v, v, v, v});
+    }
+    sel.select(spread);
+    const double uul_early = sel.uul();
+    // Later trials: batches concentrating near the best.
+    for (int t = 0; t < 5; ++t) {
+        std::vector<Objectives> tight;
+        for (int i = 0; i < 10; ++i) {
+            const double v = 0.001 * i;
+            tight.push_back({v, v, v, v});
+        }
+        sel.select(tight);
+    }
+    EXPECT_LT(sel.uul(), uul_early);
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the Gaussian-process surrogate and the EI acquisition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "surrogate/gp.hh"
+
+using namespace unico::surrogate;
+using unico::common::Rng;
+
+namespace {
+
+/** Sample a smooth 1-D function on a grid. */
+void
+makeData(std::vector<std::vector<double>> &x, std::vector<double> &y,
+         int n)
+{
+    for (int i = 0; i < n; ++i) {
+        const double xi = static_cast<double>(i) / (n - 1);
+        x.push_back({xi});
+        y.push_back(std::sin(4.0 * xi) + 0.5 * xi);
+    }
+}
+
+} // namespace
+
+TEST(Kernel, SelfSimilarityEqualsVariance)
+{
+    KernelParams p;
+    p.variance = 2.5;
+    EXPECT_NEAR(kernelValue(p, {0.3, 0.7}, {0.3, 0.7}), 2.5, 1e-12);
+}
+
+TEST(Kernel, DecaysWithDistance)
+{
+    KernelParams p;
+    const double near = kernelValue(p, {0.0}, {0.1});
+    const double far = kernelValue(p, {0.0}, {0.9});
+    EXPECT_GT(near, far);
+    EXPECT_GT(far, 0.0);
+}
+
+TEST(Kernel, SquaredExponentialVsMatern)
+{
+    KernelParams se;
+    se.kind = KernelKind::SquaredExponential;
+    KernelParams m52;
+    m52.kind = KernelKind::Matern52;
+    // Same variance at zero distance.
+    EXPECT_NEAR(kernelValue(se, {0.5}, {0.5}),
+                kernelValue(m52, {0.5}, {0.5}), 1e-12);
+    // Matern has heavier tails than SE at long range.
+    EXPECT_GT(kernelValue(m52, {0.0}, {1.0}),
+              kernelValue(se, {0.0}, {1.0}));
+}
+
+TEST(Gp, UntrainedPredictsPrior)
+{
+    GaussianProcess gp;
+    const auto pred = gp.predict({0.5});
+    EXPECT_FALSE(gp.trained());
+    EXPECT_GT(pred.variance, 0.0);
+}
+
+TEST(Gp, InterpolatesTrainingData)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    makeData(x, y, 15);
+    GaussianProcess gp;
+    gp.fit(x, y);
+    ASSERT_TRUE(gp.trained());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const auto pred = gp.predict(x[i]);
+        EXPECT_NEAR(pred.mean, y[i], 0.05) << "at x=" << x[i][0];
+    }
+}
+
+TEST(Gp, VarianceSmallAtDataLargeAway)
+{
+    std::vector<std::vector<double>> x = {{0.0}, {0.1}, {0.2}};
+    std::vector<double> y = {1.0, 2.0, 1.5};
+    GaussianProcess gp;
+    gp.fit(x, y);
+    const double var_at = gp.predict({0.1}).variance;
+    const double var_far = gp.predict({0.9}).variance;
+    EXPECT_LT(var_at, var_far);
+}
+
+TEST(Gp, GeneralizesSmoothFunction)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    makeData(x, y, 21);
+    GaussianProcess gp;
+    gp.fitWithHyperopt(x, y);
+    // Predict between training points.
+    const double xq = 0.525;
+    const double truth = std::sin(4.0 * xq) + 0.5 * xq;
+    EXPECT_NEAR(gp.predict({xq}).mean, truth, 0.1);
+}
+
+TEST(Gp, HyperoptNeverWorseLml)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    makeData(x, y, 20);
+    GaussianProcess plain;
+    plain.fit(x, y);
+    GaussianProcess tuned;
+    tuned.fitWithHyperopt(x, y);
+    EXPECT_GE(tuned.logMarginalLikelihood(),
+              plain.logMarginalLikelihood() - 1e-9);
+}
+
+TEST(Gp, SubsetOfDataCapRespected)
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        x.push_back({rng.uniform()});
+        y.push_back(rng.gaussian());
+    }
+    GaussianProcess gp;
+    gp.fit(x, y, 32);
+    EXPECT_EQ(gp.size(), 32u);
+    EXPECT_TRUE(gp.trained());
+}
+
+TEST(Gp, ConstantTargetsHandled)
+{
+    std::vector<std::vector<double>> x = {{0.1}, {0.5}, {0.9}};
+    std::vector<double> y = {3.0, 3.0, 3.0};
+    GaussianProcess gp;
+    gp.fit(x, y);
+    ASSERT_TRUE(gp.trained());
+    EXPECT_NEAR(gp.predict({0.3}).mean, 3.0, 0.1);
+}
+
+TEST(Gp, EmptyFitStaysUntrained)
+{
+    GaussianProcess gp;
+    gp.fit({}, {});
+    EXPECT_FALSE(gp.trained());
+}
+
+TEST(Acquisition, EiZeroWhenCertainAndWorse)
+{
+    Prediction pred;
+    pred.mean = 5.0;
+    pred.variance = 1e-18;
+    EXPECT_NEAR(expectedImprovement(pred, 4.0), 0.0, 1e-9);
+}
+
+TEST(Acquisition, EiEqualsGapWhenCertainAndBetter)
+{
+    Prediction pred;
+    pred.mean = 2.0;
+    pred.variance = 1e-18;
+    EXPECT_NEAR(expectedImprovement(pred, 4.0), 2.0, 1e-6);
+}
+
+TEST(Acquisition, EiGrowsWithUncertainty)
+{
+    Prediction certain{4.0, 0.01};
+    Prediction uncertain{4.0, 4.0};
+    EXPECT_GT(expectedImprovement(uncertain, 4.0),
+              expectedImprovement(certain, 4.0));
+}
+
+TEST(Acquisition, LcbBelowMean)
+{
+    Prediction pred{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(lowerConfidenceBound(pred, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(lowerConfidenceBound(pred, 0.0), 3.0);
+}
+
+TEST(Kernel, ArdLengthscalesOverrideShared)
+{
+    KernelParams iso;
+    iso.lengthscale = 0.2;
+    KernelParams ard = iso;
+    ard.ardLengthscales = {0.2, 1000.0};
+    // Distance only along the "irrelevant" second dim: ARD kernel
+    // barely decays, isotropic kernel decays hard.
+    const double k_iso = kernelValue(iso, {0.5, 0.0}, {0.5, 1.0});
+    const double k_ard = kernelValue(ard, {0.5, 0.0}, {0.5, 1.0});
+    EXPECT_GT(k_ard, 0.99 * ard.variance);
+    EXPECT_LT(k_iso, 0.1);
+}
+
+TEST(Gp, ArdLearnsIrrelevantDimension)
+{
+    // Target depends only on x0; x1 is noise. ARD should stretch the
+    // lengthscale of dim 1 beyond dim 0's.
+    Rng rng(11);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i) {
+        const double x0 = rng.uniform();
+        const double x1 = rng.uniform();
+        x.push_back({x0, x1});
+        y.push_back(std::sin(6.0 * x0));
+    }
+    GaussianProcess gp;
+    gp.fitArd(x, y);
+    ASSERT_TRUE(gp.trained());
+    ASSERT_EQ(gp.params().ardLengthscales.size(), 2u);
+    EXPECT_GT(gp.params().ardLengthscales[1],
+              gp.params().ardLengthscales[0]);
+}
+
+TEST(Gp, ArdNeverWorseLmlThanIsotropic)
+{
+    Rng rng(13);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i) {
+        const double a = rng.uniform(), b = rng.uniform();
+        x.push_back({a, b});
+        y.push_back(a * a + 0.1 * b);
+    }
+    GaussianProcess iso;
+    iso.fitWithHyperopt(x, y);
+    GaussianProcess ard;
+    ard.fitArd(x, y);
+    EXPECT_GE(ard.logMarginalLikelihood(),
+              iso.logMarginalLikelihood() - 1e-9);
+}
+
+TEST(Gp, HyperoptClearsStaleArdState)
+{
+    Rng rng(17);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back({rng.uniform(), rng.uniform()});
+        y.push_back(rng.gaussian());
+    }
+    GaussianProcess gp;
+    gp.fitArd(x, y);
+    EXPECT_FALSE(gp.params().ardLengthscales.empty());
+    gp.fitWithHyperopt(x, y);
+    EXPECT_TRUE(gp.params().ardLengthscales.empty());
+}

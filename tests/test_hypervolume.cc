@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the hypervolume indicator (the metric of Figs. 7/10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "moo/hypervolume.hh"
+
+using namespace unico::moo;
+
+TEST(Hypervolume, SinglePoint2d)
+{
+    // Point (1,1) with ref (3,3): rectangle 2x2.
+    EXPECT_DOUBLE_EQ(hypervolume({{1, 1}}, {3, 3}), 4.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase2d)
+{
+    // (1,2) and (2,1) vs ref (3,3): union area = 2*1 + 1*2 - overlap
+    // (1x1) ... = 2 + 2 - 1 = 3.
+    EXPECT_DOUBLE_EQ(hypervolume({{1, 2}, {2, 1}}, {3, 3}), 3.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing)
+{
+    const double with_dominated =
+        hypervolume({{1, 1}, {2, 2}}, {3, 3});
+    const double without = hypervolume({{1, 1}}, {3, 3});
+    EXPECT_DOUBLE_EQ(with_dominated, without);
+}
+
+TEST(Hypervolume, PointOutsideRefIgnored)
+{
+    EXPECT_DOUBLE_EQ(hypervolume({{4, 4}}, {3, 3}), 0.0);
+    EXPECT_DOUBLE_EQ(hypervolume({{1, 5}, {1, 1}}, {3, 3}), 4.0);
+}
+
+TEST(Hypervolume, EmptySetIsZero)
+{
+    EXPECT_DOUBLE_EQ(hypervolume({}, {3, 3}), 0.0);
+}
+
+TEST(Hypervolume, OneDimensional)
+{
+    EXPECT_DOUBLE_EQ(hypervolume({{2}, {1}, {4}}, {5}), 4.0);
+}
+
+TEST(Hypervolume, SinglePoint3d)
+{
+    // (1,1,1) vs ref (2,3,4): box 1*2*3 = 6.
+    EXPECT_DOUBLE_EQ(hypervolume({{1, 1, 1}}, {2, 3, 4}), 6.0);
+}
+
+TEST(Hypervolume, TwoDisjointBoxes3d)
+{
+    // Points (0,2,2) and (2,0,2) under ref (3,3,3):
+    // each box 3*1*1=3 along its free axes... compute via union:
+    // A = [0,3]x[2,3]x[2,3] volume 3; B = [2,3]x[0,3]x[2,3] volume 3;
+    // overlap [2,3]x[2,3]x[2,3] = 1 -> union 5.
+    EXPECT_DOUBLE_EQ(hypervolume({{0, 2, 2}, {2, 0, 2}}, {3, 3, 3}),
+                     5.0);
+}
+
+TEST(Hypervolume, Staircase3d)
+{
+    // Non-dominated chain: (1,2,2), (2,1,2), (2,2,1) under (3,3,3).
+    // Inclusion-exclusion: each box 2*1*1... A=[1,3]... let's verify
+    // against a Monte-Carlo-free manual computation: each point's box
+    // volume = 2*1*1=2 (wrt ref axes): vol(A)=2,2,2; pairwise
+    // overlaps 1x1x1=1 each (3 pairs); triple overlap 1.
+    // Union = 6 - 3 + 1 = 4.
+    EXPECT_DOUBLE_EQ(
+        hypervolume({{1, 2, 2}, {2, 1, 2}, {2, 2, 1}}, {3, 3, 3}), 4.0);
+}
+
+TEST(Hypervolume, FourDimensionalBox)
+{
+    EXPECT_DOUBLE_EQ(hypervolume({{0, 0, 0, 0}}, {1, 2, 1, 2}), 4.0);
+}
+
+TEST(Hypervolume, MorePointsNeverDecrease)
+{
+    std::vector<Objectives> pts = {{2, 2, 2}};
+    const Objectives ref = {4, 4, 4};
+    const double hv1 = hypervolume(pts, ref);
+    pts.push_back({1, 3, 3});
+    const double hv2 = hypervolume(pts, ref);
+    pts.push_back({3, 1, 1});
+    const double hv3 = hypervolume(pts, ref);
+    EXPECT_LE(hv1, hv2);
+    EXPECT_LE(hv2, hv3);
+}
+
+TEST(HypervolumeDifference, ZeroWhenFrontHitsIdeal)
+{
+    const Objectives ideal = {0, 0};
+    const Objectives ref = {2, 2};
+    EXPECT_DOUBLE_EQ(hypervolumeDifference({{0, 0}}, ref, ideal), 0.0);
+}
+
+TEST(HypervolumeDifference, FullBoxWhenEmpty)
+{
+    EXPECT_DOUBLE_EQ(hypervolumeDifference({}, {2, 3}, {0, 0}), 6.0);
+}
+
+TEST(HypervolumeDifference, ShrinksAsFrontImproves)
+{
+    const Objectives ideal = {0, 0};
+    const Objectives ref = {4, 4};
+    const double far = hypervolumeDifference({{3, 3}}, ref, ideal);
+    const double near = hypervolumeDifference({{1, 1}}, ref, ideal);
+    EXPECT_GT(far, near);
+    EXPECT_GT(near, 0.0);
+}
+
+/** Property: exact HV matches Monte-Carlo estimation on random
+ *  fronts, across dimensions. */
+class HvMonteCarlo : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HvMonteCarlo, MatchesSampling)
+{
+    const int dims = GetParam();
+    unico::common::Rng rng(500 + dims);
+    std::vector<Objectives> pts;
+    for (int i = 0; i < 12; ++i) {
+        Objectives p(dims, 0.0);
+        for (int d = 0; d < dims; ++d)
+            p[d] = rng.uniform();
+        pts.push_back(std::move(p));
+    }
+    const Objectives ref(dims, 1.0);
+    const double exact = hypervolume(pts, ref);
+
+    // Monte-Carlo estimate over the unit box.
+    const int samples = 60000;
+    int dominated_count = 0;
+    for (int s = 0; s < samples; ++s) {
+        Objectives q(dims, 0.0);
+        for (int d = 0; d < dims; ++d)
+            q[d] = rng.uniform();
+        for (const auto &p : pts) {
+            bool covers = true;
+            for (int d = 0; d < dims; ++d) {
+                if (p[d] > q[d]) {
+                    covers = false;
+                    break;
+                }
+            }
+            if (covers) {
+                ++dominated_count;
+                break;
+            }
+        }
+    }
+    const double estimate =
+        static_cast<double>(dominated_count) / samples;
+    EXPECT_NEAR(exact, estimate, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HvMonteCarlo, ::testing::Values(2, 3, 4));

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the IGD / epsilon / spread quality indicators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/indicators.hh"
+
+using namespace unico::moo;
+
+TEST(Igd, ZeroWhenFrontsCoincide)
+{
+    const std::vector<Objectives> f = {{1, 2}, {2, 1}};
+    EXPECT_DOUBLE_EQ(igd(f, f), 0.0);
+}
+
+TEST(Igd, MeanNearestDistance)
+{
+    const std::vector<Objectives> approx = {{0, 0}};
+    const std::vector<Objectives> ref = {{3, 4}, {0, 1}};
+    // Distances 5 and 1 -> mean 3.
+    EXPECT_DOUBLE_EQ(igd(approx, ref), 3.0);
+}
+
+TEST(Igd, EmptyApproximationInfinite)
+{
+    EXPECT_TRUE(std::isinf(igd({}, {{1, 1}})));
+}
+
+TEST(Igd, EmptyReferenceZero)
+{
+    EXPECT_DOUBLE_EQ(igd({{1, 1}}, {}), 0.0);
+}
+
+TEST(Igd, BetterApproximationLowerIgd)
+{
+    const std::vector<Objectives> ref = {{0, 4}, {2, 2}, {4, 0}};
+    const std::vector<Objectives> close = {{0.5, 4}, {2, 2.5}, {4, 0.5}};
+    const std::vector<Objectives> far = {{3, 6}, {6, 3}};
+    EXPECT_LT(igd(close, ref), igd(far, ref));
+}
+
+TEST(Epsilon, NonPositiveWhenApproxDominatesRef)
+{
+    const std::vector<Objectives> approx = {{0, 0}};
+    const std::vector<Objectives> ref = {{1, 1}, {2, 0.5}};
+    EXPECT_LE(additiveEpsilon(approx, ref), 0.0);
+}
+
+TEST(Epsilon, MeasuresWorstShortfall)
+{
+    const std::vector<Objectives> approx = {{2, 2}};
+    const std::vector<Objectives> ref = {{1, 1}};
+    // Need to shift (2,2) by -1 in each dim to cover (1,1).
+    EXPECT_DOUBLE_EQ(additiveEpsilon(approx, ref), 1.0);
+}
+
+TEST(Epsilon, PicksBestApproximationPointPerRefPoint)
+{
+    const std::vector<Objectives> approx = {{1, 5}, {5, 1}};
+    const std::vector<Objectives> ref = {{1, 1}};
+    // Either point needs epsilon 4 on one coordinate.
+    EXPECT_DOUBLE_EQ(additiveEpsilon(approx, ref), 4.0);
+}
+
+TEST(Epsilon, EmptyApproximationInfinite)
+{
+    EXPECT_TRUE(std::isinf(additiveEpsilon({}, {{1, 1}})));
+}
+
+TEST(Spread, ZeroForEvenFront)
+{
+    const std::vector<Objectives> even = {
+        {0, 3}, {1, 2}, {2, 1}, {3, 0}};
+    EXPECT_NEAR(spread2d(even), 0.0, 1e-12);
+}
+
+TEST(Spread, PositiveForClusteredFront)
+{
+    const std::vector<Objectives> clustered = {
+        {0, 3}, {0.1, 2.9}, {0.2, 2.8}, {3, 0}};
+    EXPECT_GT(spread2d(clustered), 0.2);
+}
+
+TEST(Spread, SmallFrontsZero)
+{
+    EXPECT_DOUBLE_EQ(spread2d({}), 0.0);
+    EXPECT_DOUBLE_EQ(spread2d({{1, 1}, {2, 0}}), 0.0);
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra behind the GP surrogate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "linalg/matrix.hh"
+
+using unico::linalg::Cholesky;
+using unico::linalg::Matrix;
+using unico::linalg::Vector;
+using unico::linalg::dot;
+
+TEST(Matrix, IdentityAndIndexing)
+{
+    const Matrix id = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(id(1, 2), 0.0);
+    EXPECT_EQ(id.rows(), 3u);
+    EXPECT_EQ(id.cols(), 3u);
+}
+
+TEST(Matrix, MatVec)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    const Vector v = {1.0, 0.0, -1.0};
+    const Vector out = a.mul(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], -2.0);
+    EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Matrix, MatMulAgainstHandComputed)
+{
+    Matrix a(2, 2), b(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+    b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+    const Matrix c = a.mul(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix a(2, 3);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            a(r, c) = static_cast<double>(r * 3 + c);
+    const Matrix att = a.transposed().transposed();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+}
+
+TEST(Matrix, AddDiagonal)
+{
+    Matrix a(2, 2, 1.0);
+    a.addDiagonal(0.5);
+    EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+}
+
+TEST(Vector, Dot)
+{
+    EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(Cholesky, FactorizesKnownSpd)
+{
+    // A = [[4, 2], [2, 3]], L = [[2, 0], [1, sqrt(2)]].
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    EXPECT_NEAR(chol.lower()(0, 0), 2.0, 1e-12);
+    EXPECT_NEAR(chol.lower()(1, 0), 1.0, 1e-12);
+    EXPECT_NEAR(chol.lower()(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, SolveRecoversSolution)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const Vector b = {10.0, 8.0};
+    const Vector x = chol.solve(b);
+    // Verify A x == b.
+    EXPECT_NEAR(4 * x[0] + 2 * x[1], 10.0, 1e-10);
+    EXPECT_NEAR(2 * x[0] + 3 * x[1], 8.0, 1e-10);
+}
+
+TEST(Cholesky, HalfLogDet)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(1, 1) = 9; // diagonal, det = 36
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    EXPECT_NEAR(chol.halfLogDet(), 0.5 * std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, JitterRecoversSemiDefinite)
+{
+    // Rank-deficient Gram matrix: [1 1; 1 1].
+    Matrix a(2, 2, 1.0);
+    Cholesky chol(a);
+    EXPECT_TRUE(chol.ok()); // succeeds thanks to added jitter
+}
+
+TEST(Cholesky, RandomSpdSolve)
+{
+    unico::common::Rng rng(5);
+    const std::size_t n = 12;
+    // Build SPD matrix A = B Bᵀ + n I.
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b(r, c) = rng.gaussian();
+    Matrix a = b.mul(b.transposed());
+    a.addDiagonal(static_cast<double>(n));
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+
+    Vector rhs(n, 0.0);
+    for (auto &v : rhs)
+        v = rng.gaussian();
+    const Vector x = chol.solve(rhs);
+    const Vector back = a.mul(x);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(back[i], rhs[i], 1e-8);
+}
+
+TEST(Cholesky, SolveLowerForwardSubstitution)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const Vector y = chol.solveLower({2.0, 1.0 + std::sqrt(2.0)});
+    // L y = b with L = [[2,0],[1,sqrt 2]] -> y = [1, 1/sqrt2 * sqrt2]=...
+    EXPECT_NEAR(chol.lower()(0, 0) * y[0], 2.0, 1e-12);
+    EXPECT_NEAR(chol.lower()(1, 0) * y[0] + chol.lower()(1, 1) * y[1],
+                1.0 + std::sqrt(2.0), 1e-12);
+}

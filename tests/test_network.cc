@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the Network container and shape deduplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/network.hh"
+
+using unico::workload::Network;
+using unico::workload::TensorOp;
+
+namespace {
+
+Network
+makeToy()
+{
+    Network net("toy");
+    net.add(TensorOp::conv("a", 8, 4, 10, 10, 3, 3));
+    net.add(TensorOp::conv("b", 8, 4, 10, 10, 3, 3)); // duplicate shape
+    net.add(TensorOp::gemm("c", 64, 64, 64));
+    return net;
+}
+
+} // namespace
+
+TEST(Network, SizeAndName)
+{
+    const Network net = makeToy();
+    EXPECT_EQ(net.name(), "toy");
+    EXPECT_EQ(net.size(), 3u);
+}
+
+TEST(Network, TotalMacsSumsLayers)
+{
+    const Network net = makeToy();
+    const std::int64_t conv_macs = 8LL * 4 * 10 * 10 * 3 * 3;
+    EXPECT_EQ(net.totalMacs(), 2 * conv_macs + 64LL * 64 * 64);
+}
+
+TEST(Network, UniqueOpsDeduplicates)
+{
+    const Network net = makeToy();
+    const auto unique = net.uniqueOps();
+    ASSERT_EQ(unique.size(), 2u);
+    std::int64_t total_count = 0;
+    for (const auto &wop : unique)
+        total_count += wop.count;
+    EXPECT_EQ(total_count, 3);
+}
+
+TEST(Network, UniqueOpsOrderedByContribution)
+{
+    const Network net = makeToy();
+    const auto unique = net.uniqueOps();
+    // 2x conv (57.6 kMAC total... 2*28800) vs gemm (262144):
+    // gemm contributes more and must come first.
+    EXPECT_EQ(unique[0].op.shapeKey(),
+              TensorOp::gemm("c", 64, 64, 64).shapeKey());
+    EXPECT_EQ(unique[1].count, 2);
+}
+
+TEST(Network, DominantOpsTruncates)
+{
+    const Network net = makeToy();
+    const auto top1 = net.dominantOps(1);
+    ASSERT_EQ(top1.size(), 1u);
+    EXPECT_EQ(top1[0].op.kind, unico::workload::OpKind::Gemm);
+    // Requesting more shapes than exist returns all of them.
+    EXPECT_EQ(net.dominantOps(10).size(), 2u);
+}
+
+TEST(Network, EmptyNetwork)
+{
+    const Network net("empty");
+    EXPECT_EQ(net.totalMacs(), 0);
+    EXPECT_TRUE(net.uniqueOps().empty());
+    EXPECT_TRUE(net.dominantOps(5).empty());
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for Pareto dominance, the archive, non-dominated sorting and
+ * crowding distance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "moo/pareto.hh"
+
+using namespace unico::moo;
+
+TEST(Dominates, StrictAndWeak)
+{
+    EXPECT_TRUE(dominates({1, 1}, {2, 2}));
+    EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+    EXPECT_FALSE(dominates({2, 2}, {2, 2})); // equal: no domination
+    EXPECT_FALSE(dominates({1, 3}, {2, 2})); // trade-off
+    EXPECT_FALSE(dominates({3, 3}, {2, 2}));
+}
+
+TEST(ParetoFront, InsertKeepsNonDominated)
+{
+    ParetoFront front;
+    EXPECT_TRUE(front.insert({2, 2}, 0));
+    EXPECT_TRUE(front.insert({1, 3}, 1));  // trade-off, kept
+    EXPECT_FALSE(front.insert({3, 3}, 2)); // dominated by id 0
+    EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(ParetoFront, InsertEvictsDominated)
+{
+    ParetoFront front;
+    front.insert({2, 2}, 0);
+    front.insert({3, 1}, 1);
+    EXPECT_TRUE(front.insert({1, 1}, 2)); // dominates both
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.entries()[0].id, 2u);
+}
+
+TEST(ParetoFront, DuplicateObjectivesRejected)
+{
+    ParetoFront front;
+    EXPECT_TRUE(front.insert({1, 2}, 0));
+    EXPECT_FALSE(front.insert({1, 2}, 1));
+    EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoFront, PointsMatchesEntries)
+{
+    ParetoFront front;
+    front.insert({1, 4}, 0);
+    front.insert({4, 1}, 1);
+    const auto pts = front.points();
+    EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(ParetoFront, MinDistanceEntryUnscaled)
+{
+    ParetoFront front;
+    front.insert({3, 4}, 0);  // distance 5
+    front.insert({1, 1}, 1);  // distance sqrt(2)
+    EXPECT_EQ(front.minDistanceEntry().id, 1u);
+}
+
+TEST(ParetoFront, MinDistanceEntryScaled)
+{
+    ParetoFront front;
+    front.insert({100, 1}, 0);
+    front.insert({1, 100}, 1);
+    // Scaling the first objective by 100 makes id 0 the closer one.
+    EXPECT_EQ(front.minDistanceEntry({100.0, 1.0}).id, 0u);
+}
+
+TEST(NonDominatedSort, LayersCorrectly)
+{
+    const std::vector<Objectives> pts = {
+        {1, 1}, // front 0
+        {2, 2}, // front 1 (dominated by {1,1})
+        {1, 3}, // front 0? dominated by none... {1,1} dominates {1,3}
+        {0, 4}, // front 0
+        {3, 3}, // front 2
+    };
+    const auto fronts = nonDominatedSort(pts);
+    ASSERT_GE(fronts.size(), 2u);
+    // {1,1} and {0,4} are mutually non-dominated rank 0.
+    const auto &f0 = fronts[0];
+    EXPECT_NE(std::find(f0.begin(), f0.end(), 0u), f0.end());
+    EXPECT_NE(std::find(f0.begin(), f0.end(), 3u), f0.end());
+    // {3,3} dominated by {2,2} dominated by {1,1}: rank 2.
+    const auto &last = fronts.back();
+    EXPECT_NE(std::find(last.begin(), last.end(), 4u), last.end());
+}
+
+TEST(NonDominatedSort, AllIndicesAssignedExactlyOnce)
+{
+    const std::vector<Objectives> pts = {
+        {1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}, {3, 4}, {4, 4},
+    };
+    const auto fronts = nonDominatedSort(pts);
+    std::vector<int> seen(pts.size(), 0);
+    for (const auto &front : fronts)
+        for (std::size_t idx : front)
+            ++seen[idx];
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(NonDominatedSort, EmptyInput)
+{
+    EXPECT_TRUE(nonDominatedSort({}).empty());
+}
+
+TEST(Crowding, BoundaryPointsInfinite)
+{
+    const std::vector<Objectives> pts = {
+        {1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1},
+    };
+    const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+    const auto crowd = crowdingDistance(pts, front);
+    EXPECT_TRUE(std::isinf(crowd[0]));
+    EXPECT_TRUE(std::isinf(crowd[4]));
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_GT(crowd[i], 0.0);
+        EXPECT_FALSE(std::isinf(crowd[i]));
+    }
+}
+
+TEST(Crowding, DenserRegionLowerDistance)
+{
+    // Points 1 and 2 are crowded together; point 3 is isolated.
+    const std::vector<Objectives> pts = {
+        {0, 10}, {4.9, 5.1}, {5, 5}, {5.1, 4.9}, {10, 0},
+    };
+    const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+    const auto crowd = crowdingDistance(pts, front);
+    EXPECT_LT(crowd[2], crowd[1] + crowd[3]);
+}
+
+TEST(Crowding, DegenerateFrontHandled)
+{
+    const std::vector<Objectives> pts = {{1, 1}, {1, 1}};
+    const std::vector<std::size_t> front = {0, 1};
+    const auto crowd = crowdingDistance(pts, front);
+    EXPECT_EQ(crowd.size(), 2u);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the plain-text workload parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "workload/model_zoo.hh"
+#include "workload/parser.hh"
+
+using namespace unico::workload;
+
+TEST(Parser, ParsesAllOperatorKinds)
+{
+    const std::string text =
+        "# a test network\n"
+        "conv      stem k=32 c=3 y=112 x=112 r=3 s=3 stride=2\n"
+        "depthwise dw1  k=32 y=112 x=112 r=3 s=3\n"
+        "gemm      attn m=384 n=768 k=768\n"
+        "gemv      fc   m=1000 k=1024\n";
+    const Network net = parseNetworkString(text, "test");
+    ASSERT_EQ(net.size(), 4u);
+    EXPECT_EQ(net.ops()[0].kind, OpKind::Conv2D);
+    EXPECT_EQ(net.ops()[0].strideX, 2);
+    EXPECT_EQ(net.ops()[1].kind, OpKind::DepthwiseConv2D);
+    EXPECT_EQ(net.ops()[2].kind, OpKind::Gemm);
+    EXPECT_EQ(net.ops()[2].k, 384); // GEMM m -> output channels
+    EXPECT_EQ(net.ops()[3].kind, OpKind::Gemv);
+    EXPECT_EQ(net.name(), "test");
+}
+
+TEST(Parser, SkipsBlankLinesAndComments)
+{
+    const std::string text =
+        "\n"
+        "   # only a comment\n"
+        "gemv fc m=10 k=10  # trailing comment\n"
+        "\n";
+    EXPECT_EQ(parseNetworkString(text, "t").size(), 1u);
+}
+
+TEST(Parser, KeysInAnyOrder)
+{
+    const Network net = parseNetworkString(
+        "conv c1 s=3 r=3 x=28 y=28 c=32 k=64\n", "t");
+    EXPECT_EQ(net.ops()[0].k, 64);
+    EXPECT_EQ(net.ops()[0].s, 3);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseNetworkString("gemv ok m=1 k=1\nbogus op m=1\n", "t");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsMissingRequiredKey)
+{
+    EXPECT_THROW(parseNetworkString("gemm g m=4 n=4\n", "t"),
+                 ParseError);
+}
+
+TEST(Parser, RejectsUnknownKey)
+{
+    EXPECT_THROW(parseNetworkString("gemv g m=4 k=4 w=2\n", "t"),
+                 ParseError);
+}
+
+TEST(Parser, RejectsDuplicateKey)
+{
+    EXPECT_THROW(parseNetworkString("gemv g m=4 m=5 k=4\n", "t"),
+                 ParseError);
+}
+
+TEST(Parser, RejectsNonPositiveValues)
+{
+    EXPECT_THROW(parseNetworkString("gemv g m=0 k=4\n", "t"),
+                 ParseError);
+    EXPECT_THROW(parseNetworkString("gemv g m=-3 k=4\n", "t"),
+                 ParseError);
+}
+
+TEST(Parser, RejectsGarbageTokens)
+{
+    EXPECT_THROW(parseNetworkString("gemv g m=4 k=4 nonsense\n", "t"),
+                 ParseError);
+    EXPECT_THROW(parseNetworkString("gemv g m=x k=4\n", "t"),
+                 ParseError);
+    EXPECT_THROW(parseNetworkString("gemv\n", "t"), ParseError);
+}
+
+TEST(Parser, RoundTripsThroughToText)
+{
+    // Zoo -> text -> parse must preserve every shape.
+    for (const char *name : {"mobilenet", "bert", "resnet"}) {
+        const Network original = makeNetwork(name);
+        const Network reparsed =
+            parseNetworkString(toText(original), original.name());
+        ASSERT_EQ(reparsed.size(), original.size()) << name;
+        for (std::size_t i = 0; i < original.size(); ++i) {
+            EXPECT_TRUE(
+                reparsed.ops()[i].sameShape(original.ops()[i]))
+                << name << " layer " << i;
+        }
+        EXPECT_EQ(reparsed.totalMacs(), original.totalMacs()) << name;
+    }
+}
+
+TEST(Parser, FileRoundTrip)
+{
+    const std::string path = "/tmp/unico_parser_test.net";
+    {
+        std::ofstream out(path);
+        out << toText(makeMobileNetV2());
+    }
+    const Network net = parseNetworkFile(path);
+    EXPECT_EQ(net.name(), "unico_parser_test");
+    EXPECT_EQ(net.totalMacs(), makeMobileNetV2().totalMacs());
+}
+
+TEST(Parser, MissingFileThrows)
+{
+    EXPECT_THROW(parseNetworkFile("/nonexistent/x.net"),
+                 std::runtime_error);
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the robustness metric R (Eq. 2) and F(theta) (Fig. 5c).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/robustness.hh"
+
+using namespace unico::core;
+using unico::mapping::SamplePoint;
+
+TEST(FTheta, AnchorValues)
+{
+    // F(0) = 1, F(pi/2) = 0, F(pi) = 2 (Fig. 5c).
+    EXPECT_NEAR(fTheta(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(fTheta(M_PI / 2.0), 0.0, 1e-12);
+    EXPECT_NEAR(fTheta(M_PI), 2.0, 1e-12);
+}
+
+TEST(FTheta, AsymmetricPreference)
+{
+    // The paper prefers theta < pi/2 (power decreases toward the
+    // optimum): the penalty at pi/2 + x exceeds the one at pi/2 - x.
+    for (double x : {0.2, 0.5, 1.0}) {
+        EXPECT_GT(fTheta(M_PI / 2.0 + x), fTheta(M_PI / 2.0 - x));
+    }
+}
+
+TEST(FTheta, MultiplierRange)
+{
+    // 1 + F(theta) spans [~0.958, 3] over [0, pi]: the quadratic's
+    // minimum sits at theta = 5*pi/12 where 1 + F = 1 - 1/24; the
+    // paper's "decreases from 2*Delta to Delta" description is the
+    // envelope, the exact quadratic dips marginally below 1.
+    for (double t = 0.0; t <= M_PI + 1e-9; t += 0.05) {
+        const double mult = 1.0 + fTheta(t);
+        EXPECT_GE(mult, 1.0 - 1.0 / 24.0 - 1e-9);
+        EXPECT_LE(mult, 3.0 + 1e-9);
+    }
+}
+
+TEST(DisplacementAngle, QuadrantSelection)
+{
+    // Power decreases from sub-optimal to optimal: theta < pi/2.
+    EXPECT_LT(displacementAngle(1.0, 1.0, 2.0, 2.0), M_PI / 2.0);
+    // Power increases toward optimal: theta > pi/2.
+    EXPECT_GT(displacementAngle(1.0, 3.0, 2.0, 2.0), M_PI / 2.0);
+    // Power unchanged: exactly pi/2.
+    EXPECT_NEAR(displacementAngle(1.0, 2.0, 2.0, 2.0), M_PI / 2.0,
+                1e-12);
+}
+
+TEST(DisplacementAngle, PurePowerChange)
+{
+    // Same latency, sub-optimal has higher power: theta = 0.
+    EXPECT_NEAR(displacementAngle(1.0, 1.0, 1.0, 2.0), 0.0, 1e-12);
+    // Same latency, sub-optimal has lower power: theta = pi.
+    EXPECT_NEAR(displacementAngle(1.0, 2.0, 1.0, 1.0), M_PI, 1e-12);
+}
+
+namespace {
+
+SamplePoint
+sample(double loss, double lat, double pow, bool feasible = true)
+{
+    return SamplePoint{loss, lat, pow, feasible};
+}
+
+} // namespace
+
+TEST(Sensitivity, ZeroWithoutEvidence)
+{
+    EXPECT_DOUBLE_EQ(computeSensitivity({}), 0.0);
+    EXPECT_DOUBLE_EQ(computeSensitivity({sample(1, 1, 1)}), 0.0);
+    // Only infeasible samples: no evidence either.
+    EXPECT_DOUBLE_EQ(computeSensitivity({sample(1, 1, 1, false),
+                                         sample(2, 2, 2, false)}),
+                     0.0);
+}
+
+TEST(Sensitivity, ZeroWhenLandscapeFlat)
+{
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 50; ++i)
+        s.push_back(sample(1.0, 1.0, 100.0));
+    EXPECT_DOUBLE_EQ(computeSensitivity(s), 0.0);
+}
+
+TEST(Sensitivity, PositiveWhenMappingsVary)
+{
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 100; ++i) {
+        const double lat = 1.0 + 0.05 * i;
+        s.push_back(sample(lat, lat, 100.0 + i));
+    }
+    EXPECT_GT(computeSensitivity(s), 0.0);
+}
+
+TEST(Sensitivity, LargerSpreadLargerR)
+{
+    auto make = [](double spread) {
+        std::vector<SamplePoint> s;
+        for (int i = 0; i < 100; ++i) {
+            const double lat = 1.0 + spread * i;
+            s.push_back(sample(lat, lat, 100.0));
+        }
+        return s;
+    };
+    EXPECT_GT(computeSensitivity(make(0.2)),
+              computeSensitivity(make(0.02)));
+}
+
+TEST(Sensitivity, PowerIncreasePenalizedMore)
+{
+    // Two landscapes with the same latency spread; in one the
+    // sub-optimal point has *lower* power than the optimum (power
+    // increases toward the optimum, unfavorable, theta > pi/2).
+    std::vector<SamplePoint> favorable, unfavorable;
+    for (int i = 0; i < 100; ++i) {
+        const double lat = 1.0 + 0.01 * i;
+        favorable.push_back(sample(lat, lat, 100.0 + i));   // pow drops
+        unfavorable.push_back(sample(lat, lat, 100.0 - i)); // pow rises
+    }
+    EXPECT_GT(computeSensitivity(unfavorable),
+              computeSensitivity(favorable));
+}
+
+TEST(Sensitivity, InfeasibleSamplesAddHardness)
+{
+    // A mapping space that is mostly infeasible is fragile to SW
+    // search even if its feasible mappings are identical: the
+    // feasibility-hardness factor (reproduction extension of Eq. 2,
+    // see DESIGN.md) reports that.
+    std::vector<SamplePoint> feasible_only;
+    for (int i = 0; i < 50; ++i)
+        feasible_only.push_back(sample(1.0, 1.0, 100.0));
+    EXPECT_DOUBLE_EQ(computeSensitivity(feasible_only), 0.0);
+
+    std::vector<SamplePoint> mixed = feasible_only;
+    for (int i = 0; i < 50; ++i)
+        mixed.push_back(sample(1e12, 1e12, 1e9, false));
+    // Half the samples infeasible: hardness (1 / 0.5) - 1 = 1.
+    EXPECT_NEAR(computeSensitivity(mixed), 1.0, 1e-12);
+    // Infeasible sentinel values never enter Delta itself.
+    EXPECT_LT(computeSensitivity(mixed), 10.0);
+}
+
+TEST(Sensitivity, AlphaMovesSuboptimalAlongTheTail)
+{
+    // The sub-optimal point sits at the (1 - alpha) right-tail
+    // percentile: a larger alpha selects a better (closer-to-best)
+    // sample and therefore reports a smaller R.
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 200; ++i) {
+        const double lat = 1.0 + 0.1 * i;
+        s.push_back(sample(lat, lat, 100.0));
+    }
+    EXPECT_LE(computeSensitivity(s, 0.5), computeSensitivity(s, 0.05));
+}
+
+TEST(Sensitivity, ScaleFree)
+{
+    // Scaling latency and power by constants leaves R unchanged
+    // (relative-delta definition).
+    std::vector<SamplePoint> a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double lat = 1.0 + 0.01 * i;
+        a.push_back(sample(lat, lat, 100.0 + i));
+        b.push_back(sample(lat * 1000.0, lat * 1000.0,
+                           (100.0 + i) * 7.0));
+    }
+    EXPECT_NEAR(computeSensitivity(a), computeSensitivity(b), 1e-9);
+}

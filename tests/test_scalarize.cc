@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for scalarization: Eq. (1) ParEGO, simplex weights and
+ * objective normalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "moo/scalarize.hh"
+
+using namespace unico::moo;
+using unico::common::Rng;
+
+TEST(Parego, MatchesHandComputation)
+{
+    // y = (0.2, 0.8), w = (0.5, 0.5), rho = 0.2:
+    // max(0.1, 0.4) + 0.2 * 0.5 = 0.4 + 0.1 = 0.5.
+    EXPECT_DOUBLE_EQ(parego({0.2, 0.8}, {0.5, 0.5}, 0.2), 0.5);
+}
+
+TEST(Parego, DefaultRhoIsPointTwo)
+{
+    EXPECT_DOUBLE_EQ(parego({1.0}, {1.0}), 1.0 + 0.2);
+    EXPECT_DOUBLE_EQ(kParegoRho, 0.2);
+}
+
+TEST(Parego, MonotoneInEachObjective)
+{
+    const std::vector<double> w = {0.3, 0.7};
+    const double base = parego({0.5, 0.5}, w);
+    EXPECT_GT(parego({0.6, 0.5}, w), base);
+    EXPECT_GT(parego({0.5, 0.6}, w), base);
+}
+
+TEST(Parego, ZeroWeightObjectiveStillInSumTerm)
+{
+    // With w = (1, 0): max term ignores y2 but rho*Y^T W also drops
+    // it; the augmentation uses weighted sum, so y2 has no effect.
+    const double a = parego({0.5, 0.1}, {1.0, 0.0});
+    const double b = parego({0.5, 0.9}, {1.0, 0.0});
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimplexWeights, SumToOneAndNonNegative)
+{
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const auto w = randomSimplexWeights(4, rng);
+        double total = 0.0;
+        for (double x : w) {
+            EXPECT_GE(x, 0.0);
+            total += x;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+}
+
+TEST(SimplexWeights, CoversTheSimplex)
+{
+    Rng rng(5);
+    double max_first = 0.0, min_first = 1.0;
+    for (int i = 0; i < 500; ++i) {
+        const auto w = randomSimplexWeights(3, rng);
+        max_first = std::max(max_first, w[0]);
+        min_first = std::min(min_first, w[0]);
+    }
+    EXPECT_GT(max_first, 0.7);
+    EXPECT_LT(min_first, 0.1);
+}
+
+TEST(IdealNadir, ComputedPerDimension)
+{
+    const std::vector<Objectives> pts = {{1, 5}, {3, 2}, {2, 9}};
+    const auto ideal = idealPoint(pts);
+    const auto nadir = nadirPoint(pts);
+    EXPECT_DOUBLE_EQ(ideal[0], 1.0);
+    EXPECT_DOUBLE_EQ(ideal[1], 2.0);
+    EXPECT_DOUBLE_EQ(nadir[0], 3.0);
+    EXPECT_DOUBLE_EQ(nadir[1], 9.0);
+}
+
+TEST(Normalize, MapsToUnitInterval)
+{
+    const Objectives ideal = {0, 10};
+    const Objectives nadir = {4, 20};
+    const auto mid = normalizeObjectives({2, 15}, ideal, nadir);
+    EXPECT_DOUBLE_EQ(mid[0], 0.5);
+    EXPECT_DOUBLE_EQ(mid[1], 0.5);
+    const auto lo = normalizeObjectives(ideal, ideal, nadir);
+    EXPECT_DOUBLE_EQ(lo[0], 0.0);
+    const auto hi = normalizeObjectives(nadir, ideal, nadir);
+    EXPECT_DOUBLE_EQ(hi[1], 1.0);
+}
+
+TEST(Normalize, DegenerateDimensionMapsToZero)
+{
+    const auto out = normalizeObjectives({5}, {5}, {5});
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+}

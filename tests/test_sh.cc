@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for successive halving and the modified survivor selection
+ * (Sec. 3.3): TV/AUC mixing, disjointness, budget schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/sh.hh"
+
+using namespace unico::core;
+
+TEST(SelectSurvivors, PureTvWhenPZero)
+{
+    const std::vector<double> tv = {5, 1, 3, 2, 4};
+    const std::vector<double> auc = {100, 0, 0, 0, 0};
+    const auto keep = selectSurvivors(tv, auc, 2, 0);
+    ASSERT_EQ(keep.size(), 2u);
+    EXPECT_EQ(keep[0], 1u); // smallest TV
+    EXPECT_EQ(keep[1], 3u);
+}
+
+TEST(SelectSurvivors, AucQuotaPromotesFastConverger)
+{
+    // Candidate 0 has terrible TV but the best AUC: default SH would
+    // drop it; MSH with p = 1 must promote it.
+    const std::vector<double> tv = {10, 1, 2, 3};
+    const std::vector<double> auc = {99, 1, 1, 1};
+    const auto keep = selectSurvivors(tv, auc, 2, 1);
+    ASSERT_EQ(keep.size(), 2u);
+    EXPECT_EQ(keep[0], 1u); // TV pick
+    EXPECT_EQ(keep[1], 0u); // AUC pick
+}
+
+TEST(SelectSurvivors, AucPicksAreDisjointFromTvPicks)
+{
+    // The best-AUC candidate is also the best-TV candidate; the AUC
+    // quota must skip it and take the next AUC candidate instead.
+    const std::vector<double> tv = {1, 2, 3, 4};
+    const std::vector<double> auc = {99, 50, 10, 5};
+    const auto keep = selectSurvivors(tv, auc, 2, 1);
+    ASSERT_EQ(keep.size(), 2u);
+    EXPECT_EQ(keep[0], 0u); // TV pick (also best AUC)
+    EXPECT_EQ(keep[1], 1u); // next AUC candidate, not a duplicate
+    const std::size_t unique =
+        std::set<std::size_t>(keep.begin(), keep.end()).size();
+    EXPECT_EQ(unique, keep.size());
+}
+
+TEST(SelectSurvivors, KClampedToPopulation)
+{
+    const std::vector<double> tv = {1, 2};
+    const std::vector<double> auc = {1, 2};
+    EXPECT_EQ(selectSurvivors(tv, auc, 10, 3).size(), 2u);
+}
+
+TEST(SelectSurvivors, PClampedToK)
+{
+    const std::vector<double> tv = {3, 1, 2};
+    const std::vector<double> auc = {9, 1, 5};
+    const auto keep = selectSurvivors(tv, auc, 2, 5);
+    EXPECT_EQ(keep.size(), 2u);
+}
+
+TEST(SelectSurvivors, AllSelectedAreValidIndices)
+{
+    const std::vector<double> tv = {5, 4, 3, 2, 1, 0};
+    const std::vector<double> auc = {0, 1, 2, 3, 4, 5};
+    const auto keep = selectSurvivors(tv, auc, 4, 2);
+    ASSERT_EQ(keep.size(), 4u);
+    for (std::size_t idx : keep)
+        EXPECT_LT(idx, 6u);
+}
+
+TEST(RoundBudget, GrowsByEtaPerRound)
+{
+    ShConfig cfg;
+    cfg.bMax = 320;
+    cfg.eta = 2.0;
+    const int rounds = 5;
+    EXPECT_EQ(roundBudget(cfg, rounds, rounds, 1), 320);
+    EXPECT_EQ(roundBudget(cfg, rounds - 1, rounds, 1), 160);
+    EXPECT_EQ(roundBudget(cfg, 1, rounds, 1), 20);
+}
+
+TEST(RoundBudget, RespectsMinimum)
+{
+    ShConfig cfg;
+    cfg.bMax = 100;
+    cfg.eta = 4.0;
+    EXPECT_EQ(roundBudget(cfg, 1, 5, 8), 8);
+}
+
+TEST(ShRounds, CeilLog2)
+{
+    EXPECT_EQ(shRounds(1), 1);
+    EXPECT_EQ(shRounds(2), 1);
+    EXPECT_EQ(shRounds(3), 2);
+    EXPECT_EQ(shRounds(8), 3);
+    EXPECT_EQ(shRounds(30), 5);
+}
+
+TEST(ConvergenceAuc, StillDescendingBeatsEarlyPlateau)
+{
+    // The AUC (area above the terminal line) is the "steep
+    // convergence rate" signal of Sec. 3.3: a candidate still
+    // descending near the end of its budget traps more area than one
+    // that plateaued immediately, and deserves a second chance.
+    const std::vector<double> plateaued = {100, 1, 1, 1, 1};
+    const std::vector<double> descending = {100, 75, 50, 25, 1};
+    EXPECT_GT(convergenceAuc(descending), convergenceAuc(plateaued));
+    EXPECT_GT(convergenceAuc(plateaued), 0.0);
+}
+
+TEST(ConvergenceAuc, DeeperConvergenceBeatsShallow)
+{
+    const std::vector<double> deep = {100, 1, 1, 1, 1};
+    const std::vector<double> shallow = {100, 90, 90, 90, 90};
+    EXPECT_GT(convergenceAuc(deep), convergenceAuc(shallow));
+}
+
+TEST(ConvergenceAuc, RobustToPenaltyValues)
+{
+    // Histories that start at the 1e12 infeasibility penalty must
+    // not dwarf ordinary histories (log compression).
+    const std::vector<double> with_penalty = {1e12, 5, 5, 5, 5};
+    const std::vector<double> ordinary = {50, 1, 1, 1, 1};
+    EXPECT_LT(convergenceAuc(with_penalty),
+              100.0 * convergenceAuc(ordinary));
+}
+
+TEST(ConvergenceAuc, ShortHistoriesZero)
+{
+    EXPECT_DOUBLE_EQ(convergenceAuc({}), 0.0);
+    EXPECT_DOUBLE_EQ(convergenceAuc({5.0}), 0.0);
+}
+
+TEST(ShConfig, PaperDefaults)
+{
+    ShConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.kFrac, 0.5);
+    EXPECT_DOUBLE_EQ(cfg.pFrac, 0.15);
+    EXPECT_EQ(cfg.bMax, 300);
+}

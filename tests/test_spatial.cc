@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the spatial-template design space (edge/cloud scenarios).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/spatial.hh"
+#include "common/rng.hh"
+
+using namespace unico::accel;
+
+TEST(Spatial, EdgeSpaceSizeMatchesPaperOrder)
+{
+    const SpatialDesignSpace ds(Scenario::Edge);
+    // Paper: edge HW space ~1e5.
+    EXPECT_GT(ds.space().cardinality(), 5e4);
+    EXPECT_LT(ds.space().cardinality(), 5e5);
+}
+
+TEST(Spatial, CloudSpaceMuchLarger)
+{
+    const SpatialDesignSpace edge(Scenario::Edge);
+    const SpatialDesignSpace cloud(Scenario::Cloud);
+    EXPECT_GT(cloud.space().cardinality(),
+              100.0 * edge.space().cardinality());
+    EXPECT_GT(cloud.space().cardinality(), 1e7);
+}
+
+TEST(Spatial, PowerBudgets)
+{
+    EXPECT_DOUBLE_EQ(powerBudgetMw(Scenario::Edge), 2000.0);
+    EXPECT_DOUBLE_EQ(powerBudgetMw(Scenario::Cloud), 20000.0);
+}
+
+TEST(Spatial, DecodeRoundTrip)
+{
+    const SpatialDesignSpace ds(Scenario::Edge);
+    unico::common::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const auto p = ds.space().randomPoint(rng);
+        const SpatialHwConfig cfg = ds.decode(p);
+        EXPECT_GE(cfg.peX, 1);
+        EXPECT_LE(cfg.peX, 16);
+        EXPECT_GE(cfg.peY, 1);
+        EXPECT_LE(cfg.peY, 16);
+        EXPECT_GE(cfg.l1Bytes, 512);
+        EXPECT_GE(cfg.l2Bytes, 32 * 1024);
+        EXPECT_TRUE(cfg.nocBandwidth == 64 || cfg.nocBandwidth == 128);
+    }
+}
+
+TEST(Spatial, CloudAllowsLargerArrays)
+{
+    const SpatialDesignSpace ds(Scenario::Cloud);
+    // The last pe_x index decodes to 24.
+    const auto &axis = ds.space().axis(0);
+    EXPECT_DOUBLE_EQ(axis.values.back(), 24.0);
+}
+
+TEST(Spatial, DataflowDecoding)
+{
+    const SpatialDesignSpace ds(Scenario::Edge);
+    HwPoint p(ds.space().dims(), 0);
+    p[5] = 0;
+    EXPECT_EQ(ds.decode(p).dataflow, Dataflow::WeightStationary);
+    p[5] = 1;
+    EXPECT_EQ(ds.decode(p).dataflow, Dataflow::OutputStationary);
+}
+
+TEST(Spatial, DescribeIncludesAllFields)
+{
+    SpatialHwConfig cfg;
+    cfg.peX = 4;
+    cfg.peY = 8;
+    cfg.l1Bytes = 1024;
+    cfg.l2Bytes = 64 * 1024;
+    cfg.nocBandwidth = 128;
+    cfg.dataflow = Dataflow::OutputStationary;
+    const std::string desc = cfg.describe();
+    EXPECT_NE(desc.find("4x8"), std::string::npos);
+    EXPECT_NE(desc.find("OS"), std::string::npos);
+    EXPECT_EQ(cfg.pes(), 32);
+}
+
+TEST(Spatial, ScenarioNames)
+{
+    EXPECT_STREQ(toString(Scenario::Edge), "edge");
+    EXPECT_STREQ(toString(Scenario::Cloud), "cloud");
+    EXPECT_STREQ(toString(Dataflow::WeightStationary), "WS");
+}

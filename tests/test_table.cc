@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the table/CSV emitter used by the benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/table.hh"
+
+using unico::common::TableWriter;
+
+TEST(Table, PrintsHeaderAndRows)
+{
+    TableWriter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvBasic)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    TableWriter t({"x"});
+    t.addRow({"va,lue"});
+    t.addRow({"say \"hi\""});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_NE(oss.str().find("\"va,lue\""), std::string::npos);
+    EXPECT_NE(oss.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPlainValues)
+{
+    EXPECT_EQ(TableWriter::num(1.5, 2), "1.50");
+    EXPECT_EQ(TableWriter::num(0.0, 3), "0.000");
+    EXPECT_EQ(TableWriter::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Table, NumUsesScientificForExtremes)
+{
+    const std::string tiny = TableWriter::num(1.2e-7, 3);
+    EXPECT_NE(tiny.find('e'), std::string::npos);
+    const std::string huge = TableWriter::num(3.4e9, 3);
+    EXPECT_NE(huge.find('e'), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrip)
+{
+    TableWriter t({"k", "v"});
+    t.addRow({"x", "7"});
+    const std::string path = "/tmp/unico_table_test.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "k,v");
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,7");
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the canonical 7-D tensor operator representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/tensor_op.hh"
+
+using unico::workload::OpKind;
+using unico::workload::TensorOp;
+
+TEST(TensorOp, ConvMacs)
+{
+    const auto op = TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+    EXPECT_EQ(op.macs(), 64LL * 32 * 28 * 28 * 3 * 3);
+    EXPECT_EQ(op.kind, OpKind::Conv2D);
+}
+
+TEST(TensorOp, GemmIsDegenerateConv)
+{
+    const auto op = TensorOp::gemm("g", 128, 256, 512);
+    EXPECT_EQ(op.k, 128);
+    EXPECT_EQ(op.x, 256);
+    EXPECT_EQ(op.c, 512);
+    EXPECT_EQ(op.y, 1);
+    EXPECT_EQ(op.r, 1);
+    EXPECT_EQ(op.s, 1);
+    EXPECT_EQ(op.macs(), 128LL * 256 * 512);
+}
+
+TEST(TensorOp, GemvShape)
+{
+    const auto op = TensorOp::gemv("v", 1000, 2048);
+    EXPECT_EQ(op.macs(), 1000LL * 2048);
+    EXPECT_EQ(op.outputElems(), 1000);
+}
+
+TEST(TensorOp, DepthwiseChannelsInK)
+{
+    const auto op = TensorOp::depthwise("d", 256, 14, 14, 3, 3);
+    EXPECT_EQ(op.c, 1);
+    EXPECT_EQ(op.k, 256);
+    EXPECT_EQ(op.macs(), 256LL * 14 * 14 * 3 * 3);
+}
+
+TEST(TensorOp, OutputAndWeightFootprints)
+{
+    const auto op = TensorOp::conv("c", 8, 4, 10, 12, 3, 3);
+    EXPECT_EQ(op.outputElems(), 8LL * 10 * 12);
+    EXPECT_EQ(op.weightElems(), 8LL * 4 * 3 * 3);
+}
+
+TEST(TensorOp, InputWindowAccountsForStride)
+{
+    const auto op = TensorOp::conv("c", 8, 4, 10, 10, 3, 3, 2);
+    EXPECT_EQ(op.inputHeight(), (10 - 1) * 2 + 3);
+    EXPECT_EQ(op.inputWidth(), (10 - 1) * 2 + 3);
+    EXPECT_EQ(op.inputElems(), 4 * op.inputHeight() * op.inputWidth());
+}
+
+TEST(TensorOp, DepthwiseInputUsesKChannels)
+{
+    const auto op = TensorOp::depthwise("d", 32, 8, 8, 3, 3);
+    EXPECT_EQ(op.inputElems(), 32LL * 10 * 10);
+}
+
+TEST(TensorOp, ArithmeticIntensityPositive)
+{
+    const auto conv = TensorOp::conv("c", 64, 64, 56, 56, 3, 3);
+    const auto gemv = TensorOp::gemv("v", 1000, 1000);
+    EXPECT_GT(conv.arithmeticIntensity(), 0.0);
+    // Conv reuses data heavily; GEMV is memory bound.
+    EXPECT_GT(conv.arithmeticIntensity(), gemv.arithmeticIntensity());
+}
+
+TEST(TensorOp, SameShapeIgnoresName)
+{
+    const auto a = TensorOp::conv("a", 8, 4, 10, 10, 3, 3);
+    const auto b = TensorOp::conv("b", 8, 4, 10, 10, 3, 3);
+    const auto c = TensorOp::conv("c", 8, 4, 10, 10, 3, 3, 2);
+    EXPECT_TRUE(a.sameShape(b));
+    EXPECT_FALSE(a.sameShape(c)); // stride differs
+}
+
+TEST(TensorOp, ShapeKeyDistinguishesKinds)
+{
+    const auto conv = TensorOp::conv("x", 8, 1, 10, 10, 3, 3);
+    auto dw = TensorOp::depthwise("x", 8, 10, 10, 3, 3);
+    EXPECT_NE(conv.shapeKey(), dw.shapeKey());
+    EXPECT_EQ(dw.shapeKey(),
+              TensorOp::depthwise("y", 8, 10, 10, 3, 3).shapeKey());
+}
+
+TEST(TensorOp, KindNames)
+{
+    EXPECT_STREQ(toString(OpKind::Conv2D), "Conv2D");
+    EXPECT_STREQ(toString(OpKind::Gemm), "Gemm");
+    EXPECT_STREQ(toString(OpKind::DepthwiseConv2D), "DepthwiseConv2D");
+}

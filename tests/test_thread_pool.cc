@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the ThreadPool job substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/thread_pool.hh"
+
+using unico::common::ThreadPool;
+using unico::common::runParallel;
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, SizeReflectsRequestedThreads)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeNonZero)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, MultipleWaitBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.waitIdle();
+        EXPECT_EQ(counter.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(RunParallel, InlineWhenSingleThreaded)
+{
+    std::vector<int> order;
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 5; ++i)
+        jobs.push_back([&order, i] { order.push_back(i); });
+    runParallel(jobs, 1);
+    const std::vector<int> expected = {0, 1, 2, 3, 4};
+    EXPECT_EQ(order, expected); // deterministic order inline
+}
+
+TEST(RunParallel, ParallelSum)
+{
+    std::vector<std::atomic<int>> cells(64);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 64; ++i)
+        jobs.push_back([&cells, i] { cells[i] = i; });
+    runParallel(jobs, 4);
+    int total = 0;
+    for (auto &c : cells)
+        total += c.load();
+    EXPECT_EQ(total, 64 * 63 / 2);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_msh.dir/bench_fig4_msh.cpp.o"
+  "CMakeFiles/bench_fig4_msh.dir/bench_fig4_msh.cpp.o.d"
+  "bench_fig4_msh"
+  "bench_fig4_msh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_msh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_robustness.cpp" "bench/CMakeFiles/bench_fig5_robustness.dir/bench_fig5_robustness.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_robustness.dir/bench_fig5_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/unico_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/unico_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/unico_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/camodel/CMakeFiles/unico_camodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/unico_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unico_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/unico_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/unico_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/unico_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/unico_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

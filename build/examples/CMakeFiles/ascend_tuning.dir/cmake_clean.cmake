@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascend_tuning.dir/ascend_tuning.cpp.o"
+  "CMakeFiles/ascend_tuning.dir/ascend_tuning.cpp.o.d"
+  "ascend_tuning"
+  "ascend_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascend_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

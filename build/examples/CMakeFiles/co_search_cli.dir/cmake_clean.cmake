@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_search_cli.dir/co_search_cli.cpp.o"
+  "CMakeFiles/co_search_cli.dir/co_search_cli.cpp.o.d"
+  "co_search_cli"
+  "co_search_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

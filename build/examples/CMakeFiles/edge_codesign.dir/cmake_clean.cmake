@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_codesign.dir/edge_codesign.cpp.o"
+  "CMakeFiles/edge_codesign.dir/edge_codesign.cpp.o.d"
+  "edge_codesign"
+  "edge_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_probe.dir/robustness_probe.cpp.o"
+  "CMakeFiles/robustness_probe.dir/robustness_probe.cpp.o.d"
+  "robustness_probe"
+  "robustness_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

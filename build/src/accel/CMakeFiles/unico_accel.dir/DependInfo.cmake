@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/ascend.cc" "src/accel/CMakeFiles/unico_accel.dir/ascend.cc.o" "gcc" "src/accel/CMakeFiles/unico_accel.dir/ascend.cc.o.d"
+  "/root/repo/src/accel/design_space.cc" "src/accel/CMakeFiles/unico_accel.dir/design_space.cc.o" "gcc" "src/accel/CMakeFiles/unico_accel.dir/design_space.cc.o.d"
+  "/root/repo/src/accel/spatial.cc" "src/accel/CMakeFiles/unico_accel.dir/spatial.cc.o" "gcc" "src/accel/CMakeFiles/unico_accel.dir/spatial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_accel.dir/ascend.cc.o"
+  "CMakeFiles/unico_accel.dir/ascend.cc.o.d"
+  "CMakeFiles/unico_accel.dir/design_space.cc.o"
+  "CMakeFiles/unico_accel.dir/design_space.cc.o.d"
+  "CMakeFiles/unico_accel.dir/spatial.cc.o"
+  "CMakeFiles/unico_accel.dir/spatial.cc.o.d"
+  "libunico_accel.a"
+  "libunico_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

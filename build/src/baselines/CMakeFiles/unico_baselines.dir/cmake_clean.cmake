@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_baselines.dir/nsga2.cc.o"
+  "CMakeFiles/unico_baselines.dir/nsga2.cc.o.d"
+  "libunico_baselines.a"
+  "libunico_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

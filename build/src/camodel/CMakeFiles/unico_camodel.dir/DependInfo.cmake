@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/camodel/cube_mapping.cc" "src/camodel/CMakeFiles/unico_camodel.dir/cube_mapping.cc.o" "gcc" "src/camodel/CMakeFiles/unico_camodel.dir/cube_mapping.cc.o.d"
+  "/root/repo/src/camodel/search.cc" "src/camodel/CMakeFiles/unico_camodel.dir/search.cc.o" "gcc" "src/camodel/CMakeFiles/unico_camodel.dir/search.cc.o.d"
+  "/root/repo/src/camodel/simulator.cc" "src/camodel/CMakeFiles/unico_camodel.dir/simulator.cc.o" "gcc" "src/camodel/CMakeFiles/unico_camodel.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unico_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/unico_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/unico_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_camodel.dir/cube_mapping.cc.o"
+  "CMakeFiles/unico_camodel.dir/cube_mapping.cc.o.d"
+  "CMakeFiles/unico_camodel.dir/search.cc.o"
+  "CMakeFiles/unico_camodel.dir/search.cc.o.d"
+  "CMakeFiles/unico_camodel.dir/simulator.cc.o"
+  "CMakeFiles/unico_camodel.dir/simulator.cc.o.d"
+  "libunico_camodel.a"
+  "libunico_camodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_camodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for unico_camodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_common.dir/cli.cc.o"
+  "CMakeFiles/unico_common.dir/cli.cc.o.d"
+  "CMakeFiles/unico_common.dir/rng.cc.o"
+  "CMakeFiles/unico_common.dir/rng.cc.o.d"
+  "CMakeFiles/unico_common.dir/statistics.cc.o"
+  "CMakeFiles/unico_common.dir/statistics.cc.o.d"
+  "CMakeFiles/unico_common.dir/table.cc.o"
+  "CMakeFiles/unico_common.dir/table.cc.o.d"
+  "CMakeFiles/unico_common.dir/thread_pool.cc.o"
+  "CMakeFiles/unico_common.dir/thread_pool.cc.o.d"
+  "libunico_common.a"
+  "libunico_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ascend_env.cc" "src/core/CMakeFiles/unico_core.dir/ascend_env.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/ascend_env.cc.o.d"
+  "/root/repo/src/core/driver.cc" "src/core/CMakeFiles/unico_core.dir/driver.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/driver.cc.o.d"
+  "/root/repo/src/core/fidelity.cc" "src/core/CMakeFiles/unico_core.dir/fidelity.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/fidelity.cc.o.d"
+  "/root/repo/src/core/mobo.cc" "src/core/CMakeFiles/unico_core.dir/mobo.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/mobo.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/unico_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/report.cc.o.d"
+  "/root/repo/src/core/robustness.cc" "src/core/CMakeFiles/unico_core.dir/robustness.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/robustness.cc.o.d"
+  "/root/repo/src/core/sh.cc" "src/core/CMakeFiles/unico_core.dir/sh.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/sh.cc.o.d"
+  "/root/repo/src/core/spatial_env.cc" "src/core/CMakeFiles/unico_core.dir/spatial_env.cc.o" "gcc" "src/core/CMakeFiles/unico_core.dir/spatial_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/unico_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unico_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/unico_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/unico_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/unico_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/camodel/CMakeFiles/unico_camodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/unico_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/unico_surrogate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_core.dir/ascend_env.cc.o"
+  "CMakeFiles/unico_core.dir/ascend_env.cc.o.d"
+  "CMakeFiles/unico_core.dir/driver.cc.o"
+  "CMakeFiles/unico_core.dir/driver.cc.o.d"
+  "CMakeFiles/unico_core.dir/fidelity.cc.o"
+  "CMakeFiles/unico_core.dir/fidelity.cc.o.d"
+  "CMakeFiles/unico_core.dir/mobo.cc.o"
+  "CMakeFiles/unico_core.dir/mobo.cc.o.d"
+  "CMakeFiles/unico_core.dir/report.cc.o"
+  "CMakeFiles/unico_core.dir/report.cc.o.d"
+  "CMakeFiles/unico_core.dir/robustness.cc.o"
+  "CMakeFiles/unico_core.dir/robustness.cc.o.d"
+  "CMakeFiles/unico_core.dir/sh.cc.o"
+  "CMakeFiles/unico_core.dir/sh.cc.o.d"
+  "CMakeFiles/unico_core.dir/spatial_env.cc.o"
+  "CMakeFiles/unico_core.dir/spatial_env.cc.o.d"
+  "libunico_core.a"
+  "libunico_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

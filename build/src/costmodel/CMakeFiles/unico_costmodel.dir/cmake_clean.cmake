@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_costmodel.dir/analytical.cc.o"
+  "CMakeFiles/unico_costmodel.dir/analytical.cc.o.d"
+  "libunico_costmodel.a"
+  "libunico_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

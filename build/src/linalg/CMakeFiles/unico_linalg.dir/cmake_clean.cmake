@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_linalg.dir/matrix.cc.o"
+  "CMakeFiles/unico_linalg.dir/matrix.cc.o.d"
+  "libunico_linalg.a"
+  "libunico_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/engine.cc" "src/mapping/CMakeFiles/unico_mapping.dir/engine.cc.o" "gcc" "src/mapping/CMakeFiles/unico_mapping.dir/engine.cc.o.d"
+  "/root/repo/src/mapping/mapping.cc" "src/mapping/CMakeFiles/unico_mapping.dir/mapping.cc.o" "gcc" "src/mapping/CMakeFiles/unico_mapping.dir/mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/unico_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/unico_accel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

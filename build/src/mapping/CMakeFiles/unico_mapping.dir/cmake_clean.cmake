@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_mapping.dir/engine.cc.o"
+  "CMakeFiles/unico_mapping.dir/engine.cc.o.d"
+  "CMakeFiles/unico_mapping.dir/mapping.cc.o"
+  "CMakeFiles/unico_mapping.dir/mapping.cc.o.d"
+  "libunico_mapping.a"
+  "libunico_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

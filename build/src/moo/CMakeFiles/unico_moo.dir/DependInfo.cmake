@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moo/hypervolume.cc" "src/moo/CMakeFiles/unico_moo.dir/hypervolume.cc.o" "gcc" "src/moo/CMakeFiles/unico_moo.dir/hypervolume.cc.o.d"
+  "/root/repo/src/moo/indicators.cc" "src/moo/CMakeFiles/unico_moo.dir/indicators.cc.o" "gcc" "src/moo/CMakeFiles/unico_moo.dir/indicators.cc.o.d"
+  "/root/repo/src/moo/pareto.cc" "src/moo/CMakeFiles/unico_moo.dir/pareto.cc.o" "gcc" "src/moo/CMakeFiles/unico_moo.dir/pareto.cc.o.d"
+  "/root/repo/src/moo/scalarize.cc" "src/moo/CMakeFiles/unico_moo.dir/scalarize.cc.o" "gcc" "src/moo/CMakeFiles/unico_moo.dir/scalarize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_moo.dir/hypervolume.cc.o"
+  "CMakeFiles/unico_moo.dir/hypervolume.cc.o.d"
+  "CMakeFiles/unico_moo.dir/indicators.cc.o"
+  "CMakeFiles/unico_moo.dir/indicators.cc.o.d"
+  "CMakeFiles/unico_moo.dir/pareto.cc.o"
+  "CMakeFiles/unico_moo.dir/pareto.cc.o.d"
+  "CMakeFiles/unico_moo.dir/scalarize.cc.o"
+  "CMakeFiles/unico_moo.dir/scalarize.cc.o.d"
+  "libunico_moo.a"
+  "libunico_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surrogate/gp.cc" "src/surrogate/CMakeFiles/unico_surrogate.dir/gp.cc.o" "gcc" "src/surrogate/CMakeFiles/unico_surrogate.dir/gp.cc.o.d"
+  "/root/repo/src/surrogate/kernel.cc" "src/surrogate/CMakeFiles/unico_surrogate.dir/kernel.cc.o" "gcc" "src/surrogate/CMakeFiles/unico_surrogate.dir/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/unico_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

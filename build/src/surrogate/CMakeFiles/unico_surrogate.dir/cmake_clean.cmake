@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_surrogate.dir/gp.cc.o"
+  "CMakeFiles/unico_surrogate.dir/gp.cc.o.d"
+  "CMakeFiles/unico_surrogate.dir/kernel.cc.o"
+  "CMakeFiles/unico_surrogate.dir/kernel.cc.o.d"
+  "libunico_surrogate.a"
+  "libunico_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cc" "src/workload/CMakeFiles/unico_workload.dir/analysis.cc.o" "gcc" "src/workload/CMakeFiles/unico_workload.dir/analysis.cc.o.d"
+  "/root/repo/src/workload/model_zoo.cc" "src/workload/CMakeFiles/unico_workload.dir/model_zoo.cc.o" "gcc" "src/workload/CMakeFiles/unico_workload.dir/model_zoo.cc.o.d"
+  "/root/repo/src/workload/network.cc" "src/workload/CMakeFiles/unico_workload.dir/network.cc.o" "gcc" "src/workload/CMakeFiles/unico_workload.dir/network.cc.o.d"
+  "/root/repo/src/workload/parser.cc" "src/workload/CMakeFiles/unico_workload.dir/parser.cc.o" "gcc" "src/workload/CMakeFiles/unico_workload.dir/parser.cc.o.d"
+  "/root/repo/src/workload/tensor_op.cc" "src/workload/CMakeFiles/unico_workload.dir/tensor_op.cc.o" "gcc" "src/workload/CMakeFiles/unico_workload.dir/tensor_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unico_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unico_workload.dir/analysis.cc.o"
+  "CMakeFiles/unico_workload.dir/analysis.cc.o.d"
+  "CMakeFiles/unico_workload.dir/model_zoo.cc.o"
+  "CMakeFiles/unico_workload.dir/model_zoo.cc.o.d"
+  "CMakeFiles/unico_workload.dir/network.cc.o"
+  "CMakeFiles/unico_workload.dir/network.cc.o.d"
+  "CMakeFiles/unico_workload.dir/parser.cc.o"
+  "CMakeFiles/unico_workload.dir/parser.cc.o.d"
+  "CMakeFiles/unico_workload.dir/tensor_op.cc.o"
+  "CMakeFiles/unico_workload.dir/tensor_op.cc.o.d"
+  "libunico_workload.a"
+  "libunico_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unico_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

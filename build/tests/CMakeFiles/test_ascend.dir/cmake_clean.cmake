@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascend.dir/test_ascend.cc.o"
+  "CMakeFiles/test_ascend.dir/test_ascend.cc.o.d"
+  "test_ascend"
+  "test_ascend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

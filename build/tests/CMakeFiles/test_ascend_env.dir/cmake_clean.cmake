@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascend_env.dir/test_ascend_env.cc.o"
+  "CMakeFiles/test_ascend_env.dir/test_ascend_env.cc.o.d"
+  "test_ascend_env"
+  "test_ascend_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascend_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_camodel.dir/test_camodel.cc.o"
+  "CMakeFiles/test_camodel.dir/test_camodel.cc.o.d"
+  "test_camodel"
+  "test_camodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_camodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube_search.dir/test_cube_search.cc.o"
+  "CMakeFiles/test_cube_search.dir/test_cube_search.cc.o.d"
+  "test_cube_search"
+  "test_cube_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

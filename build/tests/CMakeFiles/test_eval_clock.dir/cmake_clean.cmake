@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_clock.dir/test_eval_clock.cc.o"
+  "CMakeFiles/test_eval_clock.dir/test_eval_clock.cc.o.d"
+  "test_eval_clock"
+  "test_eval_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyperband.dir/test_hyperband.cc.o"
+  "CMakeFiles/test_hyperband.dir/test_hyperband.cc.o.d"
+  "test_hyperband"
+  "test_hyperband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyperband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypervolume.dir/test_hypervolume.cc.o"
+  "CMakeFiles/test_hypervolume.dir/test_hypervolume.cc.o.d"
+  "test_hypervolume"
+  "test_hypervolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobo.dir/test_mobo.cc.o"
+  "CMakeFiles/test_mobo.dir/test_mobo.cc.o.d"
+  "test_mobo"
+  "test_mobo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

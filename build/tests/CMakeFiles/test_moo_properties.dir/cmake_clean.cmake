@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moo_properties.dir/test_moo_properties.cc.o"
+  "CMakeFiles/test_moo_properties.dir/test_moo_properties.cc.o.d"
+  "test_moo_properties"
+  "test_moo_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moo_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalarize.dir/test_scalarize.cc.o"
+  "CMakeFiles/test_scalarize.dir/test_scalarize.cc.o.d"
+  "test_scalarize"
+  "test_scalarize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial.dir/test_spatial.cc.o"
+  "CMakeFiles/test_spatial.dir/test_spatial.cc.o.d"
+  "test_spatial"
+  "test_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

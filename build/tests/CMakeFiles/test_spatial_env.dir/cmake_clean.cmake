@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_env.dir/test_spatial_env.cc.o"
+  "CMakeFiles/test_spatial_env.dir/test_spatial_env.cc.o.d"
+  "test_spatial_env"
+  "test_spatial_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_op.dir/test_tensor_op.cc.o"
+  "CMakeFiles/test_tensor_op.dir/test_tensor_op.cc.o.d"
+  "test_tensor_op"
+  "test_tensor_op.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

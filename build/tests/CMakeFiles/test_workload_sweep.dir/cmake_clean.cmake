@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_sweep.dir/test_workload_sweep.cc.o"
+  "CMakeFiles/test_workload_sweep.dir/test_workload_sweep.cc.o.d"
+  "test_workload_sweep"
+  "test_workload_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,15 +10,25 @@
  *                 [--scenario edge|cloud] \
  *                 [--algo unico|hasco|mobohb|nsga2|sh|msh] \
  *                 [--batch N] [--iters I] [--bmax B] [--seed S] \
- *                 [--threads T] [--csv-prefix out/prefix]
+ *                 [--threads T] [--csv-prefix out/prefix] \
+ *                 [--fault-rate F] [--hang-rate F] [--corrupt-rate F] \
+ *                 [--fault-seed S] [--checkpoint FILE] [--resume]
+ *
+ * Fault tolerance: the --*-rate flags wrap the environment in a
+ * deterministic fault injector (per-evaluation crash/hang/corrupt
+ * probabilities) to exercise the driver's supervisor; --checkpoint
+ * saves resumable state after every trial and --resume continues a
+ * killed search from that file, bit-for-bit.
  */
 
 #include <iostream>
 
 #include "baselines/nsga2.hh"
 #include "common/cli.hh"
+#include "common/fault.hh"
 #include "common/table.hh"
 #include "core/driver.hh"
+#include "core/fault_env.hh"
 #include "core/report.hh"
 #include "core/spatial_env.hh"
 #include "workload/model_zoo.hh"
@@ -39,6 +49,9 @@ usage(const char *prog)
            "  [--batch N] [--iters I] [--bmax B] [--seed S]"
            " [--threads T]\n"
            "  [--max-shapes K] [--csv-prefix PREFIX]\n"
+           "  [--fault-rate F] [--hang-rate F] [--corrupt-rate F]"
+           " [--fault-seed S]\n"
+           "  [--checkpoint FILE] [--resume]\n"
            "models: ";
     for (const auto &name : workload::modelNames())
         std::cerr << name << " ";
@@ -86,7 +99,24 @@ main(int argc, char **argv)
     for (const auto &net : nets)
         std::cout << " " << net.name();
     std::cout << "\nscenario: " << toString(env_opt.scenario) << "\n";
-    core::SpatialEnv env(std::move(nets), env_opt);
+    core::SpatialEnv spatial_env(std::move(nets), env_opt);
+
+    // Optional fault injection: wrap the real environment in a
+    // deterministic injector so the run exercises the supervisor.
+    common::FaultSpec fault_spec;
+    fault_spec.transientRate = args.getDouble("fault-rate", 0.0);
+    fault_spec.hangRate = args.getDouble("hang-rate", 0.0);
+    fault_spec.corruptRate = args.getDouble("corrupt-rate", 0.0);
+    fault_spec.seed =
+        static_cast<std::uint64_t>(args.getInt("fault-seed", 7));
+    core::FaultyEnv faulty_env(spatial_env,
+                               common::FaultPlan(fault_spec));
+    core::CoSearchEnv &env =
+        fault_spec.active() ? static_cast<core::CoSearchEnv &>(faulty_env)
+                            : spatial_env;
+    if (fault_spec.active())
+        std::cout << "fault injection: "
+                  << faulty_env.plan().describe() << "\n";
 
     const std::string algo = args.getString("algo", "unico");
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
@@ -118,8 +148,29 @@ main(int argc, char **argv)
         cfg.realThreads =
             static_cast<std::size_t>(args.getInt("threads", 1));
         cfg.seed = seed;
+        cfg.checkpointPath = args.getString("checkpoint", "");
+        cfg.resumeFromCheckpoint = args.has("resume");
+        if (cfg.resumeFromCheckpoint && cfg.checkpointPath.empty()) {
+            std::cerr << "error: --resume requires --checkpoint FILE\n";
+            return usage(args.program().c_str());
+        }
         core::CoOptimizer driver(env, cfg);
-        result = driver.run();
+        try {
+            result = driver.run();
+        } catch (const std::exception &e) {
+            // A stale/foreign checkpoint or a malformed document must
+            // fail with a clean diagnostic, not a core dump.
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
+        }
+        if (fault_spec.active()) {
+            const auto counts = faulty_env.injected();
+            std::cout << "\ninjected faults: transient="
+                      << counts.transient << " hang=" << counts.hang
+                      << " corrupt=" << counts.corrupt << "\n"
+                      << "recovered " << core::toString(result.faults)
+                      << "\n";
+        }
     }
 
     std::cout << "\n" << core::toString(core::summarize(result))

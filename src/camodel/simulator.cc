@@ -309,4 +309,13 @@ CycleAccurateModel::nominalEvalSeconds(const SimStats &stats) const
     return std::min(600.0, 120.0 + detail);
 }
 
+CycleAccurateModel
+CycleAccurateModel::degraded() const
+{
+    CubeTech coarse = tech_;
+    coarse.maxSimulatedTiles = 512;
+    coarse.traceLimit = 0;
+    return CycleAccurateModel(coarse);
+}
+
 } // namespace unico::camodel

@@ -123,6 +123,19 @@ class CycleAccurateModel
      */
     double nominalEvalSeconds(const SimStats &stats) const;
 
+    /**
+     * Coarse copy of this model for graceful degradation: aggressive
+     * steady-state extrapolation (a few hundred simulated tiles)
+     * gives analytical-fidelity estimates at analytical cost. The
+     * fault-tolerant driver drops a repeatedly failing candidate onto
+     * this rung instead of aborting the search.
+     */
+    CycleAccurateModel degraded() const;
+
+    /** Nominal cost of one degraded (analytical-fidelity) query,
+     *  matching costmodel::AnalyticalCostModel's charge. */
+    static double nominalDegradedEvalSeconds() { return 2.0; }
+
   private:
     CubeTech tech_;
 };

@@ -88,6 +88,14 @@ class EvalClock
         evaluations_ = 0;
     }
 
+    /** Restore a ledger snapshot (checkpoint resume). */
+    void
+    restore(double seconds, std::uint64_t evaluations)
+    {
+        seconds_ = seconds;
+        evaluations_ = evaluations;
+    }
+
   private:
     std::size_t workers_;
     double seconds_ = 0.0;

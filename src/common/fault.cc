@@ -1,0 +1,72 @@
+#include "common/fault.hh"
+
+#include <sstream>
+
+namespace unico::common {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::Transient: return "transient";
+      case FaultKind::Hang: return "hang";
+      case FaultKind::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+namespace {
+
+/** SplitMix64-style finalizer over the (seed, stream, index) tuple. */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t z = a;
+    z += 0x9e3779b97f4a7c15ULL * (b + 1);
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z += 0x94d049bb133111ebULL * (c + 1);
+    z ^= z >> 27;
+    z *= 0x2545f4914f6cdd1dULL;
+    z ^= z >> 31;
+    return z;
+}
+
+} // namespace
+
+FaultKind
+FaultPlan::decide(std::uint64_t stream_key,
+                  std::uint64_t eval_index) const
+{
+    if (!active())
+        return FaultKind::None;
+    const std::uint64_t h = mix(spec_.seed, stream_key, eval_index);
+    // 53 high bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    double band = spec_.hangRate;
+    if (u < band)
+        return FaultKind::Hang;
+    band += spec_.transientRate;
+    if (u < band)
+        return FaultKind::Transient;
+    band += spec_.corruptRate;
+    if (u < band)
+        return FaultKind::Corrupt;
+    return FaultKind::None;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream oss;
+    oss << "faults(transient=" << spec_.transientRate
+        << " hang=" << spec_.hangRate
+        << " corrupt=" << spec_.corruptRate
+        << " deadline=" << spec_.deadlineSeconds
+        << "s seed=" << spec_.seed << ")";
+    return oss.str();
+}
+
+} // namespace unico::common

@@ -116,6 +116,36 @@ class Rng
     /** Derive an independent child generator (for parallel jobs). */
     Rng split();
 
+    /** Full generator state, for checkpoint/resume. */
+    struct State
+    {
+        std::uint64_t s[4] = {0, 0, 0, 0};
+        bool hasCachedGaussian = false;
+        double cachedGaussian = 0.0;
+    };
+
+    /** Snapshot the generator state. */
+    State
+    saveState() const
+    {
+        State st;
+        for (int i = 0; i < 4; ++i)
+            st.s[i] = state_[i];
+        st.hasCachedGaussian = hasCachedGaussian_;
+        st.cachedGaussian = cachedGaussian_;
+        return st;
+    }
+
+    /** Restore a snapshot taken with saveState(). */
+    void
+    restoreState(const State &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = st.s[i];
+        hasCachedGaussian_ = st.hasCachedGaussian;
+        cachedGaussian_ = st.cachedGaussian;
+    }
+
   private:
     std::uint64_t state_[4];
     bool hasCachedGaussian_ = false;

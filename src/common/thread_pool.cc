@@ -42,6 +42,15 @@ ThreadPool::waitIdle()
     idle_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
 }
 
+std::vector<std::exception_ptr>
+ThreadPool::drainFailures()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::exception_ptr> out;
+    out.swap(failures_);
+    return out;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -57,9 +66,16 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             ++inFlight_;
         }
-        job();
+        std::exception_ptr failure;
+        try {
+            job();
+        } catch (...) {
+            failure = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (failure)
+                failures_.push_back(std::move(failure));
             --inFlight_;
             if (queue_.empty() && inFlight_ == 0)
                 idle_.notify_all();
@@ -72,14 +88,54 @@ runParallel(const std::vector<std::function<void()>> &jobs,
             std::size_t threads)
 {
     if (threads <= 1) {
-        for (const auto &job : jobs)
-            job();
+        std::exception_ptr first;
+        for (const auto &job : jobs) {
+            try {
+                job();
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
         return;
     }
     ThreadPool pool(threads);
     for (const auto &job : jobs)
         pool.submit(job);
     pool.waitIdle();
+    const auto failures = pool.drainFailures();
+    if (!failures.empty())
+        std::rethrow_exception(failures.front());
+}
+
+std::vector<JobOutcome>
+runParallelCaptured(const std::vector<std::function<void()>> &jobs,
+                    std::size_t threads)
+{
+    std::vector<JobOutcome> outcomes(jobs.size(),
+                                     JobOutcome::success(true));
+    std::vector<std::function<void()>> wrapped;
+    wrapped.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        wrapped.push_back([&jobs, &outcomes, i] {
+            try {
+                jobs[i]();
+            } catch (const EvalFault &f) {
+                outcomes[i] = JobOutcome::failure(f.status(), f.what());
+            } catch (const std::exception &e) {
+                outcomes[i] =
+                    JobOutcome::failure(EvalStatus::Fatal, e.what());
+            } catch (...) {
+                outcomes[i] = JobOutcome::failure(
+                    EvalStatus::Fatal, "unknown exception");
+            }
+        });
+    }
+    // Wrapped jobs never throw, so runParallel cannot rethrow here.
+    runParallel(wrapped, threads);
+    return outcomes;
 }
 
 } // namespace unico::common

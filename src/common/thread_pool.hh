@@ -14,19 +14,25 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.hh"
 
 namespace unico::common {
 
 /**
  * Fixed-size worker pool with batch-wait semantics.
  *
- * Jobs must not throw; exceptions escaping a job terminate the
- * program (the co-optimizer treats infeasible evaluations as penalty
- * values rather than exceptions).
+ * Jobs may throw: an exception escaping a job is captured into the
+ * pool's failure list instead of terminating the program (a single
+ * bad PPA evaluation must not abort a multi-hour co-search). After
+ * waitIdle(), drainFailures() hands the captured exceptions to the
+ * caller in completion order; the pool itself stays fully usable for
+ * subsequent batches.
  */
 class ThreadPool
 {
@@ -42,8 +48,14 @@ class ThreadPool
     /** Enqueue a job for asynchronous execution. */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished. */
+    /** Block until every submitted job has finished (or failed). */
     void waitIdle();
+
+    /**
+     * Exceptions captured from failed jobs since the last drain, in
+     * job-completion order; clears the internal list.
+     */
+    std::vector<std::exception_ptr> drainFailures();
 
     /** Number of worker threads. */
     std::size_t size() const { return workers_.size(); }
@@ -56,6 +68,7 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable wakeWorker_;
     std::condition_variable idle_;
+    std::vector<std::exception_ptr> failures_;
     std::size_t inFlight_ = 0;
     bool stopping_ = false;
 };
@@ -64,9 +77,24 @@ class ThreadPool
  * Run @p jobs on a transient pool of @p threads workers and wait.
  * With threads <= 1 the jobs run inline (deterministic order), which
  * is also the default on single-core hosts.
+ *
+ * Every job runs to completion even if some fail; the first captured
+ * exception (by job index for inline execution, completion order
+ * otherwise) is rethrown after the batch finishes. Callers that need
+ * per-job outcomes should use runParallelCaptured().
  */
 void runParallel(const std::vector<std::function<void()>> &jobs,
                  std::size_t threads);
+
+/**
+ * Like runParallel(), but never throws due to a job: returns one
+ * JobOutcome per job (index-aligned). An EvalFault maps onto its own
+ * status; any other exception is classified EvalStatus::Fatal with
+ * the exception message.
+ */
+std::vector<JobOutcome>
+runParallelCaptured(const std::vector<std::function<void()>> &jobs,
+                    std::size_t threads);
 
 } // namespace unico::common
 

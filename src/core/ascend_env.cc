@@ -28,9 +28,18 @@ class AscendMappingRun : public MappingRun
             const workload::TensorOp &op = layers_[l].op;
             auto evaluator = [this, &op](const camodel::CubeMapping &m) {
                 camodel::SimStats stats;
+                // Degradation ladder: the cycle-level model is the
+                // default; after repeated faults the supervisor drops
+                // this run onto the coarse (analytical-fidelity) rung
+                // which charges analytical-scale virtual cost.
+                const camodel::CycleAccurateModel &engine =
+                    degraded_ ? degradedModel_ : model_;
                 const accel::Ppa ppa =
-                    model_.evaluate(op, hw_, m, &stats);
-                chargedSeconds_ += model_.nominalEvalSeconds(stats);
+                    engine.evaluate(op, hw_, m, &stats);
+                chargedSeconds_ +=
+                    degraded_ ? camodel::CycleAccurateModel::
+                                    nominalDegradedEvalSeconds()
+                              : model_.nominalEvalSeconds(stats);
                 mapping::MappingEval eval;
                 eval.ppa = ppa;
                 eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
@@ -99,6 +108,16 @@ class AscendMappingRun : public MappingRun
 
     double chargedSeconds() const override { return chargedSeconds_; }
 
+    bool
+    degradeToAnalytical() override
+    {
+        if (degraded_)
+            return false;
+        degradedModel_ = model_.degraded();
+        degraded_ = true;
+        return true;
+    }
+
   private:
     double
     networkLoss() const
@@ -119,11 +138,13 @@ class AscendMappingRun : public MappingRun
 
     const std::vector<workload::WeightedOp> &layers_;
     const camodel::CycleAccurateModel &model_;
+    camodel::CycleAccurateModel degradedModel_;
     accel::CubeHwConfig hw_;
     std::vector<std::unique_ptr<camodel::CubeSearchRun>> runs_;
     std::vector<double> lossHistory_;
     std::size_t cursor_ = 0;
     double chargedSeconds_ = 0.0;
+    bool degraded_ = false;
 };
 
 } // namespace

@@ -1,0 +1,307 @@
+#include "core/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace unico::core {
+
+namespace {
+
+using common::Json;
+
+/** Infinity-safe double encoding (JSON has no Inf literal). */
+Json
+numberOrInf(double v)
+{
+    if (v == std::numeric_limits<double>::infinity())
+        return Json("inf");
+    if (v == -std::numeric_limits<double>::infinity())
+        return Json("-inf");
+    return Json(v);
+}
+
+double
+parseNumberOrInf(const Json &j)
+{
+    if (j.isString()) {
+        if (j.asString() == "inf")
+            return std::numeric_limits<double>::infinity();
+        if (j.asString() == "-inf")
+            return -std::numeric_limits<double>::infinity();
+        throw std::runtime_error("checkpoint: bad number literal '" +
+                                 j.asString() + "'");
+    }
+    return j.asDouble();
+}
+
+Json
+objectivesToJson(const moo::Objectives &y)
+{
+    Json arr = Json::array();
+    for (double v : y)
+        arr.push(v);
+    return arr;
+}
+
+moo::Objectives
+objectivesFromJson(const Json &j)
+{
+    moo::Objectives y;
+    y.reserve(j.size());
+    for (std::size_t i = 0; i < j.size(); ++i)
+        y.push_back(j.at(i).asDouble());
+    return y;
+}
+
+Json
+hwToJson(const accel::HwPoint &h)
+{
+    Json arr = Json::array();
+    for (std::size_t axis : h)
+        arr.push(axis);
+    return arr;
+}
+
+accel::HwPoint
+hwFromJson(const Json &j)
+{
+    accel::HwPoint h;
+    h.reserve(j.size());
+    for (std::size_t i = 0; i < j.size(); ++i)
+        h.push_back(static_cast<std::size_t>(j.at(i).asInt()));
+    return h;
+}
+
+Json
+recordToJson(const HwEvalRecord &rec)
+{
+    Json j = Json::object();
+    j["hw"] = hwToJson(rec.hw);
+    j["latencyMs"] = rec.ppa.latencyMs;
+    j["powerMw"] = rec.ppa.powerMw;
+    j["areaMm2"] = rec.ppa.areaMm2;
+    j["energyMj"] = rec.ppa.energyMj;
+    j["feasible"] = rec.ppa.feasible;
+    j["sensitivity"] = rec.sensitivity;
+    j["budgetSpent"] = rec.budgetSpent;
+    j["constraintOk"] = rec.constraintOk;
+    j["fullySearched"] = rec.fullySearched;
+    j["highFidelity"] = rec.highFidelity;
+    j["iteration"] = rec.iteration;
+    j["faults"] = rec.faults;
+    j["degraded"] = rec.degraded;
+    j["penalized"] = rec.penalized;
+    return j;
+}
+
+HwEvalRecord
+recordFromJson(const Json &j)
+{
+    HwEvalRecord rec;
+    rec.hw = hwFromJson(j.at("hw"));
+    rec.ppa.latencyMs = j.at("latencyMs").asDouble();
+    rec.ppa.powerMw = j.at("powerMw").asDouble();
+    rec.ppa.areaMm2 = j.at("areaMm2").asDouble();
+    rec.ppa.energyMj = j.at("energyMj").asDouble();
+    rec.ppa.feasible = j.at("feasible").asBool();
+    rec.sensitivity = j.at("sensitivity").asDouble();
+    rec.budgetSpent = static_cast<int>(j.at("budgetSpent").asInt());
+    rec.constraintOk = j.at("constraintOk").asBool();
+    rec.fullySearched = j.at("fullySearched").asBool();
+    rec.highFidelity = j.at("highFidelity").asBool();
+    rec.iteration = static_cast<int>(j.at("iteration").asInt());
+    rec.faults = static_cast<int>(j.at("faults").asInt());
+    rec.degraded = j.at("degraded").asBool();
+    rec.penalized = j.at("penalized").asBool();
+    return rec;
+}
+
+Json
+faultsToJson(const FaultStats &f)
+{
+    Json j = Json::object();
+    j["transient"] = static_cast<std::size_t>(f.transient);
+    j["timeout"] = static_cast<std::size_t>(f.timeout);
+    j["corrupt"] = static_cast<std::size_t>(f.corrupt);
+    j["fatal"] = static_cast<std::size_t>(f.fatal);
+    j["retries"] = static_cast<std::size_t>(f.retries);
+    j["degradations"] = static_cast<std::size_t>(f.degradations);
+    j["penalized"] = static_cast<std::size_t>(f.penalized);
+    return j;
+}
+
+FaultStats
+faultsFromJson(const Json &j)
+{
+    FaultStats f;
+    f.transient = static_cast<std::uint64_t>(j.at("transient").asInt());
+    f.timeout = static_cast<std::uint64_t>(j.at("timeout").asInt());
+    f.corrupt = static_cast<std::uint64_t>(j.at("corrupt").asInt());
+    f.fatal = static_cast<std::uint64_t>(j.at("fatal").asInt());
+    f.retries = static_cast<std::uint64_t>(j.at("retries").asInt());
+    f.degradations =
+        static_cast<std::uint64_t>(j.at("degradations").asInt());
+    f.penalized = static_cast<std::uint64_t>(j.at("penalized").asInt());
+    return f;
+}
+
+} // namespace
+
+std::string
+configFingerprint(const DriverConfig &cfg)
+{
+    std::ostringstream oss;
+    // maxIter is deliberately excluded: per-trial behaviour depends
+    // only on the trial index, so a checkpoint taken after k trials
+    // resumes under any maxIter > k (a killed run does not know how
+    // many trials it completed).
+    oss << cfg.name << '|' << cfg.batchSize << '|'
+        << cfg.sh.bMax << '|' << cfg.sh.eta << '|' << cfg.sh.kFrac << '|'
+        << cfg.sh.pFrac << '|' << toString(cfg.budgetMode) << '|'
+        << toString(cfg.updateMode) << '|' << cfg.useRobustness << '|'
+        << cfg.alpha << '|' << cfg.randomFraction << '|'
+        << cfg.ardSurrogate << '|' << cfg.workers << '|'
+        << cfg.minBudgetPerRound << '|' << common::hexU64(cfg.seed)
+        << '|' << cfg.recovery.maxRetries << '|'
+        << cfg.recovery.backoffBaseSeconds << '|'
+        << cfg.recovery.backoffCapSeconds << '|'
+        << cfg.recovery.degradeAfterFaults;
+    return oss.str();
+}
+
+common::Json
+toJson(const SearchCheckpoint &ck)
+{
+    Json doc = Json::object();
+    doc["version"] = ck.version;
+    doc["configKey"] = ck.configKey;
+    doc["completedIterations"] = ck.completedIterations;
+    doc["clockSeconds"] = ck.clockSeconds;
+    doc["clockEvaluations"] =
+        static_cast<std::size_t>(ck.clockEvaluations);
+    doc["sampler"] = ck.samplerState;
+
+    Json sel = Json::object();
+    sel["vBest"] = numberOrInf(ck.selector.vBest);
+    sel["uul"] = numberOrInf(ck.selector.uul);
+    Json dist = Json::array();
+    for (double d : ck.selector.distances)
+        dist.push(d);
+    sel["distances"] = std::move(dist);
+    doc["selector"] = std::move(sel);
+
+    Json records = Json::array();
+    for (const auto &rec : ck.result.records)
+        records.push(recordToJson(rec));
+    doc["records"] = std::move(records);
+
+    Json front = Json::array();
+    for (const auto &entry : ck.result.front.entries()) {
+        Json e = Json::object();
+        e["objectives"] = objectivesToJson(entry.objectives);
+        e["id"] = static_cast<std::size_t>(entry.id);
+        front.push(std::move(e));
+    }
+    doc["front"] = std::move(front);
+
+    Json trace = Json::array();
+    for (const auto &tp : ck.result.trace) {
+        Json t = Json::object();
+        t["hours"] = tp.hours;
+        Json pts = Json::array();
+        for (const auto &y : tp.front)
+            pts.push(objectivesToJson(y));
+        t["front"] = std::move(pts);
+        trace.push(std::move(t));
+    }
+    doc["trace"] = std::move(trace);
+
+    doc["faults"] = faultsToJson(ck.result.faults);
+    return doc;
+}
+
+SearchCheckpoint
+checkpointFromJson(const common::Json &doc)
+{
+    SearchCheckpoint ck;
+    ck.version = static_cast<int>(doc.at("version").asInt());
+    if (ck.version != 1)
+        throw std::runtime_error(
+            "checkpoint: unsupported version " +
+            std::to_string(ck.version));
+    ck.configKey = doc.at("configKey").asString();
+    ck.completedIterations =
+        static_cast<int>(doc.at("completedIterations").asInt());
+    ck.clockSeconds = doc.at("clockSeconds").asDouble();
+    ck.clockEvaluations =
+        static_cast<std::uint64_t>(doc.at("clockEvaluations").asInt());
+    ck.samplerState = doc.at("sampler");
+
+    const Json &sel = doc.at("selector");
+    ck.selector.vBest = parseNumberOrInf(sel.at("vBest"));
+    ck.selector.uul = parseNumberOrInf(sel.at("uul"));
+    ck.selector.distances.clear();
+    const Json &dist = sel.at("distances");
+    for (std::size_t i = 0; i < dist.size(); ++i)
+        ck.selector.distances.push_back(dist.at(i).asDouble());
+
+    const Json &records = doc.at("records");
+    for (std::size_t i = 0; i < records.size(); ++i)
+        ck.result.records.push_back(recordFromJson(records.at(i)));
+
+    std::vector<moo::ParetoFront::Entry> entries;
+    const Json &front = doc.at("front");
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        const Json &e = front.at(i);
+        entries.push_back(moo::ParetoFront::Entry{
+            objectivesFromJson(e.at("objectives")),
+            static_cast<std::uint64_t>(e.at("id").asInt())});
+    }
+    ck.result.front.restore(std::move(entries));
+
+    const Json &trace = doc.at("trace");
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Json &t = trace.at(i);
+        TracePoint tp;
+        tp.hours = t.at("hours").asDouble();
+        const Json &pts = t.at("front");
+        for (std::size_t p = 0; p < pts.size(); ++p)
+            tp.front.push_back(objectivesFromJson(pts.at(p)));
+        ck.result.trace.push_back(std::move(tp));
+    }
+
+    ck.result.faults = faultsFromJson(doc.at("faults"));
+    return ck;
+}
+
+bool
+saveCheckpointFile(const std::string &path, const SearchCheckpoint &ck)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << toJson(ck).dump(2) << "\n";
+        if (!out.good())
+            return false;
+    }
+    // Atomic replace: a kill mid-write leaves the previous checkpoint
+    // intact.
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<SearchCheckpoint>
+loadCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return checkpointFromJson(common::Json::parse(buf.str()));
+}
+
+} // namespace unico::core

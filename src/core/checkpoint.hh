@@ -1,0 +1,67 @@
+/**
+ * @file
+ * JSON checkpoint/resume of the bi-level driver state.
+ *
+ * After every MOBO trial the driver can serialize its complete
+ * resumable state — MOBO observations and sampler RNG/kernel, the
+ * High Fidelity Update Rule state, the Pareto archive, every
+ * evaluation record, the convergence trace, fault counters and the
+ * EvalClock ledger — to a JSON file (written atomically via a temp
+ * file + rename, so a kill mid-write never corrupts the previous
+ * checkpoint). A killed search restarted with the same DriverConfig
+ * and --resume replays the remaining trials bit-for-bit: per-trial
+ * mapping-run seeds are derived from (config seed, trial, slot), so
+ * an interrupted trial simply re-runs from its start.
+ */
+
+#ifndef UNICO_CORE_CHECKPOINT_HH
+#define UNICO_CORE_CHECKPOINT_HH
+
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+#include "core/driver.hh"
+#include "core/fidelity.hh"
+
+namespace unico::core {
+
+/** Everything needed to resume a co-search mid-run. */
+struct SearchCheckpoint
+{
+    int version = 1;
+    /** Fingerprint of the producing DriverConfig; resume refuses a
+     *  checkpoint whose fingerprint differs from the live config. */
+    std::string configKey;
+    int completedIterations = 0;
+    double clockSeconds = 0.0;
+    std::uint64_t clockEvaluations = 0;
+    common::Json samplerState;             ///< MoboHwSampler::saveState()
+    HighFidelitySelector::State selector{};
+    CoSearchResult result;                 ///< records/front/trace/faults
+};
+
+/**
+ * Stable fingerprint of the configuration fields that determine the
+ * search trajectory (seed, batch, budgets, modes, recovery policy).
+ */
+std::string configFingerprint(const DriverConfig &cfg);
+
+/** Serialize / deserialize a checkpoint document. */
+common::Json toJson(const SearchCheckpoint &ck);
+SearchCheckpoint checkpointFromJson(const common::Json &doc);
+
+/** Atomic write (tmp + rename); returns false on I/O failure. */
+bool saveCheckpointFile(const std::string &path,
+                        const SearchCheckpoint &ck);
+
+/**
+ * Load a checkpoint; std::nullopt when the file does not exist.
+ * Throws std::runtime_error on a malformed document.
+ */
+std::optional<SearchCheckpoint>
+loadCheckpointFile(const std::string &path);
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_CHECKPOINT_HH

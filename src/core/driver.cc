@@ -4,14 +4,42 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 
+#include "common/status.hh"
 #include "common/thread_pool.hh"
+#include "core/checkpoint.hh"
 #include "core/fidelity.hh"
 #include "core/mobo.hh"
 #include "core/robustness.hh"
 #include "moo/scalarize.hh"
 
 namespace unico::core {
+
+void
+FaultStats::merge(const FaultStats &other)
+{
+    transient += other.transient;
+    timeout += other.timeout;
+    corrupt += other.corrupt;
+    fatal += other.fatal;
+    retries += other.retries;
+    degradations += other.degradations;
+    penalized += other.penalized;
+}
+
+std::string
+toString(const FaultStats &stats)
+{
+    std::ostringstream oss;
+    oss << "faults: transient=" << stats.transient
+        << " timeout=" << stats.timeout << " corrupt=" << stats.corrupt
+        << " fatal=" << stats.fatal << " retries=" << stats.retries
+        << " degradations=" << stats.degradations
+        << " penalized=" << stats.penalized;
+    return oss.str();
+}
 
 const char *
 toString(BudgetMode mode)
@@ -174,7 +202,26 @@ CoOptimizer::run()
     const int min_budget =
         std::max(cfg_.minBudgetPerRound, env_.minSeedBudget());
 
-    for (int iter = 0; iter < cfg_.maxIter; ++iter) {
+    // --- Checkpoint resume: restore sampler, selector, clock and
+    // archive, then continue with the first unfinished trial. Seeds
+    // of a trial's mapping runs derive from (seed, trial, slot), so
+    // an interrupted trial re-runs identically from its start.
+    int start_iter = 0;
+    if (cfg_.resumeFromCheckpoint && !cfg_.checkpointPath.empty()) {
+        if (auto ck = loadCheckpointFile(cfg_.checkpointPath)) {
+            if (ck->configKey != configFingerprint(cfg_))
+                throw std::runtime_error(
+                    "checkpoint '" + cfg_.checkpointPath +
+                    "' was produced by a different configuration");
+            sampler.restoreState(ck->samplerState);
+            selector.restoreState(ck->selector);
+            clock.restore(ck->clockSeconds, ck->clockEvaluations);
+            result = std::move(ck->result);
+            start_iter = ck->completedIterations;
+        }
+    }
+
+    for (int iter = start_iter; iter < cfg_.maxIter; ++iter) {
         // Batch size and round count for this trial. Hyperband
         // cycles through SH brackets of decreasing aggressiveness:
         // bracket s starts n_s ~ (s_max+1)/(s+1) * eta^s candidates
@@ -210,31 +257,139 @@ CoOptimizer::run()
                 batch[i], cfg_.seed ^ (0x9e3779b97f4a7c15ULL *
                                        (iter * 1000 + i + 1))));
 
-        // --- Lines 5-9: adaptive SW mapping search.
+        // --- Lines 5-9: adaptive SW mapping search, supervised.
         std::vector<std::size_t> alive(batch.size());
         for (std::size_t i = 0; i < alive.size(); ++i)
             alive[i] = i;
 
+        // Per-candidate fault state, persistent across SH rounds.
+        struct CandidateHealth
+        {
+            int faults = 0;    ///< faults observed so far
+            bool degraded = false;
+            bool failed = false; ///< retries exhausted or fatal
+        };
+        std::vector<CandidateHealth> health(batch.size());
+
         auto grow_to = [&](const std::vector<std::size_t> &set,
                            int budget) {
             std::vector<double> task_seconds(set.size(), 0.0);
+            std::vector<FaultStats> job_faults(set.size());
             // Each job owns one MappingRun, so the round's jobs run
             // concurrently on host threads without synchronization
-            // and deterministically (Sec. 3.5).
+            // and deterministically (Sec. 3.5). A job supervises its
+            // candidate: faults are caught and classified, retries
+            // get capped exponential backoff (charged as search
+            // cost), repeated faults degrade the PPA engine, and
+            // exhausted candidates fall back to penalty PPA instead
+            // of aborting the search.
             std::vector<std::function<void()>> jobs;
             jobs.reserve(set.size());
             for (std::size_t i = 0; i < set.size(); ++i) {
                 jobs.push_back([&, i] {
-                    MappingRun &run = *runs[set[i]];
-                    const double before = run.chargedSeconds();
-                    const int delta = budget - run.spent();
-                    if (delta > 0)
-                        run.step(delta);
-                    task_seconds[i] = run.chargedSeconds() - before;
+                    const std::size_t idx = set[i];
+                    MappingRun &run = *runs[idx];
+                    CandidateHealth &hs = health[idx];
+                    FaultStats &fs = job_faults[i];
+                    if (hs.failed)
+                        return; // penalty fallback: no more work
+                    double seconds = 0.0;
+                    int attempts = 0;
+                    int target = budget;
+                    for (;;) {
+                        const double before = run.chargedSeconds();
+                        const int spent_before = run.spent();
+                        auto st = common::EvalStatus::Ok;
+                        bool corrupt = false;
+                        try {
+                            if (run.spent() < target)
+                                run.step(target - run.spent());
+                            // Corrupted-result detection: garbage
+                            // PPA (NaN/negative) must never reach
+                            // the archive or the surrogate.
+                            if (!run.bestPpa().valid()) {
+                                st = common::EvalStatus::Transient;
+                                corrupt = true;
+                            }
+                        } catch (const common::EvalFault &f) {
+                            st = f.status();
+                        } catch (const std::exception &) {
+                            st = common::EvalStatus::Fatal;
+                        }
+                        seconds += run.chargedSeconds() - before;
+                        if (st == common::EvalStatus::Ok) {
+                            if (run.spent() >= target)
+                                break; // healthy and complete
+                            if (run.spent() == spent_before) {
+                                // No fault, no progress: broken
+                                // engine; do not spin forever.
+                                st = common::EvalStatus::Fatal;
+                            } else {
+                                continue;
+                            }
+                        }
+                        // --- Fault path: classify, then recover.
+                        ++hs.faults;
+                        switch (st) {
+                          case common::EvalStatus::Timeout:
+                            ++fs.timeout;
+                            break;
+                          case common::EvalStatus::Fatal:
+                            ++fs.fatal;
+                            break;
+                          default:
+                            if (corrupt)
+                                ++fs.corrupt;
+                            else
+                                ++fs.transient;
+                        }
+                        if (st == common::EvalStatus::Fatal ||
+                            attempts >= cfg_.recovery.maxRetries) {
+                            hs.failed = true;
+                            ++fs.penalized;
+                            break;
+                        }
+                        ++attempts;
+                        ++fs.retries;
+                        // Capped exponential backoff, charged to the
+                        // virtual clock like any other search cost.
+                        seconds += std::min(
+                            cfg_.recovery.backoffCapSeconds,
+                            cfg_.recovery.backoffBaseSeconds *
+                                std::pow(2.0, attempts - 1));
+                        // Degradation ladder: repeated faults on one
+                        // candidate drop it from the cycle-level
+                        // simulator to the analytical rung.
+                        if (!hs.degraded &&
+                            hs.faults >=
+                                cfg_.recovery.degradeAfterFaults &&
+                            run.degradeToAnalytical()) {
+                            hs.degraded = true;
+                            ++fs.degradations;
+                        }
+                        // A corrupted incumbent with the budget fully
+                        // spent needs one repair re-evaluation.
+                        if (corrupt && run.spent() >= target)
+                            target = run.spent() + 1;
+                    }
+                    task_seconds[i] = seconds;
                 });
             }
             common::runParallel(jobs, cfg_.realThreads);
+            for (const auto &fs : job_faults)
+                result.faults.merge(fs);
             clock.chargeParallel(task_seconds);
+        };
+
+        // Drop penalty-fallback candidates from an alive set so SH
+        // rounds proceed with the N-f survivors.
+        auto drop_failed = [&](std::vector<std::size_t> &set) {
+            std::vector<std::size_t> healthy;
+            healthy.reserve(set.size());
+            for (std::size_t idx : set)
+                if (!health[idx].failed)
+                    healthy.push_back(idx);
+            set = std::move(healthy);
         };
 
         if (cfg_.budgetMode == BudgetMode::FullBudget) {
@@ -244,7 +399,8 @@ CoOptimizer::run()
                 const int budget =
                     roundBudget(cfg_.sh, j, rounds, min_budget);
                 grow_to(alive, budget);
-                if (j == rounds)
+                drop_failed(alive);
+                if (j == rounds || alive.empty())
                     break;
                 // Survivor selection by TV (and AUC under MSH).
                 std::vector<double> tv, auc;
@@ -289,6 +445,16 @@ CoOptimizer::run()
             rec.ppa = runs[i]->bestPpa();
             rec.budgetSpent = runs[i]->spent();
             rec.iteration = iter;
+            rec.faults = health[i].faults;
+            rec.degraded = health[i].degraded;
+            // Penalty fallback: a candidate whose supervisor gave up
+            // (or whose incumbent is still corrupt after repair) is
+            // recorded as infeasible so the penalty objectives keep
+            // the surrogate informed without poisoning the archive.
+            if (health[i].failed || !rec.ppa.valid()) {
+                rec.ppa = accel::Ppa::infeasible();
+                rec.penalized = true;
+            }
             // R is always recorded (it is cheap and Sec. 4.3 inspects
             // it even for runs trained without it); useRobustness
             // only controls whether it becomes a 4th objective.
@@ -367,6 +533,20 @@ CoOptimizer::run()
         clock.chargeOverhead(1.0); // surrogate refit bookkeeping
         result.trace.push_back(
             TracePoint{clock.hours(), result.front.points()});
+
+        // --- Checkpoint: persist the complete resumable state after
+        // each finished trial (atomic tmp + rename).
+        if (!cfg_.checkpointPath.empty()) {
+            SearchCheckpoint ck;
+            ck.configKey = configFingerprint(cfg_);
+            ck.completedIterations = iter + 1;
+            ck.clockSeconds = clock.seconds();
+            ck.clockEvaluations = clock.evaluations();
+            ck.samplerState = sampler.saveState();
+            ck.selector = selector.saveState();
+            ck.result = result;
+            saveCheckpointFile(cfg_.checkpointPath, ck);
+        }
     }
 
     result.totalHours = clock.hours();

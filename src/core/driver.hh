@@ -48,6 +48,54 @@ enum class UpdateMode {
 const char *toString(BudgetMode mode);
 const char *toString(UpdateMode mode);
 
+/**
+ * Recovery policy of the fault-tolerant evaluation supervisor.
+ *
+ * Evaluations classified Transient or Timeout (common::EvalStatus)
+ * are retried with capped exponential backoff, every retry and
+ * backoff charged to the EvalClock as real search cost. After
+ * degradeAfterFaults faults on the same candidate the supervisor
+ * drops the run one fidelity rung (cycle-level simulator ->
+ * analytical model). A candidate that exhausts its retries, or hits
+ * a Fatal fault, falls back to penalty PPA so the SH round and the
+ * MOBO archive proceed with N-f survivors instead of aborting.
+ */
+struct RecoveryConfig
+{
+    /** Retries per candidate per SH round before penalty fallback. */
+    int maxRetries = 3;
+    /** Backoff after the i-th retry: base * 2^(i-1), capped. */
+    double backoffBaseSeconds = 5.0;
+    double backoffCapSeconds = 60.0;
+    /** Faults on one candidate before degrading its PPA engine. */
+    int degradeAfterFaults = 2;
+};
+
+/** Per-category fault counts observed by the supervisor. */
+struct FaultStats
+{
+    std::uint64_t transient = 0;    ///< crashes / garbage (retryable)
+    std::uint64_t timeout = 0;      ///< virtual-deadline expiries
+    std::uint64_t corrupt = 0;      ///< invalid PPA detected
+    std::uint64_t fatal = 0;        ///< non-retryable failures
+    std::uint64_t retries = 0;      ///< retry attempts issued
+    std::uint64_t degradations = 0; ///< engine-downgrade events
+    std::uint64_t penalized = 0;    ///< candidates on penalty PPA
+
+    /** Total faults across categories. */
+    std::uint64_t
+    total() const
+    {
+        return transient + timeout + corrupt + fatal;
+    }
+
+    /** Accumulate another counter set. */
+    void merge(const FaultStats &other);
+};
+
+/** One-line digest ("faults: transient=2 timeout=1 ..."). */
+std::string toString(const FaultStats &stats);
+
 /** Full driver configuration. */
 struct DriverConfig
 {
@@ -72,6 +120,13 @@ struct DriverConfig
     std::size_t realThreads = 1;
     int minBudgetPerRound = 8;        ///< floor on per-round budget
     std::uint64_t seed = 1;
+    RecoveryConfig recovery;          ///< fault-recovery policy
+    /** Checkpoint file written after every MOBO trial (empty =
+     *  checkpointing disabled). Writes are atomic (tmp + rename). */
+    std::string checkpointPath;
+    /** Resume from checkpointPath if it exists; the checkpoint's
+     *  config fingerprint must match this configuration. */
+    bool resumeFromCheckpoint = false;
 
     /** The canonical UNICO configuration. */
     static DriverConfig unico();
@@ -96,6 +151,9 @@ struct HwEvalRecord
     bool fullySearched = false; ///< survived to the full b_max budget
     bool highFidelity = false; ///< passed the surrogate update rule
     int iteration = 0;         ///< MOBO trial that produced it
+    int faults = 0;            ///< evaluation faults on this candidate
+    bool degraded = false;     ///< PPA engine was downgraded
+    bool penalized = false;    ///< retries exhausted -> penalty PPA
 };
 
 /** Pareto-front snapshot along the search-cost axis. */
@@ -114,6 +172,7 @@ struct CoSearchResult
     std::vector<TracePoint> trace; ///< per-iteration snapshots
     double totalHours = 0.0;
     std::uint64_t evaluations = 0;
+    FaultStats faults;       ///< supervisor-observed fault counts
 
     /** Record index of the min-Euclidean-distance Pareto design
      *  (Sec. 4.2); requires a non-empty front. */

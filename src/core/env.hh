@@ -61,6 +61,16 @@ class MappingRun
 
     /** Virtual seconds of PPA-evaluation cost charged so far. */
     virtual double chargedSeconds() const = 0;
+
+    /**
+     * Graceful-degradation hook: ask the run to switch its PPA
+     * engine to a cheaper, more reliable fidelity rung (e.g. from
+     * the cycle-level simulator to the analytical cost model) after
+     * repeated evaluation faults. Returns true if the run degraded;
+     * false when it is already at the lowest rung. Incumbents and
+     * history are preserved across the switch.
+     */
+    virtual bool degradeToAnalytical() { return false; }
 };
 
 /** A co-search environment: HW space + SW search + PPA engine. */

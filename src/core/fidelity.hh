@@ -59,6 +59,30 @@ class HighFidelitySelector
     /** Fidelity scalar of a single objective vector (Eq. 1). */
     double scalar(const moo::Objectives &normalized_y) const;
 
+    /** Mutable rule state, exposed for checkpoint/resume. */
+    struct State
+    {
+        double vBest;
+        double uul;
+        std::vector<double> distances;
+    };
+
+    /** Snapshot the rule state. */
+    State
+    saveState() const
+    {
+        return State{vBest_, uul_, distances_};
+    }
+
+    /** Restore a snapshot taken with saveState(). */
+    void
+    restoreState(const State &st)
+    {
+        vBest_ = st.vBest;
+        uul_ = st.uul;
+        distances_ = st.distances;
+    }
+
   private:
     std::vector<double> weights_;
     double rho_;

@@ -175,4 +175,92 @@ MoboHwSampler::sampleBatch(std::size_t n)
     return batch;
 }
 
+common::Json
+MoboHwSampler::saveState() const
+{
+    common::Json state = common::Json::object();
+
+    common::Json rng = common::Json::array();
+    const auto rs = rng_.saveState();
+    for (int i = 0; i < 4; ++i)
+        rng.push(common::hexU64(rs.s[i]));
+    state["rng"] = std::move(rng);
+    state["rngHasGaussian"] = rs.hasCachedGaussian;
+    state["rngGaussian"] = rs.cachedGaussian;
+
+    state["kernelTuned"] = kernelTuned_;
+    common::Json kernel = common::Json::object();
+    kernel["kind"] = static_cast<int>(kernelParams_.kind);
+    kernel["lengthscale"] = kernelParams_.lengthscale;
+    kernel["variance"] = kernelParams_.variance;
+    kernel["noise"] = kernelParams_.noise;
+    common::Json ard = common::Json::array();
+    for (double l : kernelParams_.ardLengthscales)
+        ard.push(l);
+    kernel["ard"] = std::move(ard);
+    state["kernel"] = std::move(kernel);
+
+    common::Json obs = common::Json::array();
+    for (const auto &o : all_) {
+        common::Json entry = common::Json::object();
+        common::Json h = common::Json::array();
+        for (std::size_t axis : o.h)
+            h.push(axis);
+        entry["h"] = std::move(h);
+        common::Json y = common::Json::array();
+        for (double v : o.y)
+            y.push(v);
+        entry["y"] = std::move(y);
+        entry["hf"] = o.highFidelity;
+        obs.push(std::move(entry));
+    }
+    state["observations"] = std::move(obs);
+    return state;
+}
+
+void
+MoboHwSampler::restoreState(const common::Json &state)
+{
+    all_.clear();
+    seenKeys_.clear();
+    ideal_.clear();
+    nadir_.clear();
+
+    // Replaying observe() rebuilds every derived field (normalized
+    // embeddings, dedup keys, running ideal/nadir) exactly.
+    const common::Json &obs = state.at("observations");
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        const common::Json &entry = obs.at(i);
+        accel::HwPoint h;
+        const common::Json &hj = entry.at("h");
+        for (std::size_t a = 0; a < hj.size(); ++a)
+            h.push_back(static_cast<std::size_t>(hj.at(a).asInt()));
+        moo::Objectives y;
+        const common::Json &yj = entry.at("y");
+        for (std::size_t a = 0; a < yj.size(); ++a)
+            y.push_back(yj.at(a).asDouble());
+        observe(h, y, entry.at("hf").asBool());
+    }
+
+    common::Rng::State rs;
+    const common::Json &rng = state.at("rng");
+    for (int i = 0; i < 4; ++i)
+        rs.s[i] = common::parseHexU64(rng.at(i).asString());
+    rs.hasCachedGaussian = state.at("rngHasGaussian").asBool();
+    rs.cachedGaussian = state.at("rngGaussian").asDouble();
+    rng_.restoreState(rs);
+
+    kernelTuned_ = state.at("kernelTuned").asBool();
+    const common::Json &kernel = state.at("kernel");
+    kernelParams_.kind = static_cast<surrogate::KernelKind>(
+        kernel.at("kind").asInt());
+    kernelParams_.lengthscale = kernel.at("lengthscale").asDouble();
+    kernelParams_.variance = kernel.at("variance").asDouble();
+    kernelParams_.noise = kernel.at("noise").asDouble();
+    kernelParams_.ardLengthscales.clear();
+    const common::Json &ard = kernel.at("ard");
+    for (std::size_t i = 0; i < ard.size(); ++i)
+        kernelParams_.ardLengthscales.push_back(ard.at(i).asDouble());
+}
+
 } // namespace unico::core

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "accel/design_space.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "moo/pareto.hh"
 #include "surrogate/gp.hh"
@@ -85,6 +86,17 @@ class MoboHwSampler
     /** Seconds of surrogate/acquisition overhead accumulated (for
      *  the EvalClock ledger). */
     double overheadSeconds() const { return overheadSeconds_; }
+
+    /**
+     * Serialize the sampler state (observations, RNG, tuned kernel)
+     * for checkpointing. restoreState() on a sampler constructed
+     * with the same space/objectives/config reproduces the exact
+     * sampling stream the saved sampler would have produced.
+     */
+    common::Json saveState() const;
+
+    /** Restore a snapshot produced by saveState(). */
+    void restoreState(const common::Json &state);
 
   private:
     struct Obs

@@ -68,7 +68,8 @@ writeRecordsCsv(const CoSearchResult &result, const CoSearchEnv &env,
     common::TableWriter table({"iteration", "hw", "latency_ms",
                                "power_mw", "area_mm2", "sensitivity",
                                "budget", "constraint_ok",
-                               "fully_searched", "high_fidelity"});
+                               "fully_searched", "high_fidelity",
+                               "faults", "degraded", "penalized"});
     for (const auto &rec : result.records) {
         table.addRow(
             {std::to_string(rec.iteration), env.describeHw(rec.hw),
@@ -79,7 +80,10 @@ writeRecordsCsv(const CoSearchResult &result, const CoSearchEnv &env,
              std::to_string(rec.budgetSpent),
              rec.constraintOk ? "1" : "0",
              rec.fullySearched ? "1" : "0",
-             rec.highFidelity ? "1" : "0"});
+             rec.highFidelity ? "1" : "0",
+             std::to_string(rec.faults),
+             rec.degraded ? "1" : "0",
+             rec.penalized ? "1" : "0"});
     }
     return table.writeCsv(path);
 }

@@ -40,6 +40,12 @@ ParetoFront::insert(const Objectives &objectives, std::uint64_t id)
     return true;
 }
 
+void
+ParetoFront::restore(std::vector<Entry> entries)
+{
+    entries_ = std::move(entries);
+}
+
 std::vector<Objectives>
 ParetoFront::points() const
 {

@@ -58,6 +58,13 @@ class ParetoFront
      */
     const Entry &minDistanceEntry(const Objectives &scale = {}) const;
 
+    /**
+     * Replace the archive with @p entries verbatim (checkpoint
+     * resume). The caller asserts they are mutually non-dominated —
+     * entries saved from a valid archive always are.
+     */
+    void restore(std::vector<Entry> entries);
+
   private:
     std::vector<Entry> entries_;
 };

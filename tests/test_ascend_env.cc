@@ -57,6 +57,28 @@ TEST(AscendEnv, ChargesMinutesPerQuery)
     EXPECT_LE(run->chargedSeconds(), queries * 600.0);
 }
 
+TEST(AscendEnv, DegradeToAnalyticalCheapensQueries)
+{
+    const auto env = makeEnv();
+    auto run = env.createRun(env.ascendSpace().encodeDefault(), 9);
+    run->step(2);
+    const auto ppa_before = run->bestPpa();
+    const double before = run->chargedSeconds();
+    // First degradation succeeds; a second one is a no-op.
+    EXPECT_TRUE(run->degradeToAnalytical());
+    EXPECT_FALSE(run->degradeToAnalytical());
+    // Incumbents survive the engine swap.
+    EXPECT_DOUBLE_EQ(run->bestPpa().latencyMs, ppa_before.latencyMs);
+    // Degraded queries charge the analytical model's nominal seconds,
+    // far below the cycle-level simulator's 2-10 minutes.
+    run->step(2);
+    const double per_query = (run->chargedSeconds() - before) /
+                             (2.0 * static_cast<double>(
+                                        env.layers().size()));
+    EXPECT_LT(per_query, 120.0);
+    EXPECT_EQ(run->spent(), 4);
+}
+
 TEST(AscendEnv, DefaultConfigFindsFeasibleMapping)
 {
     const auto env = makeEnv();

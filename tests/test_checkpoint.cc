@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for JSON checkpoint/resume of the co-search driver: document
+ * round-trips, config-fingerprint guarding, and the core contract
+ * that a search killed after k trials and resumed reproduces the
+ * straight-through run bit-for-bit — with and without injected
+ * faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/fault.hh"
+#include "core/checkpoint.hh"
+#include "core/driver.hh"
+#include "core/fault_env.hh"
+#include "core/spatial_env.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+using core::CoOptimizer;
+using core::CoSearchResult;
+using core::DriverConfig;
+using core::SearchCheckpoint;
+using core::SpatialEnv;
+using core::SpatialEnvOptions;
+
+namespace {
+
+SpatialEnv &
+sharedEnv()
+{
+    static SpatialEnv env = [] {
+        SpatialEnvOptions opt;
+        opt.maxShapesPerNetwork = 2;
+        return SpatialEnv({workload::makeMobileNet()}, opt);
+    }();
+    return env;
+}
+
+DriverConfig
+tinyConfig(DriverConfig cfg)
+{
+    cfg.batchSize = 8;
+    cfg.maxIter = 4;
+    cfg.sh.bMax = 48;
+    cfg.minBudgetPerRound = 4;
+    cfg.workers = 2;
+    cfg.seed = 11;
+    return cfg;
+}
+
+/** Unique-ish temp path per test (ctest runs tests in one process). */
+std::string
+tmpPath(const std::string &tag)
+{
+    return testing::TempDir() + "unico_ck_" + tag + ".json";
+}
+
+void
+expectIdentical(const CoSearchResult &a, const CoSearchResult &b)
+{
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].hw, b.records[i].hw);
+        EXPECT_EQ(a.records[i].ppa.latencyMs,
+                  b.records[i].ppa.latencyMs);
+        EXPECT_EQ(a.records[i].ppa.powerMw, b.records[i].ppa.powerMw);
+        EXPECT_EQ(a.records[i].sensitivity, b.records[i].sensitivity);
+        EXPECT_EQ(a.records[i].budgetSpent, b.records[i].budgetSpent);
+        EXPECT_EQ(a.records[i].highFidelity, b.records[i].highFidelity);
+    }
+    ASSERT_EQ(a.front.size(), b.front.size());
+    const auto &ea = a.front.entries();
+    const auto &eb = b.front.entries();
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].id, eb[i].id);
+        EXPECT_EQ(ea[i].objectives, eb[i].objectives); // bit-exact
+    }
+    EXPECT_EQ(a.totalHours, b.totalHours);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+} // namespace
+
+TEST(Checkpoint, LoadMissingFileReturnsNullopt)
+{
+    EXPECT_FALSE(
+        core::loadCheckpointFile(tmpPath("missing")).has_value());
+}
+
+TEST(Checkpoint, MalformedFileThrows)
+{
+    const std::string path = tmpPath("malformed");
+    std::ofstream(path) << "{ not json";
+    EXPECT_THROW(core::loadCheckpointFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintSensitiveToSearchParameters)
+{
+    const auto base = tinyConfig(DriverConfig::unico());
+    auto other = base;
+    other.seed = base.seed + 1;
+    EXPECT_NE(core::configFingerprint(base),
+              core::configFingerprint(other));
+    other = base;
+    other.batchSize += 1;
+    EXPECT_NE(core::configFingerprint(base),
+              core::configFingerprint(other));
+    // maxIter is deliberately NOT part of the fingerprint: a killed
+    // run resumes under a larger trial count.
+    other = base;
+    other.maxIter += 10;
+    EXPECT_EQ(core::configFingerprint(base),
+              core::configFingerprint(other));
+}
+
+TEST(Checkpoint, DriverWritesAfterEveryIteration)
+{
+    const std::string path = tmpPath("writes");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 2;
+    cfg.checkpointPath = path;
+    CoOptimizer opt(sharedEnv(), cfg);
+    opt.run();
+    const auto ck = core::loadCheckpointFile(path);
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_EQ(ck->completedIterations, 2);
+    EXPECT_EQ(ck->configKey, core::configFingerprint(cfg));
+    EXPECT_EQ(ck->result.records.size(), 16u);
+    EXPECT_GT(ck->clockSeconds, 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DocumentRoundTripsThroughJson)
+{
+    const std::string path = tmpPath("roundtrip");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 2;
+    cfg.checkpointPath = path;
+    CoOptimizer opt(sharedEnv(), cfg);
+    opt.run();
+    const auto ck = core::loadCheckpointFile(path);
+    ASSERT_TRUE(ck.has_value());
+    // Serialize the loaded checkpoint again: identical document.
+    const auto round = core::checkpointFromJson(core::toJson(*ck));
+    EXPECT_EQ(core::toJson(round).dump(2), core::toJson(*ck).dump(2));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeRefusesForeignConfig)
+{
+    const std::string path = tmpPath("foreign");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 1;
+    cfg.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), cfg);
+    first.run();
+
+    auto other = cfg;
+    other.seed = cfg.seed + 99;
+    other.resumeFromCheckpoint = true;
+    CoOptimizer second(sharedEnv(), other);
+    EXPECT_THROW(second.run(), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, KillAndResumeReproducesStraightRun)
+{
+    // "Kill after 2 of 4 trials" is simulated by running to
+    // maxIter = 2 with checkpointing on, then resuming to 4.
+    auto cfg = tinyConfig(DriverConfig::unico());
+    CoOptimizer straight(sharedEnv(), cfg);
+    const CoSearchResult full = straight.run();
+
+    const std::string path = tmpPath("resume");
+    auto part = cfg;
+    part.maxIter = 2;
+    part.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), part);
+    first.run();
+
+    auto rest = cfg; // back to maxIter = 4
+    rest.checkpointPath = path;
+    rest.resumeFromCheckpoint = true;
+    CoOptimizer second(sharedEnv(), rest);
+    const CoSearchResult resumed = second.run();
+
+    expectIdentical(full, resumed);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, KillAndResumeUnderFaultInjection)
+{
+    // The same contract must hold with a fault storm active: the
+    // fault pattern is a pure function of (plan seed, run seed, eval
+    // index), so recovery decisions replay identically after resume.
+    common::FaultSpec spec;
+    spec.transientRate = 0.1;
+    spec.hangRate = 0.05;
+    spec.corruptRate = 0.05;
+    spec.seed = 77;
+
+    auto cfg = tinyConfig(DriverConfig::unico());
+    core::FaultyEnv env_a(sharedEnv(), common::FaultPlan(spec));
+    CoOptimizer straight(env_a, cfg);
+    const CoSearchResult full = straight.run();
+
+    const std::string path = tmpPath("resume_faulty");
+    auto part = cfg;
+    part.maxIter = 2;
+    part.checkpointPath = path;
+    core::FaultyEnv env_b(sharedEnv(), common::FaultPlan(spec));
+    CoOptimizer first(env_b, part);
+    first.run();
+
+    auto rest = cfg;
+    rest.checkpointPath = path;
+    rest.resumeFromCheckpoint = true;
+    core::FaultyEnv env_c(sharedEnv(), common::FaultPlan(spec));
+    CoOptimizer second(env_c, rest);
+    const CoSearchResult resumed = second.run();
+
+    expectIdentical(full, resumed);
+    // Fault counters are part of the checkpointed state, so the
+    // resumed totals match the straight run's.
+    EXPECT_EQ(full.faults.total(), resumed.faults.total());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWithoutFileStartsFresh)
+{
+    // --resume with no checkpoint on disk must behave like a fresh
+    // run (first launch of a to-be-checkpointed search).
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 2;
+    CoOptimizer plain(sharedEnv(), cfg);
+    const CoSearchResult expected = plain.run();
+
+    const std::string path = tmpPath("fresh");
+    std::remove(path.c_str());
+    auto rcfg = cfg;
+    rcfg.checkpointPath = path;
+    rcfg.resumeFromCheckpoint = true;
+    CoOptimizer resumed(sharedEnv(), rcfg);
+    expectIdentical(expected, resumed.run());
+    std::remove(path.c_str());
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the minimal JSON value type used by checkpoint files:
+ * parse/dump round-trips, exact double round-trips, hex encoding of
+ * 64-bit integers and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hh"
+
+using unico::common::Json;
+using unico::common::hexU64;
+using unico::common::parseHexU64;
+
+TEST(Json, ScalarAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_DOUBLE_EQ(Json(2.5).asDouble(), 2.5);
+    EXPECT_EQ(Json(42).asInt(), 42);
+    EXPECT_EQ(Json("hi").asString(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    EXPECT_THROW(Json(1.0).asString(), std::runtime_error);
+    EXPECT_THROW(Json("x").asDouble(), std::runtime_error);
+    EXPECT_THROW(Json().asBool(), std::runtime_error);
+}
+
+TEST(Json, ObjectAndArrayRoundTrip)
+{
+    Json doc = Json::object();
+    doc["name"] = Json("unico");
+    doc["count"] = Json(3);
+    Json arr = Json::array();
+    arr.push(Json(1.5));
+    arr.push(Json(false));
+    arr.push(Json());
+    doc["items"] = std::move(arr);
+
+    const Json back = Json::parse(doc.dump(2));
+    EXPECT_EQ(back.at("name").asString(), "unico");
+    EXPECT_EQ(back.at("count").asInt(), 3);
+    ASSERT_EQ(back.at("items").size(), 3u);
+    EXPECT_DOUBLE_EQ(back.at("items").at(0).asDouble(), 1.5);
+    EXPECT_FALSE(back.at("items").at(1).asBool());
+    EXPECT_TRUE(back.at("items").at(2).isNull());
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    // 17 significant digits reproduce any IEEE-754 double exactly —
+    // checkpoint resume depends on this.
+    const double values[] = {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                             -123456.789012345678, 2.2250738585072014e-308};
+    for (double v : values) {
+        Json arr = Json::array();
+        arr.push(v);
+        const Json back = Json::parse(arr.dump());
+        EXPECT_EQ(back.at(0).asDouble(), v); // bitwise-exact
+    }
+}
+
+TEST(Json, DeterministicDump)
+{
+    // Objects are ordered maps: dumping the same content built in a
+    // different insertion order yields the identical string.
+    Json a = Json::object();
+    a["x"] = Json(1);
+    a["y"] = Json(2);
+    Json b = Json::object();
+    b["y"] = Json(2);
+    b["x"] = Json(1);
+    EXPECT_EQ(a.dump(2), b.dump(2));
+}
+
+TEST(Json, StringEscapes)
+{
+    const std::string nasty = "quote\" backslash\\ newline\n tab\t";
+    Json doc = Json::object();
+    doc["s"] = Json(nasty);
+    EXPECT_EQ(Json::parse(doc.dump()).at("s").asString(), nasty);
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(Json::parse(""), std::runtime_error);
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+    EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1] trailing"), std::runtime_error);
+}
+
+TEST(Json, MissingKeyThrows)
+{
+    const Json doc = Json::parse("{\"a\": 1}");
+    EXPECT_THROW(doc.at("b"), std::runtime_error);
+    EXPECT_TRUE(doc.has("a"));
+    EXPECT_FALSE(doc.has("b"));
+}
+
+TEST(Json, HexU64RoundTrip)
+{
+    const std::uint64_t values[] = {
+        0ULL, 1ULL, 0x9e3779b97f4a7c15ULL,
+        std::numeric_limits<std::uint64_t>::max()};
+    for (std::uint64_t v : values)
+        EXPECT_EQ(parseHexU64(hexU64(v)), v);
+}

@@ -75,6 +75,59 @@ TEST(SelectSurvivors, AllSelectedAreValidIndices)
         EXPECT_LT(idx, 6u);
 }
 
+TEST(SelectSurvivors, PLargerThanKBecomesPureAuc)
+{
+    // p clamps to k, so selection is entirely AUC-driven.
+    const std::vector<double> tv = {1, 2, 3, 4};
+    const std::vector<double> auc = {0, 5, 9, 7};
+    const auto keep = selectSurvivors(tv, auc, 2, 99);
+    ASSERT_EQ(keep.size(), 2u);
+    EXPECT_EQ(keep[0], 2u); // best AUC
+    EXPECT_EQ(keep[1], 3u); // second AUC
+}
+
+TEST(SelectSurvivors, KLargerThanPopulationKeepsEveryoneOnce)
+{
+    const std::vector<double> tv = {3, 1, 2};
+    const std::vector<double> auc = {1, 2, 3};
+    const auto keep = selectSurvivors(tv, auc, 50, 10);
+    ASSERT_EQ(keep.size(), 3u);
+    const std::set<std::size_t> unique(keep.begin(), keep.end());
+    EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(SelectSurvivors, TvTiesResolveDeterministically)
+{
+    // All-equal TV: selection must be stable across calls and pick
+    // each candidate at most once.
+    const std::vector<double> tv = {7, 7, 7, 7, 7};
+    const std::vector<double> auc = {1, 1, 1, 1, 1};
+    const auto a = selectSurvivors(tv, auc, 3, 1);
+    const auto b = selectSurvivors(tv, auc, 3, 1);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 3u);
+    const std::set<std::size_t> unique(a.begin(), a.end());
+    EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(SelectSurvivors, AucOverlapWithTvStillYieldsKSurvivors)
+{
+    // The AUC ranking is identical to the TV ranking, so the AUC
+    // quota's top picks are all already promoted by TV; the quota
+    // must skip past them and still return exactly k survivors.
+    const std::vector<double> tv = {1, 2, 3, 4, 5, 6};
+    const std::vector<double> auc = {6, 5, 4, 3, 2, 1};
+    const auto keep = selectSurvivors(tv, auc, 4, 2);
+    ASSERT_EQ(keep.size(), 4u);
+    const std::set<std::size_t> expect = {0, 1, 2, 3};
+    EXPECT_EQ(std::set<std::size_t>(keep.begin(), keep.end()), expect);
+}
+
+TEST(SelectSurvivors, EmptyPopulation)
+{
+    EXPECT_TRUE(selectSurvivors({}, {}, 3, 1).empty());
+}
+
 TEST(RoundBudget, GrowsByEtaPerRound)
 {
     ShConfig cfg;

@@ -7,11 +7,16 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
+#include "common/status.hh"
 #include "common/thread_pool.hh"
 
+using unico::common::EvalFault;
+using unico::common::EvalStatus;
 using unico::common::ThreadPool;
 using unico::common::runParallel;
+using unico::common::runParallelCaptured;
 
 TEST(ThreadPool, RunsAllJobs)
 {
@@ -76,4 +81,73 @@ TEST(RunParallel, ParallelSum)
     for (auto &c : cells)
         total += c.load();
     EXPECT_EQ(total, 64 * 63 / 2);
+}
+
+TEST(ThreadPool, ThrowingJobIsCapturedNotTerminal)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&counter, i] {
+            if (i == 3)
+                throw std::runtime_error("boom");
+            ++counter;
+        });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 7); // the other jobs still ran
+    const auto failures = pool.drainFailures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_THROW(std::rethrow_exception(failures[0]),
+                 std::runtime_error);
+    EXPECT_TRUE(pool.drainFailures().empty()); // drained
+}
+
+TEST(ThreadPool, PoolUsableAfterFailedBatch)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("bad batch"); });
+    pool.waitIdle();
+    EXPECT_EQ(pool.drainFailures().size(), 1u);
+
+    // The pool must stay fully usable for subsequent batches.
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 20);
+    EXPECT_TRUE(pool.drainFailures().empty());
+}
+
+TEST(RunParallel, RethrowsFirstJobException)
+{
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        std::atomic<int> counter{0};
+        std::vector<std::function<void()>> jobs;
+        for (int i = 0; i < 10; ++i)
+            jobs.push_back([&counter, i] {
+                if (i == 5)
+                    throw EvalFault(EvalStatus::Transient, "inj");
+                ++counter;
+            });
+        EXPECT_THROW(runParallel(jobs, threads), EvalFault);
+        EXPECT_EQ(counter.load(), 9); // all jobs ran to completion
+    }
+}
+
+TEST(RunParallelCaptured, PerJobOutcomes)
+{
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([] {});
+    jobs.push_back([] { throw EvalFault(EvalStatus::Timeout, "hang"); });
+    jobs.push_back([] { throw std::runtime_error("segv"); });
+    jobs.push_back([] {});
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+        const auto outcomes = runParallelCaptured(jobs, threads);
+        ASSERT_EQ(outcomes.size(), 4u);
+        EXPECT_TRUE(outcomes[0].ok());
+        EXPECT_EQ(outcomes[1].status, EvalStatus::Timeout);
+        EXPECT_EQ(outcomes[2].status, EvalStatus::Fatal);
+        EXPECT_EQ(outcomes[2].message, "segv");
+        EXPECT_TRUE(outcomes[3].ok());
+    }
 }

@@ -10,6 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "camodel/simulator.hh"
 #include "common/rng.hh"
 #include "costmodel/analytical.hh"
@@ -75,6 +78,101 @@ BM_CycleLevelEvaluate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CycleLevelEvaluate);
+
+void
+BM_AnalyticalEvaluateCachedWarm(benchmark::State &state)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    common::Rng rng(1);
+    std::vector<mapping::Mapping> mappings;
+    for (int i = 0; i < 64; ++i)
+        mappings.push_back(space.random(rng));
+    accel::EvalCache cache(16 * 1024 * 1024);
+    for (const auto &m : mappings)
+        model.evaluateCached(op, hw, m, cache); // warm every entry
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evaluateCached(
+            op, hw, mappings[i++ % mappings.size()], cache));
+    }
+}
+BENCHMARK(BM_AnalyticalEvaluateCachedWarm);
+
+void
+BM_CycleLevelEvaluateCachedWarm(benchmark::State &state)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 512, 512, 512);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(2);
+    std::vector<camodel::CubeMapping> mappings;
+    for (int i = 0; i < 16; ++i)
+        mappings.push_back(space.random(rng));
+    accel::EvalCache cache(16 * 1024 * 1024);
+    double secs = 0.0;
+    for (const auto &m : mappings)
+        model.evaluateCached(op, hw, m, cache, &secs);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.evaluateCached(
+            op, hw, mappings[i++ % mappings.size()], cache, &secs));
+    }
+}
+BENCHMARK(BM_CycleLevelEvaluateCachedWarm);
+
+/**
+ * Successive-halving-shaped workload over the cycle-level engine:
+ * the same candidate set is re-evaluated round after round (the
+ * co-search hot loop re-runs survivors with larger budgets, and
+ * multi-seed sweeps repeat whole trials). Uncached vs cached
+ * quantifies the warm-path speedup the evaluation cache buys where
+ * it matters — on the expensive simulator queries.
+ */
+void
+mshRounds(benchmark::State &state, accel::EvalCache *cache)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 256, 256, 256);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(7);
+    std::vector<camodel::CubeMapping> mappings;
+    for (int i = 0; i < 16; ++i)
+        mappings.push_back(space.random(rng));
+    double secs = 0.0;
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (int round = 0; round < 4; ++round) {
+            for (const auto &m : mappings) {
+                const accel::Ppa ppa =
+                    cache != nullptr
+                        ? model.evaluateCached(op, hw, m, *cache, &secs)
+                        : model.evaluate(op, hw, m);
+                acc += ppa.latencyMs;
+            }
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+
+void
+BM_MshRoundsUncached(benchmark::State &state)
+{
+    mshRounds(state, nullptr);
+}
+BENCHMARK(BM_MshRoundsUncached);
+
+void
+BM_MshRoundsCached(benchmark::State &state)
+{
+    accel::EvalCache cache(16 * 1024 * 1024);
+    mshRounds(state, &cache);
+}
+BENCHMARK(BM_MshRoundsCached);
 
 void
 BM_MappingMutate(benchmark::State &state)
@@ -150,4 +248,31 @@ BENCHMARK(BM_ModelZooBuild);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but additionally writes the machine-readable
+ * BENCH_micro.json (google-benchmark JSON schema) into the working
+ * directory unless the caller passed an explicit --benchmark_out;
+ * CI runs the micro subset and uploads that file as an artifact.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0)
+            has_out = true;
+    static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag);
+        args.push_back(fmt_flag);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

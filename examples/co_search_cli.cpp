@@ -11,6 +11,7 @@
  *                 [--algo unico|hasco|mobohb|nsga2|sh|msh] \
  *                 [--batch N] [--iters I] [--bmax B] [--seed S] \
  *                 [--threads T] [--csv-prefix out/prefix] \
+ *                 [--cache-mb MB] [--no-cache] \
  *                 [--fault-rate F] [--hang-rate F] [--corrupt-rate F] \
  *                 [--fault-seed S] [--checkpoint FILE] [--resume]
  *
@@ -19,6 +20,11 @@
  * probabilities) to exercise the driver's supervisor; --checkpoint
  * saves resumable state after every trial and --resume continues a
  * killed search from that file, bit-for-bit.
+ *
+ * Evaluation cache: PPA queries are memoized in a sharded LRU cache
+ * (--cache-mb sets the byte budget, default 64 MB; --no-cache
+ * disables it). Results, checkpoints and the records/front/trace
+ * CSVs are bit-identical either way — only wall-clock changes.
  */
 
 #include <iostream>
@@ -49,6 +55,7 @@ usage(const char *prog)
            "  [--batch N] [--iters I] [--bmax B] [--seed S]"
            " [--threads T]\n"
            "  [--max-shapes K] [--csv-prefix PREFIX]\n"
+           "  [--cache-mb MB] [--no-cache]\n"
            "  [--fault-rate F] [--hang-rate F] [--corrupt-rate F]"
            " [--fault-seed S]\n"
            "  [--checkpoint FILE] [--resume]\n"
@@ -95,6 +102,17 @@ main(int argc, char **argv)
                            : accel::Scenario::Edge;
     env_opt.maxShapesPerNetwork =
         static_cast<std::size_t>(args.getInt("max-shapes", 5));
+
+    // Evaluation cache: on by default; --no-cache disables it and
+    // --cache-mb sizes it. Search results do not depend on either.
+    const std::int64_t cache_mb = args.getInt("cache-mb", 64);
+    accel::EvalCache cache(
+        args.has("no-cache") || cache_mb <= 0
+            ? 0
+            : static_cast<std::size_t>(cache_mb) * 1024 * 1024);
+    if (!args.has("no-cache") && cache_mb > 0)
+        env_opt.cache = &cache;
+
     std::cout << "workloads:";
     for (const auto &net : nets)
         std::cout << " " << net.name();
@@ -173,8 +191,15 @@ main(int argc, char **argv)
         }
     }
 
-    std::cout << "\n" << core::toString(core::summarize(result))
-              << "\n\n";
+    // Baselines (nsga2) don't report cache counters themselves;
+    // snapshot them here so every algorithm prints the same digest.
+    if (const accel::EvalCache *c = env.evalCache())
+        result.cacheStats = c->stats();
+
+    std::cout << "\n" << core::toString(core::summarize(result)) << "\n";
+    if (env.evalCache() != nullptr)
+        std::cout << common::toString(result.cacheStats) << "\n";
+    std::cout << "\n";
     common::TableWriter table(
         {"hw", "L(ms)", "P(mW)", "A(mm2)", "R"});
     for (const auto &entry : result.front.entries()) {
@@ -195,10 +220,15 @@ main(int argc, char **argv)
 
     const std::string prefix = args.getString("csv-prefix", "");
     if (!prefix.empty()) {
-        const bool ok =
+        bool ok =
             core::writeRecordsCsv(result, env, prefix + "_records.csv") &&
             core::writeFrontCsv(result, env, prefix + "_front.csv") &&
             core::writeTraceCsv(result, prefix + "_trace.csv");
+        // Cache counters go to their own file so the three result
+        // CSVs above stay byte-identical with the cache on or off.
+        if (env.evalCache() != nullptr)
+            ok = ok &&
+                 core::writeCacheCsv(result, prefix + "_cache.csv");
         std::cout << (ok ? "\ncsv written to " : "\ncsv write FAILED: ")
                   << prefix << "_{records,front,trace}.csv\n";
         if (!ok)

@@ -19,6 +19,17 @@ CubeHwConfig::describe() const
     return oss.str();
 }
 
+common::Fingerprint
+CubeHwConfig::fingerprint() const
+{
+    common::FingerprintBuilder fb;
+    fb.add(l0aBytes).add(l0bBytes).add(l0cBytes).add(l1Bytes)
+        .add(ubBytes).add(pbBytes).add(icacheBytes)
+        .add(l0aBanks).add(l0bBanks).add(l0cBanks)
+        .add(cubeM).add(cubeN).add(cubeK);
+    return fb.fingerprint();
+}
+
 CubeHwConfig
 CubeHwConfig::expertDefault()
 {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "accel/design_space.hh"
+#include "common/shard_cache.hh"
 
 namespace unico::accel {
 
@@ -40,6 +41,9 @@ struct CubeHwConfig
 
     /** Human-readable summary. */
     std::string describe() const;
+
+    /** Canonical fingerprint for the evaluation cache. */
+    common::Fingerprint fingerprint() const;
 
     /** Expert-selected default configuration (the paper's baseline
      *  against which UNICO's savings in Fig. 11 are reported). */

@@ -11,6 +11,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/shard_cache.hh"
+
 namespace unico::accel {
 
 /**
@@ -54,6 +56,27 @@ struct Ppa
                powerMw >= 0.0 && areaMm2 >= 0.0;
     }
 };
+
+/**
+ * One memoized PPA evaluation. @c seconds is the nominal virtual
+ * cost of the original computation; a cache hit re-charges it to the
+ * EvalClock so the cost ledger is identical with the cache on or
+ * off. @c loss carries the mapping-search objective for evaluator
+ * decorators that cache (ppa, loss) pairs.
+ */
+struct CachedEval
+{
+    Ppa ppa;
+    double loss = 0.0;
+    double seconds = 0.0;
+};
+
+/**
+ * The shared evaluation cache of the co-search hot loop, keyed by
+ * canonical fingerprints of (model tech, hardware config, operator,
+ * mapping). One instance is shared by every model query of a run.
+ */
+using EvalCache = common::ShardedLruCache<CachedEval>;
 
 } // namespace unico::accel
 

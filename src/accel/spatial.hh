@@ -14,6 +14,7 @@
 #include <string>
 
 #include "accel/design_space.hh"
+#include "common/shard_cache.hh"
 
 namespace unico::accel {
 
@@ -41,6 +42,9 @@ struct SpatialHwConfig
 
     /** "pe=AxB l1=... l2=... noc=... df=..." summary. */
     std::string describe() const;
+
+    /** Canonical fingerprint for the evaluation cache. */
+    common::Fingerprint fingerprint() const;
 };
 
 /** Deployment scenario (power envelope and space size, Sec. 4.1). */

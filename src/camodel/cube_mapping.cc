@@ -35,6 +35,15 @@ CubeMapping::describe() const
     return oss.str();
 }
 
+common::Fingerprint
+CubeMapping::fingerprint() const
+{
+    common::FingerprintBuilder fb;
+    fb.add(m1).add(n1).add(k1).add(m0).add(n0).add(k0)
+        .add(doubleBufferA).add(doubleBufferB).add(fuseVector);
+    return fb.fingerprint();
+}
+
 namespace {
 
 std::vector<std::int64_t>

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/shard_cache.hh"
 #include "workload/tensor_op.hh"
 
 namespace unico::camodel {
@@ -46,6 +47,9 @@ struct CubeMapping
     std::string describe() const;
 
     bool operator==(const CubeMapping &other) const = default;
+
+    /** Canonical fingerprint for the evaluation cache. */
+    common::Fingerprint fingerprint() const;
 };
 
 /** Mapping space (tile ladders + random/mutate) for one operator. */

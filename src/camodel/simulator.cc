@@ -309,6 +309,72 @@ CycleAccurateModel::nominalEvalSeconds(const SimStats &stats) const
     return std::min(600.0, 120.0 + detail);
 }
 
+common::Fingerprint
+CycleAccurateModel::techFingerprint(const CubeTech &tech)
+{
+    common::FingerprintBuilder fb;
+    // Model-kind salt: cycle-level entries never collide with
+    // analytical ones. traceLimit is deliberately excluded — it only
+    // affects the (uncached) trace, not PPA or charged seconds.
+    fb.add(std::string_view{"C"});
+    fb.add(tech.clockGhz)
+        .add(tech.dramBytesPerCycle)
+        .add(tech.l1BytesPerCycle)
+        .add(tech.l0PortBytesPerCycle)
+        .add(tech.vecElemsPerCycle)
+        .add(tech.cubePipelineDepth)
+        .add(tech.macPj)
+        .add(tech.l0Pj)
+        .add(tech.l1Pj)
+        .add(tech.ubPj)
+        .add(tech.dramPj)
+        .add(tech.idleFraction)
+        .add(tech.macAreaMm2)
+        .add(tech.sramMm2PerKb)
+        .add(tech.fixedAreaMm2)
+        .add(tech.staticMwPerMm2)
+        .add(tech.maxSimulatedTiles);
+    return fb.fingerprint();
+}
+
+common::Fingerprint
+CycleAccurateModel::queryFingerprint(const workload::TensorOp &op,
+                                     const accel::CubeHwConfig &hw) const
+{
+    common::FingerprintBuilder fb;
+    fb.add(techFp_).add(hw.fingerprint()).add(op.fingerprint());
+    return fb.fingerprint();
+}
+
+accel::Ppa
+CycleAccurateModel::evaluateCached(const workload::TensorOp &op,
+                                   const accel::CubeHwConfig &hw,
+                                   const CubeMapping &m,
+                                   accel::EvalCache &cache,
+                                   double *seconds_out,
+                                   double fixed_seconds) const
+{
+    const common::Fingerprint key =
+        common::combine(queryFingerprint(op, hw), m.fingerprint());
+    if (const auto hit = cache.get(key)) {
+        if (seconds_out)
+            *seconds_out = hit->seconds;
+        return hit->ppa;
+    }
+    SimStats stats;
+    const accel::Ppa ppa = evaluate(op, hw, m, &stats);
+    const double seconds =
+        fixed_seconds >= 0.0 ? fixed_seconds : nominalEvalSeconds(stats);
+    accel::CachedEval entry;
+    entry.ppa = ppa;
+    entry.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+    entry.seconds = seconds;
+    cache.put(key, entry);
+    if (seconds_out)
+        *seconds_out = seconds;
+    return ppa;
+}
+
 CycleAccurateModel
 CycleAccurateModel::degraded() const
 {

@@ -97,7 +97,7 @@ class CycleAccurateModel
 {
   public:
     explicit CycleAccurateModel(CubeTech tech = CubeTech{})
-        : tech_(tech)
+        : tech_(tech), techFp_(techFingerprint(tech))
     {}
 
     /** Technology constants in use. */
@@ -112,6 +112,36 @@ class CycleAccurateModel
                         const accel::CubeHwConfig &hw,
                         const CubeMapping &m,
                         SimStats *stats = nullptr) const;
+
+    /**
+     * evaluate() memoized through @p cache. On a miss the simulation
+     * runs and the entry stores the nominal EvalClock seconds of that
+     * query; on a hit the stored seconds are replayed, so the virtual
+     * ledger is bit-identical with the cache on or off. Trace events
+     * are not cached (use evaluate() when tracing).
+     *
+     * @param seconds_out nominal seconds to charge for this query.
+     * @param fixed_seconds when >= 0, charge this constant instead of
+     *        nominalEvalSeconds(stats) (the degraded rung's flat
+     *        analytical-scale cost).
+     */
+    accel::Ppa evaluateCached(const workload::TensorOp &op,
+                              const accel::CubeHwConfig &hw,
+                              const CubeMapping &m,
+                              accel::EvalCache &cache,
+                              double *seconds_out,
+                              double fixed_seconds = -1.0) const;
+
+    /**
+     * Stable fingerprint of one (model kind, tech constants, op, hw)
+     * query context; combined with a mapping fingerprint it forms the
+     * evaluation-cache key. Distinct tech constants (e.g. the
+     * degraded rung's coarser extrapolation cap) yield distinct
+     * fingerprints, so rungs never share entries.
+     */
+    common::Fingerprint
+    queryFingerprint(const workload::TensorOp &op,
+                     const accel::CubeHwConfig &hw) const;
 
     /** Mapping-independent core area. */
     double areaMm2(const accel::CubeHwConfig &hw) const;
@@ -137,7 +167,10 @@ class CycleAccurateModel
     static double nominalDegradedEvalSeconds() { return 2.0; }
 
   private:
+    static common::Fingerprint techFingerprint(const CubeTech &tech);
+
     CubeTech tech_;
+    common::Fingerprint techFp_;
 };
 
 } // namespace unico::camodel

@@ -19,27 +19,43 @@ class AscendMappingRun : public MappingRun
     AscendMappingRun(const std::vector<workload::WeightedOp> &layers,
                      const std::vector<camodel::CubeMappingSpace> &spaces,
                      const camodel::CycleAccurateModel &model,
-                     accel::CubeHwConfig hw, std::uint64_t seed)
-        : layers_(layers), model_(model), hw_(hw)
+                     accel::CubeHwConfig hw, std::uint64_t seed,
+                     accel::EvalCache *cache)
+        : layers_(layers), model_(model), hw_(hw), cache_(cache)
     {
         common::Rng seeder(seed);
         runs_.reserve(layers_.size());
         for (std::size_t l = 0; l < layers_.size(); ++l) {
             const workload::TensorOp &op = layers_[l].op;
             auto evaluator = [this, &op](const camodel::CubeMapping &m) {
-                camodel::SimStats stats;
                 // Degradation ladder: the cycle-level model is the
                 // default; after repeated faults the supervisor drops
                 // this run onto the coarse (analytical-fidelity) rung
-                // which charges analytical-scale virtual cost.
+                // which charges analytical-scale virtual cost. The
+                // degraded model has a distinct tech fingerprint, so
+                // the rungs never share cache entries.
                 const camodel::CycleAccurateModel &engine =
                     degraded_ ? degradedModel_ : model_;
-                const accel::Ppa ppa =
-                    engine.evaluate(op, hw_, m, &stats);
-                chargedSeconds_ +=
+                const double fixed_seconds =
                     degraded_ ? camodel::CycleAccurateModel::
                                     nominalDegradedEvalSeconds()
-                              : model_.nominalEvalSeconds(stats);
+                              : -1.0;
+                accel::Ppa ppa;
+                if (cache_ != nullptr) {
+                    // Below the fault layer: FaultyRun decorates the
+                    // MappingRun, so only clean results reach here.
+                    double seconds = 0.0;
+                    ppa = engine.evaluateCached(op, hw_, m, *cache_,
+                                                &seconds, fixed_seconds);
+                    chargedSeconds_ += seconds;
+                } else {
+                    camodel::SimStats stats;
+                    ppa = engine.evaluate(op, hw_, m, &stats);
+                    chargedSeconds_ +=
+                        fixed_seconds >= 0.0
+                            ? fixed_seconds
+                            : model_.nominalEvalSeconds(stats);
+                }
                 mapping::MappingEval eval;
                 eval.ppa = ppa;
                 eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
@@ -140,6 +156,7 @@ class AscendMappingRun : public MappingRun
     const camodel::CycleAccurateModel &model_;
     camodel::CycleAccurateModel degradedModel_;
     accel::CubeHwConfig hw_;
+    accel::EvalCache *cache_ = nullptr;
     std::vector<std::unique_ptr<camodel::CubeSearchRun>> runs_;
     std::vector<double> lossHistory_;
     std::size_t cursor_ = 0;
@@ -173,7 +190,8 @@ std::unique_ptr<MappingRun>
 AscendEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
 {
     return std::make_unique<AscendMappingRun>(layers_, mapSpaces_, model_,
-                                              space_.decode(h), seed);
+                                              space_.decode(h), seed,
+                                              opt_.cache);
 }
 
 std::string

@@ -27,6 +27,10 @@ struct AscendEnvOptions
     double areaBudgetMm2 = 200.0;
     std::size_t maxShapesPerNetwork = 5;
     camodel::CubeTech tech;
+    /** Shared evaluation cache (owned by the caller, e.g. the CLI);
+     *  nullptr disables memoization. Results are bit-identical with
+     *  or without it — only wall-clock changes. */
+    accel::EvalCache *cache = nullptr;
 };
 
 /** Ascend-like co-search environment. */
@@ -41,6 +45,10 @@ class AscendEnv : public CoSearchEnv
     createRun(const accel::HwPoint &h, std::uint64_t seed) const override;
     double areaBudgetMm2() const override { return opt_.areaBudgetMm2; }
     std::string describeHw(const accel::HwPoint &h) const override;
+    const accel::EvalCache *evalCache() const override
+    {
+        return opt_.cache;
+    }
 
     /** The typed Ascend design space. */
     const accel::AscendDesignSpace &ascendSpace() const { return space_; }

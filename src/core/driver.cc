@@ -189,6 +189,10 @@ CoOptimizer::run()
     MoboConfig mobo_cfg;
     mobo_cfg.randomFraction = cfg_.randomFraction;
     mobo_cfg.useArd = cfg_.ardSurrogate;
+    // GP grid-search fits reuse the evaluation worker budget; the
+    // selection is thread-count independent, so this only affects
+    // wall-clock.
+    mobo_cfg.gpThreads = cfg_.realThreads;
     MoboHwSampler sampler(env_.hwSpace(), num_obj, cfg_.seed, mobo_cfg);
     HighFidelitySelector selector(
         std::vector<double>(num_obj, 1.0 / static_cast<double>(num_obj)));
@@ -554,6 +558,8 @@ CoOptimizer::run()
     result.evaluations = 0;
     for (const auto &rec : result.records)
         result.evaluations += static_cast<std::uint64_t>(rec.budgetSpent);
+    if (const accel::EvalCache *cache = env_.evalCache())
+        result.cacheStats = cache->stats();
     return result;
 }
 

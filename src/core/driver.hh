@@ -173,6 +173,11 @@ struct CoSearchResult
     double totalHours = 0.0;
     std::uint64_t evaluations = 0;
     FaultStats faults;       ///< supervisor-observed fault counts
+    /** Evaluation-cache counters (all zero when caching is off).
+     *  Diagnostics only: never serialized into checkpoints and never
+     *  part of the records/front CSVs, which stay byte-identical
+     *  with the cache on or off. */
+    common::CacheStats cacheStats;
 
     /** Record index of the min-Euclidean-distance Pareto design
      *  (Sec. 4.2); requires a non-empty front. */

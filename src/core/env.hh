@@ -104,6 +104,14 @@ class CoSearchEnv
     virtual std::string describeHw(const accel::HwPoint &h) const = 0;
 
     /**
+     * The shared evaluation cache the environment's runs memoize
+     * through, or nullptr when caching is disabled. Decorator
+     * environments (fault injection) forward to the wrapped env so
+     * the driver can report cache statistics from any stack.
+     */
+    virtual const accel::EvalCache *evalCache() const { return nullptr; }
+
+    /**
      * Smallest useful SW search budget for one hardware sample —
      * typically the number of distinct layers, so that even the
      * first successive-halving round seeds every layer once.

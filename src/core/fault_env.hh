@@ -59,6 +59,10 @@ class FaultyEnv : public CoSearchEnv
     double areaBudgetMm2() const override;
     std::string describeHw(const accel::HwPoint &h) const override;
     int minSeedBudget() const override;
+    const accel::EvalCache *evalCache() const override
+    {
+        return inner_.evalCache();
+    }
 
     /** The fault oracle in use. */
     const common::FaultPlan &plan() const { return plan_; }

@@ -98,9 +98,9 @@ MoboHwSampler::proposeOne(const std::set<std::string> &batch_keys)
     surrogate::GaussianProcess gp(kernelParams_);
     if (!kernelTuned_) {
         if (cfg_.useArd)
-            gp.fitArd(x, s, cfg_.maxGpPoints);
+            gp.fitArd(x, s, cfg_.maxGpPoints, 2, cfg_.gpThreads);
         else
-            gp.fitWithHyperopt(x, s, cfg_.maxGpPoints);
+            gp.fitWithHyperopt(x, s, cfg_.maxGpPoints, cfg_.gpThreads);
         kernelParams_ = gp.params();
         kernelTuned_ = true;
     } else {
@@ -129,12 +129,18 @@ MoboHwSampler::proposeOne(const std::set<std::string> &batch_keys)
 
     // Expected-improvement maximization over the pool, skipping
     // configurations already evaluated or already in this batch.
+    // Duplicate pool entries are scored once: the strict '>' argmax
+    // means a repeat could never win anyway, so dropping it saves a
+    // GP prediction without changing the proposal.
+    std::set<std::string> scored;
     double best_ei = -1.0;
     accel::HwPoint best = pool.front();
     bool found = false;
     for (const auto &cand : pool) {
         const std::string key = space_.key(cand);
         if (batch_keys.count(key) || seenKeys_.count(key))
+            continue;
+        if (!scored.insert(key).second)
             continue;
         const auto pred = gp.predict(space_.normalize(cand));
         const double ei = surrogate::expectedImprovement(pred, incumbent);

@@ -36,6 +36,10 @@ struct MoboConfig
     /** Tune per-dimension ARD lengthscales when first fitting the
      *  surrogate (slower, but down-weights irrelevant HW axes). */
     bool useArd = false;
+    /** Worker threads for the GP hyperparameter grid search
+     *  (0 = hardware concurrency; results are thread-count
+     *  independent). */
+    std::size_t gpThreads = 0;
 };
 
 /** Batched MOBO sampler over a discrete hardware design space. */

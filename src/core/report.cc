@@ -127,4 +127,21 @@ writeTraceCsv(const CoSearchResult &result, const std::string &path)
     return table.writeCsv(path);
 }
 
+bool
+writeCacheCsv(const CoSearchResult &result, const std::string &path)
+{
+    const common::CacheStats &cs = result.cacheStats;
+    common::TableWriter table({"hits", "misses", "hit_rate",
+                               "insertions", "evictions", "entries",
+                               "bytes", "capacity_bytes", "shards"});
+    table.addRow({std::to_string(cs.hits), std::to_string(cs.misses),
+                  common::TableWriter::num(cs.hitRate(), 4),
+                  std::to_string(cs.insertions),
+                  std::to_string(cs.evictions),
+                  std::to_string(cs.entries), std::to_string(cs.bytes),
+                  std::to_string(cs.capacityBytes),
+                  std::to_string(cs.shards)});
+    return table.writeCsv(path);
+}
+
 } // namespace unico::core

@@ -54,6 +54,14 @@ bool writeFrontCsv(const CoSearchResult &result, const CoSearchEnv &env,
  *  best_latency, best_power). */
 bool writeTraceCsv(const CoSearchResult &result, const std::string &path);
 
+/**
+ * Write the evaluation-cache counters as a one-row CSV (hits, misses,
+ * hit_rate, insertions, evictions, entries, bytes, capacity_bytes,
+ * shards). Kept separate from the records/front CSVs so those stay
+ * byte-identical with the cache on or off.
+ */
+bool writeCacheCsv(const CoSearchResult &result, const std::string &path);
+
 } // namespace unico::core
 
 #endif // UNICO_CORE_REPORT_HH

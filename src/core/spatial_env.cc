@@ -24,7 +24,8 @@ class SpatialMappingRun : public MappingRun
                       const std::vector<mapping::MappingSpace> &spaces,
                       const costmodel::AnalyticalCostModel &model,
                       accel::SpatialHwConfig hw,
-                      mapping::EngineKind engine, std::uint64_t seed)
+                      mapping::EngineKind engine, std::uint64_t seed,
+                      accel::EvalCache *cache)
         : layers_(layers), model_(model), hw_(hw)
     {
         common::Rng seeder(seed);
@@ -38,8 +39,16 @@ class SpatialMappingRun : public MappingRun
                 eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
                 return eval;
             };
+            // The cache sits below the fault-injection wrappers (they
+            // decorate MappingRun, not the evaluator), so only clean
+            // model outputs are ever stored.
             runs_.push_back(mapping::startSearch(
-                engine, spaces[l], evaluator, seeder.next()));
+                engine, spaces[l],
+                mapping::cachingEvaluator(
+                    cache, model_.queryFingerprint(op, hw_),
+                    std::move(evaluator),
+                    costmodel::AnalyticalCostModel::nominalEvalSeconds()),
+                seeder.next()));
         }
     }
 
@@ -163,7 +172,8 @@ std::unique_ptr<MappingRun>
 SpatialEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
 {
     return std::make_unique<SpatialMappingRun>(
-        layers_, mapSpaces_, model_, space_.decode(h), opt_.engine, seed);
+        layers_, mapSpaces_, model_, space_.decode(h), opt_.engine, seed,
+        opt_.cache);
 }
 
 double

@@ -31,6 +31,10 @@ struct SpatialEnvOptions
      *  latency profile is preserved). */
     std::size_t maxShapesPerNetwork = 6;
     costmodel::TechParams tech;
+    /** Shared evaluation cache (owned by the caller, e.g. the CLI);
+     *  nullptr disables memoization. Results are bit-identical with
+     *  or without it — only wall-clock changes. */
+    accel::EvalCache *cache = nullptr;
 };
 
 /** Spatial-accelerator co-search environment. */
@@ -45,6 +49,10 @@ class SpatialEnv : public CoSearchEnv
     createRun(const accel::HwPoint &h, std::uint64_t seed) const override;
     double powerBudgetMw() const override;
     std::string describeHw(const accel::HwPoint &h) const override;
+    const accel::EvalCache *evalCache() const override
+    {
+        return opt_.cache;
+    }
 
     /** The typed spatial design space (for decode in benches). */
     const accel::SpatialDesignSpace &spatialSpace() const { return space_; }

@@ -308,4 +308,56 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
     return ppa;
 }
 
+common::Fingerprint
+AnalyticalCostModel::techFingerprint(const TechParams &tech)
+{
+    common::FingerprintBuilder fb;
+    // Model-kind salt: an analytical and a cycle-level query must
+    // never share a cache entry even if other fields collide.
+    fb.add(std::string_view{"A"});
+    fb.add(tech.clockGhz)
+        .add(tech.macPj)
+        .add(tech.l1BasePj)
+        .add(tech.l1SlopePj)
+        .add(tech.l2BasePj)
+        .add(tech.l2SlopePj)
+        .add(tech.dramPj)
+        .add(tech.nocPjPerByteHop)
+        .add(tech.dramBytesPerCycle)
+        .add(tech.peAreaMm2)
+        .add(tech.sramMm2PerKb)
+        .add(tech.nocAreaMm2PerPeBw)
+        .add(tech.staticMwPerMm2)
+        .add(tech.registerReuse);
+    return fb.fingerprint();
+}
+
+common::Fingerprint
+AnalyticalCostModel::queryFingerprint(const workload::TensorOp &op,
+                                      const SpatialHwConfig &hw) const
+{
+    common::FingerprintBuilder fb;
+    fb.add(techFp_).add(hw.fingerprint()).add(op.fingerprint());
+    return fb.fingerprint();
+}
+
+Ppa
+AnalyticalCostModel::evaluateCached(const workload::TensorOp &op,
+                                    const SpatialHwConfig &hw,
+                                    const mapping::Mapping &m,
+                                    accel::EvalCache &cache) const
+{
+    const common::Fingerprint key =
+        common::combine(queryFingerprint(op, hw), m.fingerprint());
+    if (const auto hit = cache.get(key))
+        return hit->ppa;
+    const Ppa ppa = evaluate(op, hw, m);
+    accel::CachedEval entry;
+    entry.ppa = ppa;
+    entry.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+    entry.seconds = nominalEvalSeconds();
+    cache.put(key, entry);
+    return ppa;
+}
+
 } // namespace unico::costmodel

@@ -51,7 +51,7 @@ class AnalyticalCostModel
 {
   public:
     explicit AnalyticalCostModel(TechParams tech = TechParams{})
-        : tech_(tech)
+        : tech_(tech), techFp_(techFingerprint(tech))
     {}
 
     /** Technology constants in use. */
@@ -66,6 +66,26 @@ class AnalyticalCostModel
                         const accel::SpatialHwConfig &hw,
                         const mapping::Mapping &m) const;
 
+    /**
+     * evaluate() memoized through @p cache. The stored entry carries
+     * the nominal evaluation seconds, so callers can re-charge the
+     * EvalClock identically on a hit; results are bit-identical to
+     * the uncached path.
+     */
+    accel::Ppa evaluateCached(const workload::TensorOp &op,
+                              const accel::SpatialHwConfig &hw,
+                              const mapping::Mapping &m,
+                              accel::EvalCache &cache) const;
+
+    /**
+     * Stable fingerprint of one (model kind, tech constants, op, hw)
+     * query context; combined with a mapping fingerprint it forms the
+     * evaluation-cache key.
+     */
+    common::Fingerprint
+    queryFingerprint(const workload::TensorOp &op,
+                     const accel::SpatialHwConfig &hw) const;
+
     /** Mapping-independent area of a hardware configuration. */
     double areaMm2(const accel::SpatialHwConfig &hw) const;
 
@@ -76,7 +96,10 @@ class AnalyticalCostModel
     static double nominalEvalSeconds() { return 2.0; }
 
   private:
+    static common::Fingerprint techFingerprint(const TechParams &tech);
+
     TechParams tech_;
+    common::Fingerprint techFp_;
 };
 
 } // namespace unico::costmodel

@@ -1,6 +1,8 @@
 #include "linalg/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace unico::linalg {
 
@@ -31,14 +33,40 @@ Matrix
 Matrix::mul(const Matrix &other) const
 {
     assert(cols_ == other.rows_);
-    Matrix out(rows_, other.cols_, 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double a = data_[r * cols_ + k];
-            if (a == 0.0)
-                continue;
-            for (std::size_t c = 0; c < other.cols_; ++c)
-                out(r, c) += a * other(k, c);
+    const std::size_t n = rows_;
+    const std::size_t depth = cols_;
+    const std::size_t m = other.cols_;
+    Matrix out(n, m, 0.0);
+    // Transpose B once so every dot product walks two contiguous
+    // rows, and block the (r, c) loops so a tile of B-transpose stays
+    // resident in cache across the whole row block.
+    std::vector<double> bt(m * depth);
+    for (std::size_t k = 0; k < depth; ++k)
+        for (std::size_t c = 0; c < m; ++c)
+            bt[c * depth + k] = other(k, c);
+    constexpr std::size_t kBlock = 64;
+    for (std::size_t rb = 0; rb < n; rb += kBlock) {
+        const std::size_t r_end = std::min(n, rb + kBlock);
+        for (std::size_t cb = 0; cb < m; cb += kBlock) {
+            const std::size_t c_end = std::min(m, cb + kBlock);
+            for (std::size_t r = rb; r < r_end; ++r) {
+                const double *a_row = &data_[r * depth];
+                for (std::size_t c = cb; c < c_end; ++c) {
+                    const double *b_row = &bt[c * depth];
+                    // Single k-ascending accumulator with the same
+                    // zero-skip as the naive triple loop: the exact
+                    // floating-point addition order is preserved, so
+                    // results are bit-identical.
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < depth; ++k) {
+                        const double a = a_row[k];
+                        if (a == 0.0)
+                            continue;
+                        acc += a * b_row[k];
+                    }
+                    out(r, c) = acc;
+                }
+            }
         }
     }
     return out;

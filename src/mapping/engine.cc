@@ -189,6 +189,24 @@ class GeneticRun : public SearchRun
 
 } // namespace
 
+MappingEvaluator
+cachingEvaluator(accel::EvalCache *cache, common::Fingerprint context,
+                 MappingEvaluator inner, double seconds)
+{
+    if (cache == nullptr)
+        return inner;
+    return [cache, context, inner = std::move(inner),
+            seconds](const Mapping &m) {
+        const common::Fingerprint key =
+            common::combine(context, m.fingerprint());
+        if (const auto hit = cache->get(key))
+            return MappingEval{hit->ppa, hit->loss};
+        const MappingEval eval = inner(m);
+        cache->put(key, accel::CachedEval{eval.ppa, eval.loss, seconds});
+        return eval;
+    };
+}
+
 std::unique_ptr<SearchRun>
 startSearch(EngineKind kind, const MappingSpace &space,
             MappingEvaluator evaluator, std::uint64_t seed)

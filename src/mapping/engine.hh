@@ -35,6 +35,25 @@ struct MappingEval
 /** PPA estimation callback: mapping -> evaluation. */
 using MappingEvaluator = std::function<MappingEval(const Mapping &)>;
 
+/**
+ * Wrap @p inner with evaluation-cache memoization.
+ *
+ * @param cache shared cache, or nullptr to return @p inner unchanged.
+ * @param context query-context fingerprint (model + tech + op + hw);
+ *        the cache key is combine(context, mapping fingerprint).
+ * @param inner the uncached evaluator.
+ * @param seconds nominal EvalClock seconds of one inner evaluation,
+ *        stored so a hit can re-charge the identical virtual cost.
+ *
+ * The wrapper is transparent: hit or miss, the returned MappingEval
+ * is bit-identical to what @p inner would produce, so search
+ * trajectories do not depend on cache state.
+ */
+MappingEvaluator cachingEvaluator(accel::EvalCache *cache,
+                                  common::Fingerprint context,
+                                  MappingEvaluator inner,
+                                  double seconds = 0.0);
+
 /** One raw evaluated sample, retained for the robustness metric. */
 struct SamplePoint
 {

@@ -41,6 +41,20 @@ Mapping::operator==(const Mapping &other) const
            order == other.order;
 }
 
+common::Fingerprint
+Mapping::fingerprint() const
+{
+    common::FingerprintBuilder fb;
+    for (int d = 0; d < kNumDims; ++d)
+        fb.add(l1Tile[d]);
+    for (int d = 0; d < kNumDims; ++d)
+        fb.add(l2Tile[d]);
+    fb.add(spatialX).add(spatialY);
+    for (int d = 0; d < kNumDims; ++d)
+        fb.add(order[d]);
+    return fb.fingerprint();
+}
+
 namespace {
 
 /** Tile ladder: 1, 2, 3, 4, 6, 8, 12, ... capped by extent, plus the

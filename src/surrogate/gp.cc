@@ -3,11 +3,30 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <thread>
+#include <utility>
 
 #include "common/statistics.hh"
+#include "common/thread_pool.hh"
 
 namespace unico::surrogate {
+
+namespace {
+
+/** Worker count for a batch of independent candidate fits. */
+std::size_t
+resolveThreads(std::size_t threads, std::size_t jobs)
+{
+    if (threads == 0) {
+        const unsigned hc = std::thread::hardware_concurrency();
+        threads = hc > 0 ? hc : 1;
+    }
+    return std::min(threads, jobs);
+}
+
+} // namespace
 
 GaussianProcess::GaussianProcess(KernelParams params) : params_(params)
 {
@@ -39,38 +58,54 @@ GaussianProcess::fit(const std::vector<std::vector<double>> &x,
     rebuild();
 }
 
-void
-GaussianProcess::rebuild()
+GaussianProcess::FitResult
+GaussianProcess::computeFit(const KernelParams &params) const
 {
+    FitResult out;
     const std::size_t n = x_.size();
     linalg::Matrix k(n, n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = i; j < n; ++j) {
-            const double v = kernelValue(params_, x_[i], x_[j]);
+            const double v = kernelValue(params, x_[i], x_[j]);
             k(i, j) = v;
             k(j, i) = v;
         }
-        k(i, i) += params_.noise;
+        k(i, i) += params.noise;
     }
-    chol_ = std::make_unique<linalg::Cholesky>(std::move(k));
-    if (!chol_->ok()) {
-        trained_ = false;
-        return;
-    }
-    alpha_ = chol_->solve(yStd_);
+    out.chol = std::make_unique<linalg::Cholesky>(std::move(k));
+    if (!out.chol->ok())
+        return out;
+    out.alpha = out.chol->solve(yStd_);
     // log p(y) = -0.5 yᵀ α - Σ log L_ii - n/2 log 2π
     double fit_term = 0.0;
     for (std::size_t i = 0; i < n; ++i)
-        fit_term += yStd_[i] * alpha_[i];
-    lml_ = -0.5 * fit_term - chol_->halfLogDet() -
-           0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
-    trained_ = true;
+        fit_term += yStd_[i] * out.alpha[i];
+    out.lml = -0.5 * fit_term - out.chol->halfLogDet() -
+              0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+    out.ok = true;
+    return out;
+}
+
+void
+GaussianProcess::install(FitResult fit)
+{
+    chol_ = std::move(fit.chol);
+    alpha_ = std::move(fit.alpha);
+    lml_ = fit.lml;
+    trained_ = fit.ok;
+}
+
+void
+GaussianProcess::rebuild()
+{
+    install(computeFit(params_));
 }
 
 void
 GaussianProcess::fitWithHyperopt(const std::vector<std::vector<double>> &x,
                                  const std::vector<double> &y,
-                                 std::size_t max_points)
+                                 std::size_t max_points,
+                                 std::size_t threads)
 {
     params_.ardLengthscales.clear(); // isotropic grid search
     fit(x, y, max_points);
@@ -79,29 +114,51 @@ GaussianProcess::fitWithHyperopt(const std::vector<std::vector<double>> &x,
 
     static const double lengthscales[] = {0.1, 0.2, 0.35, 0.6, 1.0};
     static const double noises[] = {1e-4, 1e-2};
-    KernelParams best = params_;
-    double best_lml = lml_;
+    std::vector<KernelParams> grid;
     for (double l : lengthscales) {
         for (double nz : noises) {
-            params_.lengthscale = l;
-            params_.noise = nz;
-            rebuild();
-            if (trained_ && lml_ > best_lml) {
-                best_lml = lml_;
-                best = params_;
-            }
+            KernelParams p = params_;
+            p.lengthscale = l;
+            p.noise = nz;
+            grid.push_back(p);
         }
     }
-    params_ = best;
-    rebuild();
+    // Candidate fits are independent; compute them concurrently and
+    // then select the winner serially in grid order with a strict
+    // comparison — bit-identical to the sequential loop for any
+    // thread count.
+    std::vector<FitResult> fits(grid.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        jobs.push_back([this, &grid, &fits, i] {
+            fits[i] = computeFit(grid[i]);
+        });
+    common::runParallel(jobs, resolveThreads(threads, jobs.size()));
+
+    double best_lml = lml_;
+    std::size_t best_i = grid.size();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (fits[i].ok && fits[i].lml > best_lml) {
+            best_lml = fits[i].lml;
+            best_i = i;
+        }
+    }
+    // When nothing beats the initial fit, the current posterior is
+    // already that fit — no rebuild needed.
+    if (best_i < grid.size()) {
+        params_ = grid[best_i];
+        install(std::move(fits[best_i]));
+    }
 }
 
 void
 GaussianProcess::fitArd(const std::vector<std::vector<double>> &x,
                         const std::vector<double> &y,
-                        std::size_t max_points, int passes)
+                        std::size_t max_points, int passes,
+                        std::size_t threads)
 {
-    fitWithHyperopt(x, y, max_points);
+    fitWithHyperopt(x, y, max_points, threads);
     if (!trained_ || x_.empty() || x_[0].size() < 2)
         return;
 
@@ -111,25 +168,42 @@ GaussianProcess::fitArd(const std::vector<std::vector<double>> &x,
     if (!trained_)
         return;
 
-    // Coordinate-wise LML ascent over a multiplicative ladder.
+    // Coordinate-wise LML ascent over a multiplicative ladder; each
+    // dimension's candidate fits run concurrently, the winner is
+    // picked serially in ladder order (strict '>').
     static const double scales[] = {0.35, 0.6, 1.0, 1.8, 3.2};
     for (int pass = 0; pass < passes; ++pass) {
         for (std::size_t d = 0; d < dims; ++d) {
             const double base = params_.ardLengthscales[d];
-            double best_l = base;
-            double best_lml = lml_;
+            std::vector<KernelParams> grid;
             for (double scale : scales) {
                 if (scale == 1.0)
                     continue;
-                params_.ardLengthscales[d] = base * scale;
-                rebuild();
-                if (trained_ && lml_ > best_lml) {
-                    best_lml = lml_;
-                    best_l = params_.ardLengthscales[d];
+                KernelParams p = params_;
+                p.ardLengthscales[d] = base * scale;
+                grid.push_back(p);
+            }
+            std::vector<FitResult> fits(grid.size());
+            std::vector<std::function<void()>> jobs;
+            jobs.reserve(grid.size());
+            for (std::size_t i = 0; i < grid.size(); ++i)
+                jobs.push_back([this, &grid, &fits, i] {
+                    fits[i] = computeFit(grid[i]);
+                });
+            common::runParallel(jobs, resolveThreads(threads, jobs.size()));
+
+            double best_lml = lml_;
+            std::size_t best_i = grid.size();
+            for (std::size_t i = 0; i < grid.size(); ++i) {
+                if (fits[i].ok && fits[i].lml > best_lml) {
+                    best_lml = fits[i].lml;
+                    best_i = i;
                 }
             }
-            params_.ardLengthscales[d] = best_l;
-            rebuild();
+            if (best_i < grid.size()) {
+                params_ = grid[best_i];
+                install(std::move(fits[best_i]));
+            }
         }
     }
 }

@@ -46,21 +46,32 @@ class GaussianProcess
      * Fit with hyperparameter selection: grid search over
      * lengthscales/noise maximizing log marginal likelihood, then a
      * final fit at the best setting.
+     *
+     * Candidate fits are independent, so they run on @p threads
+     * workers (0 = one per hardware thread, capped at the grid size;
+     * 1 = serial). The winner is selected serially in grid order
+     * with a strict comparison, so the chosen hyperparameters — and
+     * the resulting posterior — are bit-identical for every thread
+     * count.
      */
     void fitWithHyperopt(const std::vector<std::vector<double>> &x,
                          const std::vector<double> &y,
-                         std::size_t max_points = 512);
+                         std::size_t max_points = 512,
+                         std::size_t threads = 0);
 
     /**
      * Fit with per-dimension ARD lengthscales: starts from the
      * isotropic hyperopt optimum and runs @p passes rounds of
      * coordinate-wise log-marginal-likelihood ascent over each
      * dimension's lengthscale. Irrelevant inputs end up with long
-     * lengthscales and stop influencing the posterior.
+     * lengthscales and stop influencing the posterior. Ladder
+     * candidates are fitted on @p threads workers with the same
+     * determinism guarantee as fitWithHyperopt().
      */
     void fitArd(const std::vector<std::vector<double>> &x,
                 const std::vector<double> &y,
-                std::size_t max_points = 512, int passes = 2);
+                std::size_t max_points = 512, int passes = 2,
+                std::size_t threads = 0);
 
     /** True once fit() succeeded with at least one sample. */
     bool trained() const { return trained_; }
@@ -78,6 +89,22 @@ class GaussianProcess
     const KernelParams &params() const { return params_; }
 
   private:
+    /** Everything a fit at one hyperparameter setting produces. */
+    struct FitResult
+    {
+        std::unique_ptr<linalg::Cholesky> chol;
+        std::vector<double> alpha;
+        double lml = 0.0;
+        bool ok = false;
+    };
+
+    /** Fit at @p params from the retained (x_, yStd_) data. Pure:
+     *  touches no member state, safe to run concurrently. */
+    FitResult computeFit(const KernelParams &params) const;
+
+    /** Adopt a fit as the current posterior. */
+    void install(FitResult fit);
+
     void rebuild();
 
     KernelParams params_;

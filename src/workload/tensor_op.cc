@@ -148,4 +148,21 @@ TensorOp::shapeKey() const
     return oss.str();
 }
 
+common::Fingerprint
+TensorOp::fingerprint() const
+{
+    common::FingerprintBuilder fb;
+    fb.add(static_cast<int>(kind))
+        .add(n)
+        .add(k)
+        .add(c)
+        .add(y)
+        .add(x)
+        .add(r)
+        .add(s)
+        .add(strideY)
+        .add(strideX);
+    return fb.fingerprint();
+}
+
 } // namespace unico::workload

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/shard_cache.hh"
+
 namespace unico::workload {
 
 /** Operator category (affects reuse structure and vector-unit load). */
@@ -101,6 +103,10 @@ struct TensorOp
 
     /** Stable shape-only key for deduplication. */
     std::string shapeKey() const;
+
+    /** Canonical shape fingerprint (name ignored) for the
+     *  evaluation cache. */
+    common::Fingerprint fingerprint() const;
 };
 
 } // namespace unico::workload

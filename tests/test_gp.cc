@@ -234,6 +234,61 @@ TEST(Gp, ArdNeverWorseLmlThanIsotropic)
               iso.logMarginalLikelihood() - 1e-9);
 }
 
+TEST(Gp, HyperoptBitIdenticalAcrossThreadCounts)
+{
+    // The hyperparameter grid is evaluated in parallel but the argmin
+    // is selected serially in grid order, so the fitted model must be
+    // bit-identical for any thread count.
+    Rng rng(19);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i) {
+        const double a = rng.uniform(), b = rng.uniform();
+        x.push_back({a, b});
+        y.push_back(std::sin(5.0 * a) + 0.3 * b + 0.05 * rng.gaussian());
+    }
+    GaussianProcess serial, threaded;
+    serial.fitWithHyperopt(x, y, 512, 1);
+    threaded.fitWithHyperopt(x, y, 512, 4);
+    EXPECT_EQ(serial.params().lengthscale, threaded.params().lengthscale);
+    EXPECT_EQ(serial.params().noise, threaded.params().noise);
+    EXPECT_EQ(serial.logMarginalLikelihood(),
+              threaded.logMarginalLikelihood());
+    for (const double q : {0.05, 0.35, 0.65, 0.95}) {
+        const auto ps = serial.predict({q, 1.0 - q});
+        const auto pt = threaded.predict({q, 1.0 - q});
+        EXPECT_EQ(ps.mean, pt.mean);
+        EXPECT_EQ(ps.variance, pt.variance);
+    }
+}
+
+TEST(Gp, ArdBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(23);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i) {
+        const double a = rng.uniform(), b = rng.uniform();
+        x.push_back({a, b});
+        y.push_back(a * a - 0.4 * b);
+    }
+    GaussianProcess serial, threaded;
+    serial.fitArd(x, y, 512, 2, 1);
+    threaded.fitArd(x, y, 512, 2, 4);
+    ASSERT_EQ(serial.params().ardLengthscales.size(),
+              threaded.params().ardLengthscales.size());
+    for (std::size_t d = 0; d < serial.params().ardLengthscales.size();
+         ++d)
+        EXPECT_EQ(serial.params().ardLengthscales[d],
+                  threaded.params().ardLengthscales[d]);
+    EXPECT_EQ(serial.logMarginalLikelihood(),
+              threaded.logMarginalLikelihood());
+    const auto ps = serial.predict({0.4, 0.6});
+    const auto pt = threaded.predict({0.4, 0.6});
+    EXPECT_EQ(ps.mean, pt.mean);
+    EXPECT_EQ(ps.variance, pt.variance);
+}
+
 TEST(Gp, HyperoptClearsStaleArdState)
 {
     Rng rng(17);

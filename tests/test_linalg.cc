@@ -48,6 +48,42 @@ TEST(Matrix, MatMulAgainstHandComputed)
     EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
 }
 
+TEST(Matrix, BlockedMulBitIdenticalToNaiveReference)
+{
+    // The blocked/transposed mul must preserve the naive k-ascending
+    // accumulation order (including the a == 0.0 skip) exactly, so
+    // results are bit-identical — the GP surrogate and everything
+    // downstream depend on this for run-to-run reproducibility.
+    unico::common::Rng rng(7);
+    const std::size_t shapes[][3] = {
+        {1, 1, 1}, {3, 5, 2}, {17, 9, 23}, {64, 64, 64}, {70, 65, 130},
+    };
+    for (const auto &s : shapes) {
+        const std::size_t n = s[0], depth = s[1], m = s[2];
+        Matrix a(n, depth), b(depth, m);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < depth; ++c)
+                a(r, c) = rng.uniform() < 0.2 ? 0.0 : rng.gaussian();
+        for (std::size_t r = 0; r < depth; ++r)
+            for (std::size_t c = 0; c < m; ++c)
+                b(r, c) = rng.gaussian();
+        const Matrix fast = a.mul(b);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < m; ++c) {
+                double acc = 0.0;
+                for (std::size_t k = 0; k < depth; ++k) {
+                    if (a(r, k) == 0.0)
+                        continue;
+                    acc += a(r, k) * b(k, c);
+                }
+                ASSERT_EQ(fast(r, c), acc)
+                    << n << "x" << depth << "x" << m << " at (" << r
+                    << "," << c << ")";
+            }
+        }
+    }
+}
+
 TEST(Matrix, TransposeRoundTrip)
 {
     Matrix a(2, 3);

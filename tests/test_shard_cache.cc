@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the sharded evaluation cache: LRU/stats mechanics,
+ * fingerprint stability and uniqueness, thread safety, and — the
+ * non-negotiable contract — bit-identical co-search results with the
+ * cache on or off, under any thread count, fault injection and
+ * checkpoint/resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "accel/spatial.hh"
+#include "camodel/simulator.hh"
+#include "common/fault.hh"
+#include "common/rng.hh"
+#include "common/shard_cache.hh"
+#include "core/driver.hh"
+#include "core/fault_env.hh"
+#include "core/spatial_env.hh"
+#include "costmodel/analytical.hh"
+#include "mapping/mapping.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+using common::Fingerprint;
+using common::FingerprintBuilder;
+using core::CoOptimizer;
+using core::CoSearchResult;
+using core::DriverConfig;
+using core::SpatialEnv;
+using core::SpatialEnvOptions;
+
+namespace {
+
+DriverConfig
+tinyConfig(DriverConfig cfg)
+{
+    cfg.batchSize = 6;
+    cfg.maxIter = 2;
+    cfg.sh.bMax = 32;
+    cfg.minBudgetPerRound = 4;
+    cfg.workers = 2;
+    cfg.seed = 11;
+    return cfg;
+}
+
+CoSearchResult
+runSpatial(accel::EvalCache *cache, DriverConfig cfg,
+           common::FaultSpec faults = common::FaultSpec{})
+{
+    SpatialEnvOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    opt.cache = cache;
+    SpatialEnv env({workload::makeMobileNet()}, opt);
+    if (faults.active()) {
+        core::FaultyEnv faulty(env, common::FaultPlan(faults));
+        return CoOptimizer(faulty, cfg).run();
+    }
+    return CoOptimizer(env, cfg).run();
+}
+
+/** Field-exact (bit-level) equality of two search outcomes. */
+void
+expectIdentical(const CoSearchResult &a, const CoSearchResult &b)
+{
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].hw, b.records[i].hw);
+        EXPECT_EQ(a.records[i].ppa.latencyMs, b.records[i].ppa.latencyMs);
+        EXPECT_EQ(a.records[i].ppa.powerMw, b.records[i].ppa.powerMw);
+        EXPECT_EQ(a.records[i].ppa.areaMm2, b.records[i].ppa.areaMm2);
+        EXPECT_EQ(a.records[i].ppa.energyMj, b.records[i].ppa.energyMj);
+        EXPECT_EQ(a.records[i].sensitivity, b.records[i].sensitivity);
+        EXPECT_EQ(a.records[i].budgetSpent, b.records[i].budgetSpent);
+        EXPECT_EQ(a.records[i].constraintOk, b.records[i].constraintOk);
+        EXPECT_EQ(a.records[i].fullySearched,
+                  b.records[i].fullySearched);
+        EXPECT_EQ(a.records[i].highFidelity, b.records[i].highFidelity);
+        EXPECT_EQ(a.records[i].faults, b.records[i].faults);
+        EXPECT_EQ(a.records[i].degraded, b.records[i].degraded);
+        EXPECT_EQ(a.records[i].penalized, b.records[i].penalized);
+    }
+    ASSERT_EQ(a.front.size(), b.front.size());
+    const auto &ea = a.front.entries();
+    const auto &eb = b.front.entries();
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].id, eb[i].id);
+        EXPECT_EQ(ea[i].objectives, eb[i].objectives); // bit-exact
+    }
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].hours, b.trace[i].hours);
+        EXPECT_EQ(a.trace[i].front, b.trace[i].front);
+    }
+    EXPECT_EQ(a.totalHours, b.totalHours);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+} // namespace
+
+// --- Cache mechanics ----------------------------------------------------
+
+TEST(ShardCache, GetMissThenPutThenHit)
+{
+    accel::EvalCache cache(1 << 20);
+    const Fingerprint key = FingerprintBuilder().add(1).fingerprint();
+    EXPECT_FALSE(cache.get(key).has_value());
+    accel::CachedEval e;
+    e.loss = 42.0;
+    e.seconds = 2.0;
+    cache.put(key, e);
+    const auto hit = cache.get(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->loss, 42.0);
+    EXPECT_EQ(hit->seconds, 2.0);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardCache, LruEvictsOldestAtTinyCapacity)
+{
+    // One shard so the LRU order is global; room for exactly 2
+    // entries.
+    accel::EvalCache cache(2 * accel::EvalCache::entryBytes(), 1);
+    const auto key = [](int i) {
+        return FingerprintBuilder().add(i).fingerprint();
+    };
+    accel::CachedEval e;
+    cache.put(key(1), e);
+    cache.put(key(2), e);
+    EXPECT_TRUE(cache.get(key(1)).has_value()); // 1 is now MRU
+    cache.put(key(3), e);                       // evicts 2
+    EXPECT_TRUE(cache.get(key(1)).has_value());
+    EXPECT_FALSE(cache.get(key(2)).has_value());
+    EXPECT_TRUE(cache.get(key(3)).has_value());
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ShardCache, ZeroCapacityNeverStores)
+{
+    accel::EvalCache cache(0);
+    const Fingerprint key = FingerprintBuilder().add(9).fingerprint();
+    cache.put(key, accel::CachedEval{});
+    EXPECT_FALSE(cache.get(key).has_value());
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ShardCache, ClearDropsEntriesKeepsCounters)
+{
+    accel::EvalCache cache(1 << 20);
+    const Fingerprint key = FingerprintBuilder().add(5).fingerprint();
+    cache.put(key, accel::CachedEval{});
+    ASSERT_TRUE(cache.get(key).has_value());
+    cache.clear();
+    EXPECT_FALSE(cache.get(key).has_value());
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ShardCache, ConcurrentGetPutIsSafeAndLosesNothingLogically)
+{
+    accel::EvalCache cache(8 << 20);
+    constexpr int kThreads = 8;
+    constexpr int kOps = 2000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&cache, t] {
+            for (int i = 0; i < kOps; ++i) {
+                const Fingerprint key = FingerprintBuilder()
+                                            .add(i % 257)
+                                            .fingerprint();
+                accel::CachedEval e;
+                e.loss = static_cast<double>(i % 257);
+                cache.put(key, e);
+                const auto hit = cache.get(key);
+                if (hit.has_value() &&
+                    hit->loss != static_cast<double>(i % 257))
+                    ADD_FAILURE() << "corrupt value from thread " << t;
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 257u);
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// --- Fingerprints -------------------------------------------------------
+
+TEST(ShardCache, FingerprintIsStableAcrossRecomputation)
+{
+    const auto op = workload::TensorOp::conv("a", 64, 32, 28, 28, 3, 3);
+    EXPECT_EQ(op.fingerprint(), op.fingerprint());
+
+    common::Rng rng(3);
+    const mapping::MappingSpace space(op);
+    const mapping::Mapping m = space.random(rng);
+    EXPECT_EQ(m.fingerprint(), m.fingerprint());
+
+    accel::SpatialHwConfig hw;
+    EXPECT_EQ(hw.fingerprint(), hw.fingerprint());
+    EXPECT_EQ(accel::CubeHwConfig::expertDefault().fingerprint(),
+              accel::CubeHwConfig::expertDefault().fingerprint());
+}
+
+TEST(ShardCache, FingerprintIgnoresOpNameButNotShape)
+{
+    const auto a = workload::TensorOp::conv("a", 64, 32, 28, 28, 3, 3);
+    const auto b = workload::TensorOp::conv("b", 64, 32, 28, 28, 3, 3);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    const auto c = workload::TensorOp::conv("a", 64, 32, 28, 28, 1, 1);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(ShardCache, DistinctInputsYieldDistinctFingerprints)
+{
+    // Every decodable HW point of the edge spatial space must have a
+    // unique fingerprint (sampled subset).
+    const accel::SpatialDesignSpace space(accel::Scenario::Edge);
+    common::Rng rng(17);
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    std::set<std::string> described;
+    for (int i = 0; i < 500; ++i) {
+        const auto hw = space.decode(space.space().randomPoint(rng));
+        const auto fp = hw.fingerprint();
+        if (described.insert(hw.describe()).second) {
+            EXPECT_TRUE(seen.insert({fp.hi, fp.lo}).second)
+                << "collision at " << hw.describe();
+        }
+    }
+
+    // Distinct mappings of one op get distinct fingerprints.
+    const auto op = workload::TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+    const mapping::MappingSpace mspace(op);
+    std::set<std::pair<std::uint64_t, std::uint64_t>> mseen;
+    std::set<std::string> mdescribed;
+    for (int i = 0; i < 500; ++i) {
+        const auto m = mspace.random(rng);
+        const auto fp = m.fingerprint();
+        if (mdescribed.insert(m.describe()).second) {
+            EXPECT_TRUE(mseen.insert({fp.hi, fp.lo}).second)
+                << "collision at " << m.describe();
+        }
+    }
+}
+
+TEST(ShardCache, ModelKindsAndTechRungsNeverShareKeys)
+{
+    const auto op = workload::TensorOp::gemm("g", 64, 64, 64);
+    const costmodel::AnalyticalCostModel analytical;
+    const camodel::CycleAccurateModel cycle;
+    const camodel::CycleAccurateModel degraded = cycle.degraded();
+    const accel::SpatialHwConfig shw;
+    const auto chw = accel::CubeHwConfig::expertDefault();
+    const auto fa = analytical.queryFingerprint(op, shw);
+    const auto fc = cycle.queryFingerprint(op, chw);
+    const auto fd = degraded.queryFingerprint(op, chw);
+    EXPECT_NE(fa, fc);
+    EXPECT_NE(fc, fd);
+    EXPECT_NE(fa, fd);
+}
+
+// --- Cached model evaluation --------------------------------------------
+
+TEST(ShardCache, AnalyticalEvaluateCachedMatchesUncached)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = workload::TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+    accel::SpatialHwConfig hw;
+    hw.peX = hw.peY = 8;
+    hw.l1Bytes = 16 * 1024;
+    hw.l2Bytes = 512 * 1024;
+    const mapping::MappingSpace space(op);
+    common::Rng rng(5);
+    accel::EvalCache cache(1 << 20);
+    for (int i = 0; i < 32; ++i) {
+        const auto m = space.random(rng);
+        const accel::Ppa plain = model.evaluate(op, hw, m);
+        const accel::Ppa miss = model.evaluateCached(op, hw, m, cache);
+        const accel::Ppa hit = model.evaluateCached(op, hw, m, cache);
+        for (const accel::Ppa &p : {miss, hit}) {
+            EXPECT_EQ(p.latencyMs, plain.latencyMs);
+            EXPECT_EQ(p.powerMw, plain.powerMw);
+            EXPECT_EQ(p.areaMm2, plain.areaMm2);
+            EXPECT_EQ(p.energyMj, plain.energyMj);
+            EXPECT_EQ(p.feasible, plain.feasible);
+        }
+    }
+    EXPECT_EQ(cache.stats().hits, 32u);
+    EXPECT_EQ(cache.stats().misses, 32u);
+}
+
+TEST(ShardCache, CycleLevelEvaluateCachedMatchesAndReplaysSeconds)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 128, 128, 128);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(6);
+    accel::EvalCache cache(1 << 20);
+    for (int i = 0; i < 8; ++i) {
+        const auto m = space.random(rng);
+        camodel::SimStats stats;
+        const accel::Ppa plain = model.evaluate(op, hw, m, &stats);
+        const double plain_secs = model.nominalEvalSeconds(stats);
+        double miss_secs = 0.0, hit_secs = 0.0;
+        const accel::Ppa miss =
+            model.evaluateCached(op, hw, m, cache, &miss_secs);
+        const accel::Ppa hit =
+            model.evaluateCached(op, hw, m, cache, &hit_secs);
+        EXPECT_EQ(miss.latencyMs, plain.latencyMs);
+        EXPECT_EQ(hit.latencyMs, plain.latencyMs);
+        EXPECT_EQ(hit.energyMj, plain.energyMj);
+        // A hit must charge the identical virtual cost.
+        EXPECT_EQ(miss_secs, plain_secs);
+        EXPECT_EQ(hit_secs, plain_secs);
+    }
+}
+
+// --- End-to-end determinism ---------------------------------------------
+
+TEST(ShardCache, CoSearchBitIdenticalCacheOnVsOff)
+{
+    const auto cfg = tinyConfig(DriverConfig::unico());
+    accel::EvalCache cache(64 << 20);
+    const CoSearchResult with = runSpatial(&cache, cfg);
+    const CoSearchResult without = runSpatial(nullptr, cfg);
+    expectIdentical(with, without);
+    EXPECT_GT(with.cacheStats.hits, 0u);
+    EXPECT_GT(with.cacheStats.hitRate(), 0.0);
+    EXPECT_EQ(without.cacheStats.hits + without.cacheStats.misses, 0u);
+}
+
+TEST(ShardCache, CoSearchIdenticalAcrossThreadCounts)
+{
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.realThreads = 1;
+    accel::EvalCache c1(64 << 20);
+    const CoSearchResult r1 = runSpatial(&c1, cfg);
+    cfg.realThreads = 2;
+    accel::EvalCache c2(64 << 20);
+    const CoSearchResult r2 = runSpatial(&c2, cfg);
+    cfg.realThreads = 8;
+    accel::EvalCache c8(64 << 20);
+    const CoSearchResult r8 = runSpatial(&c8, cfg);
+    expectIdentical(r1, r2);
+    expectIdentical(r1, r8);
+}
+
+TEST(ShardCache, CoSearchWithFaultsBitIdenticalCacheOnVsOff)
+{
+    // The cache sits below fault injection, so even a faulty run must
+    // be trajectory-identical with the cache on or off.
+    const auto cfg = tinyConfig(DriverConfig::unico());
+    common::FaultSpec faults;
+    faults.transientRate = 0.08;
+    faults.corruptRate = 0.05;
+    faults.seed = 23;
+    accel::EvalCache cache(64 << 20);
+    const CoSearchResult with = runSpatial(&cache, cfg, faults);
+    const CoSearchResult without = runSpatial(nullptr, cfg, faults);
+    expectIdentical(with, without);
+    EXPECT_EQ(with.faults.transient, without.faults.transient);
+    EXPECT_EQ(with.faults.corrupt, without.faults.corrupt);
+}
+
+TEST(ShardCache, CheckpointResumeWithFreshCacheMatchesStraightRun)
+{
+    const std::string path =
+        testing::TempDir() + "unico_cache_resume.json";
+    std::remove(path.c_str());
+
+    auto full_cfg = tinyConfig(DriverConfig::unico());
+    accel::EvalCache c_full(64 << 20);
+    const CoSearchResult full = runSpatial(&c_full, full_cfg);
+
+    // Run the first iteration with one cache, then resume with a
+    // fresh (cold) cache: the checkpoint carries no cache state, so
+    // the outcome must still match the uninterrupted run.
+    auto part_cfg = full_cfg;
+    part_cfg.maxIter = 1;
+    part_cfg.checkpointPath = path;
+    accel::EvalCache c_part(64 << 20);
+    runSpatial(&c_part, part_cfg);
+
+    auto resume_cfg = full_cfg;
+    resume_cfg.checkpointPath = path;
+    resume_cfg.resumeFromCheckpoint = true;
+    accel::EvalCache c_resume(64 << 20);
+    const CoSearchResult resumed = runSpatial(&c_resume, resume_cfg);
+
+    expectIdentical(full, resumed);
+    std::remove(path.c_str());
+}

@@ -13,13 +13,23 @@
  *                 [--threads T] [--csv-prefix out/prefix] \
  *                 [--cache-mb MB] [--no-cache] \
  *                 [--fault-rate F] [--hang-rate F] [--corrupt-rate F] \
- *                 [--fault-seed S] [--checkpoint FILE] [--resume]
+ *                 [--fault-seed S] [--checkpoint FILE] [--resume] \
+ *                 [--checkpoint-every N] [--checkpoint-keep K] \
+ *                 [--wall-deadline SEC] [--eval-wall-deadline SEC]
  *
  * Fault tolerance: the --*-rate flags wrap the environment in a
  * deterministic fault injector (per-evaluation crash/hang/corrupt
  * probabilities) to exercise the driver's supervisor; --checkpoint
- * saves resumable state after every trial and --resume continues a
- * killed search from that file, bit-for-bit.
+ * saves resumable state at trial boundaries (every N trials with
+ * --checkpoint-every, keeping a K-deep rotation window with
+ * --checkpoint-keep) and --resume continues a killed search from the
+ * newest valid generation, bit-for-bit.
+ *
+ * Interruption: SIGINT/SIGTERM wind the search down gracefully —
+ * in-flight evaluations drain, a final checkpoint is written, and the
+ * process exits with code 75 (EX_TEMPFAIL: resumable). A second
+ * signal kills immediately. --wall-deadline bounds the whole run and
+ * --eval-wall-deadline each evaluation attempt in real seconds.
  *
  * Evaluation cache: PPA queries are memoized in a sharded LRU cache
  * (--cache-mb sets the byte budget, default 64 MB; --no-cache
@@ -32,6 +42,7 @@
 #include "baselines/nsga2.hh"
 #include "common/cli.hh"
 #include "common/fault.hh"
+#include "common/shutdown.hh"
 #include "common/table.hh"
 #include "core/driver.hh"
 #include "core/fault_env.hh"
@@ -58,7 +69,9 @@ usage(const char *prog)
            "  [--cache-mb MB] [--no-cache]\n"
            "  [--fault-rate F] [--hang-rate F] [--corrupt-rate F]"
            " [--fault-seed S]\n"
-           "  [--checkpoint FILE] [--resume]\n"
+           "  [--checkpoint FILE] [--resume] [--checkpoint-every N]"
+           " [--checkpoint-keep K]\n"
+           "  [--wall-deadline SEC] [--eval-wall-deadline SEC]\n"
            "models: ";
     for (const auto &name : workload::modelNames())
         std::cerr << name << " ";
@@ -172,6 +185,18 @@ main(int argc, char **argv)
             std::cerr << "error: --resume requires --checkpoint FILE\n";
             return usage(args.program().c_str());
         }
+        cfg.checkpointEvery =
+            static_cast<int>(args.getInt("checkpoint-every", 1));
+        cfg.checkpointKeep =
+            static_cast<int>(args.getInt("checkpoint-keep", 3));
+        cfg.wallDeadlineSeconds = args.getDouble("wall-deadline", 0.0);
+        cfg.evalWallDeadlineSeconds =
+            args.getDouble("eval-wall-deadline", 0.0);
+        // Graceful shutdown: SIGINT/SIGTERM cancel this token; the
+        // driver drains, checkpoints and returns with interrupted
+        // state instead of dying mid-write.
+        common::installShutdownHandlers();
+        cfg.cancel = &common::shutdownToken();
         core::CoOptimizer driver(env, cfg);
         try {
             result = driver.run();
@@ -181,12 +206,22 @@ main(int argc, char **argv)
             std::cerr << "error: " << e.what() << "\n";
             return 1;
         }
+        for (const auto &warning : result.warnings)
+            std::cerr << "warning: " << warning << "\n";
         if (fault_spec.active()) {
             const auto counts = faulty_env.injected();
             std::cout << "\ninjected faults: transient="
                       << counts.transient << " hang=" << counts.hang
                       << " corrupt=" << counts.corrupt << "\n"
                       << "recovered " << core::toString(result.faults)
+                      << "\n";
+        } else if (result.faults.total() > 0 ||
+                   result.faults.gpFallbacks > 0 ||
+                   result.faults.checkpointRecoveries > 0) {
+            // Genuine (non-injected) faults — watchdog timeouts, GP
+            // fit fallbacks, checkpoint recoveries — also deserve a
+            // digest.
+            std::cout << "\nrecovered " << core::toString(result.faults)
                       << "\n";
         }
     }
@@ -233,6 +268,12 @@ main(int argc, char **argv)
                   << prefix << "_{records,front,trace}.csv\n";
         if (!ok)
             return 1;
+    }
+    if (result.interrupted) {
+        std::cout << "\ninterrupted (" << result.interruptReason
+                  << "): state checkpointed, rerun with --resume to "
+                     "continue\n";
+        return common::kExitResumable;
     }
     return 0;
 }

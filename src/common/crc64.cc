@@ -1,0 +1,38 @@
+#include "common/crc64.hh"
+
+#include <array>
+
+namespace unico::common {
+
+namespace {
+
+/** Reflected ECMA-182 polynomial (CRC-64/XZ). */
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+std::array<std::uint64_t, 256>
+makeTable()
+{
+    std::array<std::uint64_t, 256> table{};
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        std::uint64_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint64_t
+crc64(const void *data, std::size_t len, std::uint64_t crc)
+{
+    static const std::array<std::uint64_t, 256> table = makeTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace unico::common

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * CRC-64 (ECMA-182 polynomial, XZ variant: reflected, inverted) for
+ * checkpoint integrity trailers. A truncated or bit-flipped
+ * checkpoint must be *detected* at load so resume can fall back to
+ * the previous rotated generation instead of silently restoring
+ * garbage state.
+ */
+
+#ifndef UNICO_COMMON_CRC64_HH
+#define UNICO_COMMON_CRC64_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace unico::common {
+
+/** CRC-64/XZ of @p len bytes, continuing from @p crc (0 to start). */
+std::uint64_t crc64(const void *data, std::size_t len,
+                    std::uint64_t crc = 0);
+
+/** Convenience overload over a string's bytes. */
+inline std::uint64_t
+crc64(const std::string &s, std::uint64_t crc = 0)
+{
+    return crc64(s.data(), s.size(), crc);
+}
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_CRC64_HH

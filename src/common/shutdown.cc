@@ -1,0 +1,78 @@
+#include "common/shutdown.hh"
+
+#include <csignal>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace unico::common {
+
+namespace {
+
+/** Signal number that requested shutdown (0 = none). Written only
+ *  from the handler; sig_atomic_t keeps the store itself safe even
+ *  where atomics are not lock-free. */
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onShutdownSignal(int sig)
+{
+    if (shutdownToken().cancel(CancelReason::Signal)) {
+        g_signal = sig;
+        return;
+    }
+    // Second signal while draining: the operator wants out *now*.
+    // _exit is async-signal-safe; 128+signum is the shell convention.
+#if defined(_WIN32)
+    std::_Exit(128 + sig);
+#else
+    _exit(128 + sig);
+#endif
+}
+
+} // namespace
+
+CancelToken &
+shutdownToken()
+{
+    static CancelToken token;
+    return token;
+}
+
+void
+installShutdownHandlers()
+{
+#if defined(_WIN32)
+    std::signal(SIGINT, onShutdownSignal);
+    std::signal(SIGTERM, onShutdownSignal);
+#else
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls too
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+#endif
+}
+
+bool
+shutdownRequested()
+{
+    return shutdownToken().cancelled();
+}
+
+int
+shutdownSignal()
+{
+    return static_cast<int>(g_signal);
+}
+
+void
+clearShutdownRequest()
+{
+    g_signal = 0;
+    shutdownToken().reset();
+}
+
+} // namespace unico::common

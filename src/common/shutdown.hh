@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Signal-safe graceful-shutdown support.
+ *
+ * installShutdownHandlers() registers SIGINT/SIGTERM handlers that do
+ * nothing but cancel the process-wide shutdownToken() (a lock-free
+ * atomic store, the only thing a handler may safely do). Long-running
+ * loops poll the token at iteration boundaries, drain in-flight work,
+ * persist a final checkpoint and exit with a distinct resumable
+ * status code (kExitResumable) so supervisors can tell "interrupted,
+ * resume me" from success and from hard failure.
+ *
+ * A second SIGINT/SIGTERM while a graceful shutdown is already in
+ * progress hard-exits with the conventional 128+signum code: an
+ * operator pressing Ctrl-C twice means *now*.
+ */
+
+#ifndef UNICO_COMMON_SHUTDOWN_HH
+#define UNICO_COMMON_SHUTDOWN_HH
+
+#include "common/cancel.hh"
+
+namespace unico::common {
+
+/** Exit code of a run interrupted with resumable state on disk
+ *  (EX_TEMPFAIL: "try again later"). */
+constexpr int kExitResumable = 75;
+
+/** The process-wide shutdown token cancelled by the handlers. */
+CancelToken &shutdownToken();
+
+/** Install the SIGINT/SIGTERM handlers (idempotent). */
+void installShutdownHandlers();
+
+/** True once a shutdown signal has been received. */
+bool shutdownRequested();
+
+/** The signal that requested shutdown, or 0. */
+int shutdownSignal();
+
+/** Re-arm after a handled shutdown (tests only). */
+void clearShutdownRequest();
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_SHUTDOWN_HH

@@ -85,11 +85,13 @@ ThreadPool::workerLoop()
 
 void
 runParallel(const std::vector<std::function<void()>> &jobs,
-            std::size_t threads)
+            std::size_t threads, const CancelToken *cancel)
 {
     if (threads <= 1) {
         std::exception_ptr first;
         for (const auto &job : jobs) {
+            if (cancel != nullptr && cancel->cancelled())
+                break;
             try {
                 job();
             } catch (...) {
@@ -102,8 +104,19 @@ runParallel(const std::vector<std::function<void()>> &jobs,
         return;
     }
     ThreadPool pool(threads);
-    for (const auto &job : jobs)
-        pool.submit(job);
+    for (const auto &job : jobs) {
+        if (cancel == nullptr) {
+            pool.submit(job);
+        } else {
+            // The skip decision happens when the job is *dequeued*:
+            // a cancellation during the batch drains the queue
+            // without starting new work.
+            pool.submit([&job, cancel] {
+                if (!cancel->cancelled())
+                    job();
+            });
+        }
+    }
     pool.waitIdle();
     const auto failures = pool.drainFailures();
     if (!failures.empty())

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "common/status.hh"
 
 namespace unico::common {
@@ -82,9 +83,15 @@ class ThreadPool
  * exception (by job index for inline execution, completion order
  * otherwise) is rethrown after the batch finishes. Callers that need
  * per-job outcomes should use runParallelCaptured().
+ *
+ * When @p cancel is non-null, jobs that have not yet *started* when
+ * the token is cancelled are skipped (running jobs are expected to
+ * poll the token themselves); the batch still returns only after
+ * every started job finished, so a drain leaves no work in flight.
  */
 void runParallel(const std::vector<std::function<void()>> &jobs,
-                 std::size_t threads);
+                 std::size_t threads,
+                 const CancelToken *cancel = nullptr);
 
 /**
  * Like runParallel(), but never throws due to a job: returns one

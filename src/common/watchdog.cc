@@ -1,0 +1,90 @@
+#include "common/watchdog.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace unico::common {
+
+Watchdog::Watchdog() : thread_([this] { loop(); })
+{
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+}
+
+std::uint64_t
+Watchdog::watch(CancelToken &token, double seconds, CancelReason reason)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               std::max(seconds, 0.0)));
+    std::uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = nextId_++;
+        entries_.emplace(id, Entry{deadline, &token, reason});
+    }
+    wake_.notify_all();
+    return id;
+}
+
+bool
+Watchdog::release(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Expiry erases the entry under the same mutex, so presence here
+    // proves the deadline has not fired and never will.
+    return entries_.erase(id) > 0;
+}
+
+std::size_t
+Watchdog::armed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        if (entries_.empty()) {
+            wake_.wait(lock,
+                       [this] { return stopping_ || !entries_.empty(); });
+            continue;
+        }
+        auto earliest = Clock::time_point::max();
+        for (const auto &[id, entry] : entries_)
+            earliest = std::min(earliest, entry.deadline);
+        if (wake_.wait_until(lock, earliest, [this, earliest] {
+                if (stopping_)
+                    return true;
+                for (const auto &[id, entry] : entries_)
+                    if (entry.deadline < earliest)
+                        return true;
+                return false;
+            })) {
+            continue; // stop requested or an earlier deadline arrived
+        }
+        const auto now = Clock::now();
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->second.deadline <= now) {
+                it->second.token->cancel(it->second.reason);
+                it = entries_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+} // namespace unico::common

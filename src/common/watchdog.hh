@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Wall-clock watchdog thread.
+ *
+ * The EvalClock charges *virtual* time, so a PPA engine that hangs in
+ * real time never trips the virtual-deadline taxonomy. The Watchdog
+ * closes that gap: callers register a (CancelToken, deadline) pair
+ * and a dedicated thread cancels the token when the real-time
+ * deadline passes. The driver uses one registration for the whole-run
+ * deadline and one short-lived registration per evaluation attempt;
+ * expiries surface through the cooperative CancelToken and are
+ * classified with the existing Status taxonomy (Timeout).
+ *
+ * release() is atomic with expiry: once it returns, the watchdog
+ * holds no reference to the token and will never cancel it, so the
+ * owner may safely reset and reuse the token for the next attempt.
+ */
+
+#ifndef UNICO_COMMON_WATCHDOG_HH
+#define UNICO_COMMON_WATCHDOG_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/cancel.hh"
+
+namespace unico::common {
+
+/** Deadline enforcement thread for cooperative cancellation. */
+class Watchdog
+{
+  public:
+    Watchdog();
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Cancel @p token with @p reason once @p seconds of real time
+     * elapse, unless released first.
+     * @return registration id for release().
+     */
+    std::uint64_t watch(CancelToken &token, double seconds,
+                        CancelReason reason);
+
+    /**
+     * Withdraw a registration. @return true when the deadline had not
+     * fired; false when the token was already cancelled by it. After
+     * return (either way) the watchdog no longer references the
+     * token.
+     */
+    bool release(std::uint64_t id);
+
+    /** Registrations currently armed (for tests/metrics). */
+    std::size_t armed() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Entry
+    {
+        Clock::time_point deadline;
+        CancelToken *token;
+        CancelReason reason;
+    };
+
+    void loop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::map<std::uint64_t, Entry> entries_;
+    std::uint64_t nextId_ = 1;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_WATCHDOG_HH

@@ -1,9 +1,19 @@
 #include "core/checkpoint.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/crc64.hh"
 
 namespace unico::core {
 
@@ -129,7 +139,17 @@ faultsToJson(const FaultStats &f)
     j["retries"] = static_cast<std::size_t>(f.retries);
     j["degradations"] = static_cast<std::size_t>(f.degradations);
     j["penalized"] = static_cast<std::size_t>(f.penalized);
+    j["gpFallbacks"] = static_cast<std::size_t>(f.gpFallbacks);
+    j["checkpointRecoveries"] =
+        static_cast<std::size_t>(f.checkpointRecoveries);
     return j;
+}
+
+std::uint64_t
+countOrZero(const Json &j, const char *key)
+{
+    return j.has(key) ? static_cast<std::uint64_t>(j.at(key).asInt())
+                      : 0;
 }
 
 FaultStats
@@ -144,6 +164,9 @@ faultsFromJson(const Json &j)
     f.degradations =
         static_cast<std::uint64_t>(j.at("degradations").asInt());
     f.penalized = static_cast<std::uint64_t>(j.at("penalized").asInt());
+    // Absent in version-1 documents.
+    f.gpFallbacks = countOrZero(j, "gpFallbacks");
+    f.checkpointRecoveries = countOrZero(j, "checkpointRecoveries");
     return f;
 }
 
@@ -227,7 +250,7 @@ checkpointFromJson(const common::Json &doc)
 {
     SearchCheckpoint ck;
     ck.version = static_cast<int>(doc.at("version").asInt());
-    if (ck.version != 1)
+    if (ck.version != 1 && ck.version != 2)
         throw std::runtime_error(
             "checkpoint: unsupported version " +
             std::to_string(ck.version));
@@ -276,32 +299,211 @@ checkpointFromJson(const common::Json &doc)
     return ck;
 }
 
+namespace {
+
+constexpr const char *kCrcPrefix = "#crc64:";
+
+/** Directory part of a path ("." when the path has no slash). */
+std::string
+dirnameOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+std::string
+errnoMessage(const std::string &what, const std::string &path)
+{
+    return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/** Write @p bytes to @p path and flush them to stable storage. */
+CheckpointIoStatus
+writeDurable(const std::string &path, const std::string &bytes)
+{
+#if defined(_WIN32)
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out)
+        return CheckpointIoStatus::failure("cannot open '" + path + "'");
+    out << bytes;
+    out.flush();
+    if (!out.good())
+        return CheckpointIoStatus::failure("write failed '" + path + "'");
+    return CheckpointIoStatus::success();
+#else
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return CheckpointIoStatus::failure(errnoMessage("open", path));
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const auto st =
+                CheckpointIoStatus::failure(errnoMessage("write", path));
+            ::close(fd);
+            return st;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    // fsync before rename: otherwise a power loss can surface the
+    // new name with zero-length contents.
+    if (::fsync(fd) != 0) {
+        const auto st =
+            CheckpointIoStatus::failure(errnoMessage("fsync", path));
+        ::close(fd);
+        return st;
+    }
+    if (::close(fd) != 0)
+        return CheckpointIoStatus::failure(errnoMessage("close", path));
+    return CheckpointIoStatus::success();
+#endif
+}
+
+/** Persist the directory entry (rename durability). */
+void
+syncDirectory(const std::string &dir)
+{
+#if !defined(_WIN32)
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd); // best effort: some filesystems refuse dir fsync
+        ::close(dfd);
+    }
+#else
+    (void)dir;
+#endif
+}
+
 bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path);
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+std::string
+rotatedCheckpointPath(const std::string &path, int n)
+{
+    return n <= 0 ? path : path + "." + std::to_string(n);
+}
+
+CheckpointIoStatus
 saveCheckpointFile(const std::string &path, const SearchCheckpoint &ck)
 {
+    std::string body = toJson(ck).dump(2);
+    body += "\n";
+    std::ostringstream trailer;
+    trailer << kCrcPrefix << common::hexU64(common::crc64(body)) << "\n";
+    body += trailer.str();
+
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            return false;
-        out << toJson(ck).dump(2) << "\n";
-        if (!out.good())
-            return false;
-    }
+    if (auto st = writeDurable(tmp, body); !st)
+        return st;
     // Atomic replace: a kill mid-write leaves the previous checkpoint
     // intact.
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return CheckpointIoStatus::failure(
+            errnoMessage("rename", tmp + " -> " + path));
+    syncDirectory(dirnameOf(path));
+    return CheckpointIoStatus::success();
+}
+
+CheckpointIoStatus
+saveCheckpointRotated(const std::string &path, const SearchCheckpoint &ck,
+                      int keep)
+{
+    // Shift generations oldest-first so every intermediate state
+    // keeps each surviving generation under exactly one name; a kill
+    // between renames at worst leaves a gap the fallback walk skips.
+    for (int n = keep - 2; n >= 0; --n) {
+        const std::string from = rotatedCheckpointPath(path, n);
+        if (!fileExists(from))
+            continue;
+        const std::string to = rotatedCheckpointPath(path, n + 1);
+        if (std::rename(from.c_str(), to.c_str()) != 0)
+            return CheckpointIoStatus::failure(
+                errnoMessage("rotate", from + " -> " + to));
+    }
+    return saveCheckpointFile(path, ck);
 }
 
 std::optional<SearchCheckpoint>
 loadCheckpointFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         return std::nullopt;
     std::ostringstream buf;
     buf << in.rdbuf();
-    return checkpointFromJson(common::Json::parse(buf.str()));
+    const std::string raw = buf.str();
+
+    // The integrity trailer is the last line; everything before it is
+    // the checksummed document. A missing trailer means the file was
+    // truncated (or predates the trailer format) — reject it rather
+    // than trust unverifiable state.
+    const auto pos = raw.rfind(kCrcPrefix);
+    if (pos == std::string::npos ||
+        (pos != 0 && raw[pos - 1] != '\n'))
+        throw std::runtime_error("checkpoint '" + path +
+                                 "': missing integrity trailer "
+                                 "(truncated or legacy file)");
+    const std::string body = raw.substr(0, pos);
+    std::string hex = raw.substr(pos + std::strlen(kCrcPrefix));
+    while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r'))
+        hex.pop_back();
+    if (hex.empty())
+        throw std::runtime_error("checkpoint '" + path +
+                                 "': malformed integrity trailer");
+    const std::uint64_t expected = common::parseHexU64(hex);
+    const std::uint64_t actual = common::crc64(body);
+    if (actual != expected)
+        throw std::runtime_error(
+            "checkpoint '" + path + "': CRC mismatch (stored " + hex +
+            ", computed " + common::hexU64(actual) +
+            "); file is truncated or corrupt");
+    return checkpointFromJson(common::Json::parse(body));
+}
+
+std::optional<RecoveredCheckpoint>
+loadNewestValidCheckpoint(const std::string &path, int keep)
+{
+    RecoveredCheckpoint out;
+    bool any_exists = false;
+    const int window = std::max(keep, 1);
+    for (int n = 0; n < window; ++n) {
+        const std::string gen = rotatedCheckpointPath(path, n);
+        try {
+            auto ck = loadCheckpointFile(gen);
+            if (!ck.has_value())
+                continue; // gap in the window: keep walking
+            any_exists = true;
+            out.checkpoint = std::move(*ck);
+            out.path = gen;
+            out.generation = n;
+            return out;
+        } catch (const std::exception &e) {
+            any_exists = true;
+            out.rejected.push_back(e.what());
+        }
+    }
+    if (!any_exists)
+        return std::nullopt;
+    std::string all;
+    for (const auto &msg : out.rejected)
+        all += "\n  " + msg;
+    throw std::runtime_error(
+        "no valid checkpoint in the rotation window of '" + path +
+        "':" + all);
 }
 
 } // namespace unico::core

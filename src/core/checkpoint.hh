@@ -6,12 +6,23 @@
  * resumable state — MOBO observations and sampler RNG/kernel, the
  * High Fidelity Update Rule state, the Pareto archive, every
  * evaluation record, the convergence trace, fault counters and the
- * EvalClock ledger — to a JSON file (written atomically via a temp
- * file + rename, so a kill mid-write never corrupts the previous
- * checkpoint). A killed search restarted with the same DriverConfig
- * and --resume replays the remaining trials bit-for-bit: per-trial
- * mapping-run seeds are derived from (config seed, trial, slot), so
- * an interrupted trial simply re-runs from its start.
+ * EvalClock ledger — to a JSON file. A killed search restarted with
+ * the same DriverConfig and --resume replays the remaining trials
+ * bit-for-bit: per-trial mapping-run seeds are derived from (config
+ * seed, trial, slot), so an interrupted trial simply re-runs from
+ * its start.
+ *
+ * Durability and integrity (version 2 format):
+ *  - every checkpoint carries a CRC-64 trailer line
+ *    ("#crc64:<16 hex>") over the document bytes; truncation or bit
+ *    rot is *detected* at load instead of restoring garbage state;
+ *  - the temp file (and its directory) are fsynced before the atomic
+ *    rename, so a power loss right after a save cannot leave a
+ *    present-but-empty checkpoint;
+ *  - saveCheckpointRotated() keeps a window of the last K
+ *    generations (path, path.1, ..., path.K-1) and
+ *    loadNewestValidCheckpoint() falls back along that window past
+ *    any generation that fails validation.
  */
 
 #ifndef UNICO_CORE_CHECKPOINT_HH
@@ -19,6 +30,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.hh"
 #include "core/driver.hh"
@@ -29,7 +41,7 @@ namespace unico::core {
 /** Everything needed to resume a co-search mid-run. */
 struct SearchCheckpoint
 {
-    int version = 1;
+    int version = 2;
     /** Fingerprint of the producing DriverConfig; resume refuses a
      *  checkpoint whose fingerprint differs from the live config. */
     std::string configKey;
@@ -51,16 +63,74 @@ std::string configFingerprint(const DriverConfig &cfg);
 common::Json toJson(const SearchCheckpoint &ck);
 SearchCheckpoint checkpointFromJson(const common::Json &doc);
 
-/** Atomic write (tmp + rename); returns false on I/O failure. */
-bool saveCheckpointFile(const std::string &path,
-                        const SearchCheckpoint &ck);
+/**
+ * Outcome of a checkpoint I/O operation. ok() is false on failure,
+ * with message carrying the reason (open/write/fsync/rename and the
+ * affected path) so callers can report *why* instead of a bare bool.
+ */
+struct CheckpointIoStatus
+{
+    std::string message; ///< empty on success
+
+    bool ok() const { return message.empty(); }
+    explicit operator bool() const { return ok(); }
+
+    static CheckpointIoStatus success() { return {}; }
+    static CheckpointIoStatus
+    failure(std::string why)
+    {
+        return CheckpointIoStatus{std::move(why)};
+    }
+};
+
+/**
+ * Durable atomic write: serialize with a CRC-64 trailer, fsync the
+ * temp file and its directory, then rename over @p path.
+ */
+CheckpointIoStatus saveCheckpointFile(const std::string &path,
+                                      const SearchCheckpoint &ck);
+
+/**
+ * Like saveCheckpointFile(), but first shifts existing generations
+ * down the rotation window (path -> path.1 -> ... -> path.keep-1,
+ * dropping the oldest) so the last @p keep checkpoints survive.
+ * keep <= 1 disables rotation.
+ */
+CheckpointIoStatus saveCheckpointRotated(const std::string &path,
+                                         const SearchCheckpoint &ck,
+                                         int keep);
+
+/** The n-th rotated generation path (n = 0 is @p path itself). */
+std::string rotatedCheckpointPath(const std::string &path, int n);
 
 /**
  * Load a checkpoint; std::nullopt when the file does not exist.
- * Throws std::runtime_error on a malformed document.
+ * Throws std::runtime_error on a malformed document, a missing
+ * integrity trailer, or a CRC mismatch (truncation / bit flip).
  */
 std::optional<SearchCheckpoint>
 loadCheckpointFile(const std::string &path);
+
+/** A checkpoint recovered from the rotation window. */
+struct RecoveredCheckpoint
+{
+    SearchCheckpoint checkpoint;
+    std::string path;   ///< generation that validated
+    int generation = 0; ///< 0 = newest, 1 = one save older, ...
+    /** Diagnostics for newer generations that failed validation. */
+    std::vector<std::string> rejected;
+};
+
+/**
+ * Resume entry point: walk the rotation window newest-first and
+ * return the first checkpoint that passes CRC + parse validation,
+ * with the failures of any newer generations recorded in rejected.
+ * Returns std::nullopt when no generation exists on disk; throws
+ * std::runtime_error when generations exist but none validates
+ * (starting silently from scratch would discard the whole run).
+ */
+std::optional<RecoveredCheckpoint>
+loadNewestValidCheckpoint(const std::string &path, int keep);
 
 } // namespace unico::core
 

@@ -7,8 +7,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <memory>
+
 #include "common/status.hh"
 #include "common/thread_pool.hh"
+#include "common/watchdog.hh"
 #include "core/checkpoint.hh"
 #include "core/fidelity.hh"
 #include "core/mobo.hh"
@@ -27,6 +30,8 @@ FaultStats::merge(const FaultStats &other)
     retries += other.retries;
     degradations += other.degradations;
     penalized += other.penalized;
+    gpFallbacks += other.gpFallbacks;
+    checkpointRecoveries += other.checkpointRecoveries;
 }
 
 std::string
@@ -37,7 +42,9 @@ toString(const FaultStats &stats)
         << " timeout=" << stats.timeout << " corrupt=" << stats.corrupt
         << " fatal=" << stats.fatal << " retries=" << stats.retries
         << " degradations=" << stats.degradations
-        << " penalized=" << stats.penalized;
+        << " penalized=" << stats.penalized
+        << " gp_fallbacks=" << stats.gpFallbacks
+        << " ckpt_recoveries=" << stats.checkpointRecoveries;
     return oss.str();
 }
 
@@ -206,26 +213,102 @@ CoOptimizer::run()
     const int min_budget =
         std::max(cfg_.minBudgetPerRound, env_.minSeedBudget());
 
+    // --- Cancellation plumbing: one internal run token fed by (a)
+    // the external shutdown token (SIGINT/SIGTERM), bridged at every
+    // poll, and (b) the wall-clock watchdog's whole-run deadline.
+    // Everything below — loop boundaries, SH rounds, thread-pool
+    // queue, evaluation chunks — polls this single token.
+    common::CancelToken run_token;
+    std::unique_ptr<common::Watchdog> watchdog;
+    if (cfg_.wallDeadlineSeconds > 0.0 ||
+        cfg_.evalWallDeadlineSeconds > 0.0)
+        watchdog = std::make_unique<common::Watchdog>();
+    std::uint64_t run_watch_id = 0;
+    if (watchdog && cfg_.wallDeadlineSeconds > 0.0)
+        run_watch_id =
+            watchdog->watch(run_token, cfg_.wallDeadlineSeconds,
+                            common::CancelReason::RunDeadline);
+    auto poll_interrupt = [&]() -> bool {
+        if (cfg_.cancel != nullptr && cfg_.cancel->cancelled())
+            run_token.cancel(common::CancelReason::Signal);
+        return run_token.cancelled();
+    };
+
     // --- Checkpoint resume: restore sampler, selector, clock and
     // archive, then continue with the first unfinished trial. Seeds
     // of a trial's mapping runs derive from (seed, trial, slot), so
     // an interrupted trial re-runs identically from its start.
+    // Resume walks the rotation window newest-first and skips any
+    // generation that fails CRC/parse validation.
     int start_iter = 0;
     if (cfg_.resumeFromCheckpoint && !cfg_.checkpointPath.empty()) {
-        if (auto ck = loadCheckpointFile(cfg_.checkpointPath)) {
-            if (ck->configKey != configFingerprint(cfg_))
+        if (auto rec = loadNewestValidCheckpoint(cfg_.checkpointPath,
+                                                 cfg_.checkpointKeep)) {
+            if (rec->checkpoint.configKey != configFingerprint(cfg_))
                 throw std::runtime_error(
-                    "checkpoint '" + cfg_.checkpointPath +
+                    "checkpoint '" + rec->path +
                     "' was produced by a different configuration");
-            sampler.restoreState(ck->samplerState);
-            selector.restoreState(ck->selector);
-            clock.restore(ck->clockSeconds, ck->clockEvaluations);
-            result = std::move(ck->result);
-            start_iter = ck->completedIterations;
+            sampler.restoreState(rec->checkpoint.samplerState);
+            selector.restoreState(rec->checkpoint.selector);
+            clock.restore(rec->checkpoint.clockSeconds,
+                          rec->checkpoint.clockEvaluations);
+            result = std::move(rec->checkpoint.result);
+            start_iter = rec->checkpoint.completedIterations;
+            result.faults.checkpointRecoveries +=
+                static_cast<std::uint64_t>(rec->rejected.size());
+            for (const auto &why : rec->rejected)
+                result.warnings.push_back("checkpoint fallback: " + why);
+            if (rec->generation > 0)
+                result.warnings.push_back(
+                    "resumed from rotated generation '" + rec->path +
+                    "' (" + std::to_string(rec->generation) +
+                    " save(s) old)");
         }
     }
 
+    int completed_iters = start_iter;
+    int last_saved_iter = start_iter;
+    auto save_checkpoint = [&](int completed) {
+        if (cfg_.checkpointPath.empty())
+            return;
+        SearchCheckpoint ck;
+        ck.configKey = configFingerprint(cfg_);
+        ck.completedIterations = completed;
+        ck.clockSeconds = clock.seconds();
+        ck.clockEvaluations = clock.evaluations();
+        ck.samplerState = sampler.saveState();
+        ck.selector = selector.saveState();
+        ck.result = result;
+        const auto st = saveCheckpointRotated(cfg_.checkpointPath, ck,
+                                              cfg_.checkpointKeep);
+        if (st.ok())
+            last_saved_iter = completed;
+        else
+            result.warnings.push_back("checkpoint save failed: " +
+                                      st.message);
+    };
+
     for (int iter = start_iter; iter < cfg_.maxIter; ++iter) {
+        if (poll_interrupt())
+            break;
+
+        // Rollback snapshot: an interrupt mid-trial discards the
+        // partial trial (clock charges and fault counts included) so
+        // the final checkpoint holds exactly the last completed-trial
+        // state and a resume replays the straight run bit-for-bit.
+        const double snap_seconds = clock.seconds();
+        const std::uint64_t snap_evals = clock.evaluations();
+        const FaultStats snap_faults = result.faults;
+        // With a sparse cadence the final interrupted save happens
+        // mid-window, so the sampler (whose RNG already advanced for
+        // the discarded trial's batch) must be rolled back too. With
+        // the default cadence of 1 the on-disk checkpoint already
+        // holds the boundary state and no snapshot is needed.
+        common::Json snap_sampler;
+        const bool need_sampler_snap =
+            !cfg_.checkpointPath.empty() && cfg_.checkpointEvery > 1;
+        if (need_sampler_snap)
+            snap_sampler = sampler.saveState();
         // Batch size and round count for this trial. Hyperband
         // cycles through SH brackets of decreasing aggressiveness:
         // bracket s starts n_s ~ (s_max+1)/(s+1) * eta^s candidates
@@ -252,7 +335,12 @@ CoOptimizer::run()
         }
 
         // --- Line 4: sample a batch of N hardware configurations.
+        // GP-fit failures inside the sampler degrade to space-filling
+        // proposals instead of aborting; surface them as fault-stat
+        // deltas so interrupt rollback stays consistent.
+        const std::uint64_t gp_before = sampler.gpFallbacks();
         const auto batch = sampler.sampleBatch(batch_n);
+        result.faults.gpFallbacks += sampler.gpFallbacks() - gp_before;
 
         std::vector<std::unique_ptr<MappingRun>> runs;
         runs.reserve(batch.size());
@@ -300,14 +388,38 @@ CoOptimizer::run()
                     double seconds = 0.0;
                     int attempts = 0;
                     int target = budget;
+                    common::CancelToken eval_token;
                     for (;;) {
+                        if (poll_interrupt())
+                            break; // abandoned; the trial rolls back
                         const double before = run.chargedSeconds();
                         const int spent_before = run.spent();
                         auto st = common::EvalStatus::Ok;
                         bool corrupt = false;
+                        std::uint64_t watch_id = 0;
+                        if (watchdog &&
+                            cfg_.evalWallDeadlineSeconds > 0.0)
+                            watch_id = watchdog->watch(
+                                eval_token,
+                                cfg_.evalWallDeadlineSeconds,
+                                common::CancelReason::EvalDeadline);
                         try {
-                            if (run.spent() < target)
-                                run.step(target - run.spent());
+                            // Chunked stepping is bit-identical to
+                            // one large step (the engine advances one
+                            // sweep at a time) but gives the watchdog
+                            // and the shutdown path cooperative
+                            // cancellation points.
+                            constexpr int kChunk = 4;
+                            while (run.spent() < target) {
+                                if (eval_token.cancelled() ||
+                                    run_token.cancelled())
+                                    break;
+                                const int chunk_before = run.spent();
+                                run.step(std::min(
+                                    kChunk, target - run.spent()));
+                                if (run.spent() == chunk_before)
+                                    break; // stalled; guarded below
+                            }
                             // Corrupted-result detection: garbage
                             // PPA (NaN/negative) must never reach
                             // the archive or the surrogate.
@@ -320,7 +432,20 @@ CoOptimizer::run()
                         } catch (const std::exception &) {
                             st = common::EvalStatus::Fatal;
                         }
+                        // release() is atomic with expiry: once it
+                        // returns, the watchdog holds no reference to
+                        // eval_token. false = the deadline fired.
+                        const bool expired =
+                            watch_id != 0 &&
+                            !watchdog->release(watch_id);
                         seconds += run.chargedSeconds() - before;
+                        if (run_token.cancelled())
+                            break; // interrupted; trial is discarded
+                        if ((expired || eval_token.cancelled()) &&
+                            st == common::EvalStatus::Ok &&
+                            run.spent() < target)
+                            st = common::EvalStatus::Timeout;
+                        eval_token.reset();
                         if (st == common::EvalStatus::Ok) {
                             if (run.spent() >= target)
                                 break; // healthy and complete
@@ -379,7 +504,7 @@ CoOptimizer::run()
                     task_seconds[i] = seconds;
                 });
             }
-            common::runParallel(jobs, cfg_.realThreads);
+            common::runParallel(jobs, cfg_.realThreads, &run_token);
             for (const auto &fs : job_faults)
                 result.faults.merge(fs);
             clock.chargeParallel(task_seconds);
@@ -403,6 +528,8 @@ CoOptimizer::run()
                 const int budget =
                     roundBudget(cfg_.sh, j, rounds, min_budget);
                 grow_to(alive, budget);
+                if (poll_interrupt())
+                    break; // survivor stats may be half-grown
                 drop_failed(alive);
                 if (j == rounds || alive.empty())
                     break;
@@ -438,6 +565,22 @@ CoOptimizer::run()
                     next.push_back(alive[local]);
                 alive = std::move(next);
             }
+        }
+
+        // --- Graceful interrupt: drain happened inside runParallel
+        // (queued jobs skipped, started jobs finished). Discard the
+        // partial trial entirely — clock charges and fault counters
+        // included — so the checkpoint holds the last completed-trial
+        // state and a resume replays the straight run bit-for-bit.
+        if (poll_interrupt()) {
+            clock.restore(snap_seconds, snap_evals);
+            result.faults = snap_faults;
+            if (need_sampler_snap)
+                sampler.restoreState(snap_sampler);
+            result.interrupted = true;
+            result.interruptReason =
+                common::toString(run_token.reason());
+            break;
         }
 
         // --- Assess the batch: final PPA, robustness, constraints.
@@ -538,20 +681,28 @@ CoOptimizer::run()
         result.trace.push_back(
             TracePoint{clock.hours(), result.front.points()});
 
-        // --- Checkpoint: persist the complete resumable state after
-        // each finished trial (atomic tmp + rename).
-        if (!cfg_.checkpointPath.empty()) {
-            SearchCheckpoint ck;
-            ck.configKey = configFingerprint(cfg_);
-            ck.completedIterations = iter + 1;
-            ck.clockSeconds = clock.seconds();
-            ck.clockEvaluations = clock.evaluations();
-            ck.samplerState = sampler.saveState();
-            ck.selector = selector.saveState();
-            ck.result = result;
-            saveCheckpointFile(cfg_.checkpointPath, ck);
-        }
+        // --- Checkpoint cadence: persist the complete resumable
+        // state every checkpointEvery finished trials (CRC trailer,
+        // fsync + atomic rename, rotation window).
+        completed_iters = iter + 1;
+        const int every = std::max(cfg_.checkpointEvery, 1);
+        if ((completed_iters - start_iter) % every == 0)
+            save_checkpoint(completed_iters);
     }
+
+    if (watchdog && run_watch_id != 0)
+        watchdog->release(run_watch_id);
+    // An interrupt that lands exactly on an iteration boundary needs
+    // no rollback but is still an early exit.
+    if (!result.interrupted && run_token.cancelled()) {
+        result.interrupted = true;
+        result.interruptReason = common::toString(run_token.reason());
+    }
+    // Final save: cover trials completed since the last cadence save
+    // (also the drain path of an interrupted run).
+    if (!cfg_.checkpointPath.empty() &&
+        completed_iters != last_saved_iter)
+        save_checkpoint(completed_iters);
 
     result.totalHours = clock.hours();
     // Count actual PPA queries (budget spent), not scheduled jobs.

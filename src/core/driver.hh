@@ -22,6 +22,7 @@
 
 #include "accel/design_space.hh"
 #include "accel/ppa.hh"
+#include "common/cancel.hh"
 #include "common/eval_clock.hh"
 #include "core/env.hh"
 #include "core/sh.hh"
@@ -75,12 +76,20 @@ struct RecoveryConfig
 struct FaultStats
 {
     std::uint64_t transient = 0;    ///< crashes / garbage (retryable)
-    std::uint64_t timeout = 0;      ///< virtual-deadline expiries
+    std::uint64_t timeout = 0;      ///< deadline expiries (virtual or
+                                    ///< wall-clock watchdog)
     std::uint64_t corrupt = 0;      ///< invalid PPA detected
     std::uint64_t fatal = 0;        ///< non-retryable failures
     std::uint64_t retries = 0;      ///< retry attempts issued
     std::uint64_t degradations = 0; ///< engine-downgrade events
     std::uint64_t penalized = 0;    ///< candidates on penalty PPA
+    /** MOBO trials whose GP fit failed (Cholesky jitter exhausted or
+     *  non-finite posterior) and fell back to space-filling
+     *  candidate selection instead of aborting. */
+    std::uint64_t gpFallbacks = 0;
+    /** Corrupted/truncated checkpoint generations skipped while
+     *  resuming from the rotation window. */
+    std::uint64_t checkpointRecoveries = 0;
 
     /** Total faults across categories. */
     std::uint64_t
@@ -121,12 +130,33 @@ struct DriverConfig
     int minBudgetPerRound = 8;        ///< floor on per-round budget
     std::uint64_t seed = 1;
     RecoveryConfig recovery;          ///< fault-recovery policy
-    /** Checkpoint file written after every MOBO trial (empty =
-     *  checkpointing disabled). Writes are atomic (tmp + rename). */
+    /** Checkpoint file written at trial boundaries (empty =
+     *  checkpointing disabled). Writes are CRC-trailed, fsynced and
+     *  atomically renamed. */
     std::string checkpointPath;
-    /** Resume from checkpointPath if it exists; the checkpoint's
-     *  config fingerprint must match this configuration. */
+    /** Resume from the checkpoint rotation window if any generation
+     *  exists; the checkpoint's config fingerprint must match this
+     *  configuration. */
     bool resumeFromCheckpoint = false;
+    /** Auto-checkpoint every N completed trials (>= 1). */
+    int checkpointEvery = 1;
+    /** Rotated checkpoint generations kept on disk (path, path.1,
+     *  ...); resume falls back past generations that fail CRC/parse
+     *  validation. <= 1 keeps only the newest. */
+    int checkpointKeep = 3;
+    /** Whole-run wall-clock deadline in real seconds (0 = none);
+     *  enforced by a watchdog thread independent of the virtual
+     *  EvalClock. On expiry the run drains, checkpoints and returns
+     *  with interrupted state, exactly like a shutdown signal. */
+    double wallDeadlineSeconds = 0.0;
+    /** Per-evaluation-attempt wall-clock deadline in real seconds
+     *  (0 = none). Expiry cancels the attempt cooperatively and is
+     *  classified EvalStatus::Timeout (retry/degrade/penalty). */
+    double evalWallDeadlineSeconds = 0.0;
+    /** External cancellation (e.g. the process-wide shutdown token
+     *  cancelled by SIGINT/SIGTERM handlers); polled at iteration and
+     *  evaluation-chunk boundaries. Not owned. */
+    const common::CancelToken *cancel = nullptr;
 
     /** The canonical UNICO configuration. */
     static DriverConfig unico();
@@ -178,6 +208,17 @@ struct CoSearchResult
      *  part of the records/front CSVs, which stay byte-identical
      *  with the cache on or off. */
     common::CacheStats cacheStats;
+    /** True when the run wound down early (shutdown signal or
+     *  wall-clock deadline) after draining in-flight work and writing
+     *  a resumable checkpoint; partial-trial state is rolled back so
+     *  a resume reproduces the uninterrupted run bit-for-bit. */
+    bool interrupted = false;
+    /** Why the run stopped early ("signal", "wall-deadline"). */
+    std::string interruptReason;
+    /** Non-fatal incidents worth surfacing (checkpoint save failures,
+     *  corrupted-generation fallbacks, GP-fit degradations). Not
+     *  serialized; transient to the producing process. */
+    std::vector<std::string> warnings;
 
     /** Record index of the min-Euclidean-distance Pareto design
      *  (Sec. 4.2); requires a non-empty front. */

@@ -101,10 +101,21 @@ MoboHwSampler::proposeOne(const std::set<std::string> &batch_keys)
             gp.fitArd(x, s, cfg_.maxGpPoints, 2, cfg_.gpThreads);
         else
             gp.fitWithHyperopt(x, s, cfg_.maxGpPoints, cfg_.gpThreads);
-        kernelParams_ = gp.params();
-        kernelTuned_ = true;
+        if (gp.trained()) {
+            kernelParams_ = gp.params();
+            kernelTuned_ = true;
+        }
     } else {
         gp.fit(x, s, cfg_.maxGpPoints);
+    }
+    // Graceful degradation: a failed fit (Cholesky jitter ladder
+    // exhausted on an ill-conditioned kernel matrix) or a non-finite
+    // posterior (NaN targets) falls back to space-filling proposal
+    // for this slot instead of aborting the whole trial.
+    if (!gp.trained() ||
+        !std::isfinite(gp.logMarginalLikelihood())) {
+        ++gpFallbacks_;
+        return space_.randomPoint(rng_);
     }
     const double incumbent = *std::min_element(s.begin(), s.end());
 

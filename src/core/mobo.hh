@@ -91,6 +91,11 @@ class MoboHwSampler
      *  the EvalClock ledger). */
     double overheadSeconds() const { return overheadSeconds_; }
 
+    /** Proposals that fell back to space-filling sampling because the
+     *  GP fit failed (Cholesky jitter exhausted) or produced a
+     *  non-finite posterior. Monotone; the driver tracks deltas. */
+    std::uint64_t gpFallbacks() const { return gpFallbacks_; }
+
     /**
      * Serialize the sampler state (observations, RNG, tuned kernel)
      * for checkpointing. restoreState() on a sampler constructed
@@ -124,6 +129,7 @@ class MoboHwSampler
     surrogate::KernelParams kernelParams_;
     bool kernelTuned_ = false;
     double overheadSeconds_ = 0.0;
+    std::uint64_t gpFallbacks_ = 0;
 };
 
 } // namespace unico::core

@@ -33,10 +33,14 @@ double
 computeSensitivity(const std::vector<mapping::SamplePoint> &samples,
                    double alpha)
 {
+    // Non-finite loss/PPA (an engine fault that slipped past the
+    // supervisor) must not poison R: such samples carry no usable
+    // evidence and are excluded like infeasible ones.
     std::vector<const mapping::SamplePoint *> feasible;
     feasible.reserve(samples.size());
     for (const auto &s : samples)
-        if (s.feasible)
+        if (s.feasible && std::isfinite(s.loss) &&
+            std::isfinite(s.latencyMs) && std::isfinite(s.powerMw))
             feasible.push_back(&s);
     if (feasible.size() < 2)
         return 0.0;
@@ -86,7 +90,10 @@ computeSensitivity(const std::vector<mapping::SamplePoint> &samples,
     const double theta = displacementAngle(
         opt.latencyMs / lat_scale, opt.powerMw / pow_scale,
         sub.latencyMs / lat_scale, sub.powerMw / pow_scale);
-    return delta * (1.0 + fTheta(theta)) / feasible_fraction;
+    const double r = delta * (1.0 + fTheta(theta)) / feasible_fraction;
+    // R feeds the surrogate as a 4th objective; keep it finite under
+    // any remaining pathological input.
+    return std::isfinite(r) ? r : 0.0;
 }
 
 } // namespace unico::core

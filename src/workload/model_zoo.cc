@@ -452,18 +452,22 @@ makeNasNetMobile()
             std::ostringstream p3, p5;
             p3 << "stage" << stage_idx << "_cell" << cell << "_sep3";
             p5 << "stage" << stage_idx << "_cell" << cell << "_sep5";
-            // Two separable 3x3 and two separable 5x5 ops per cell.
+            // Two separable 3x3 and two separable 5x5 ops per cell;
+            // the repetition index keeps operator names unique.
             for (int rep = 0; rep < 2; ++rep) {
-                net.add(TensorOp::depthwise(p3.str() + "_dw", st.ch,
+                const std::string r = "_r" + std::to_string(rep);
+                net.add(TensorOp::depthwise(p3.str() + r + "_dw", st.ch,
                                             st.spatial, st.spatial, 3, 3,
                                             1));
-                net.add(TensorOp::conv(p3.str() + "_pw", st.ch, st.ch,
-                                       st.spatial, st.spatial, 1, 1));
-                net.add(TensorOp::depthwise(p5.str() + "_dw", st.ch,
+                net.add(TensorOp::conv(p3.str() + r + "_pw", st.ch,
+                                       st.ch, st.spatial, st.spatial, 1,
+                                       1));
+                net.add(TensorOp::depthwise(p5.str() + r + "_dw", st.ch,
                                             st.spatial, st.spatial, 5, 5,
                                             1));
-                net.add(TensorOp::conv(p5.str() + "_pw", st.ch, st.ch,
-                                       st.spatial, st.spatial, 1, 1));
+                net.add(TensorOp::conv(p5.str() + r + "_pw", st.ch,
+                                       st.ch, st.spatial, st.spatial, 1,
+                                       1));
             }
         }
         ++stage_idx;

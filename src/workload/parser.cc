@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace unico::workload {
@@ -9,6 +10,11 @@ namespace unico::workload {
 ParseError::ParseError(std::size_t line, const std::string &message)
     : std::runtime_error("line " + std::to_string(line) + ": " + message),
       line_(line)
+{
+}
+
+ParseError::ParseError(const std::string &message)
+    : std::runtime_error(message), line_(0)
 {
 }
 
@@ -39,6 +45,13 @@ parseKeyValues(std::size_t line_no, std::istringstream &iss)
         if (value < 1)
             throw ParseError(line_no,
                              "value of '" + key + "' must be >= 1");
+        if (value > kMaxDimensionValue)
+            throw ParseError(line_no, "value of '" + key +
+                                          "' exceeds the dimension cap "
+                                          "(" +
+                                          std::to_string(
+                                              kMaxDimensionValue) +
+                                          ")");
         if (!kv.emplace(key, value).second)
             throw ParseError(line_no, "duplicate key '" + key + "'");
     }
@@ -81,10 +94,20 @@ Network
 parseNetwork(std::istream &in, const std::string &name)
 {
     Network net(name);
+    std::set<std::string> op_names;
     std::string line;
     std::size_t line_no = 0;
+    std::size_t bytes = 0;
     while (std::getline(in, line)) {
         ++line_no;
+        // Input-size cap: corrupted or adversarial inputs fail fast
+        // instead of exhausting memory on op accumulation.
+        bytes += line.size() + 1;
+        if (bytes > kMaxWorkloadFileBytes)
+            throw ParseError(line_no, "workload input exceeds " +
+                                          std::to_string(
+                                              kMaxWorkloadFileBytes) +
+                                          " bytes");
         // Strip comments.
         const auto hash = line.find('#');
         if (hash != std::string::npos)
@@ -95,6 +118,9 @@ parseNetwork(std::istream &in, const std::string &name)
             continue; // blank line
         if (!(iss >> op_name))
             throw ParseError(line_no, "missing operator name");
+        if (!op_names.insert(op_name).second)
+            throw ParseError(line_no, "duplicate operator name '" +
+                                          op_name + "'");
         KeyValues kv = parseKeyValues(line_no, iss);
 
         if (kind == "conv") {
@@ -146,9 +172,18 @@ parseNetworkString(const std::string &text, const std::string &name)
 Network
 parseNetworkFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw std::runtime_error("cannot open workload file: " + path);
+        throw ParseError("cannot open workload file: " + path);
+    // Size cap up front: refuse to even stream an oversized file.
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(0, std::ios::beg);
+    if (end > 0 &&
+        static_cast<unsigned long long>(end) > kMaxWorkloadFileBytes)
+        throw ParseError("workload file '" + path + "' exceeds " +
+                         std::to_string(kMaxWorkloadFileBytes) +
+                         " bytes");
     // Network name = file basename without extension.
     std::string name = path;
     const auto slash = name.find_last_of('/');

@@ -16,6 +16,8 @@
 #ifndef UNICO_WORKLOAD_PARSER_HH
 #define UNICO_WORKLOAD_PARSER_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <istream>
 #include <stdexcept>
 #include <string>
@@ -29,13 +31,24 @@ class ParseError : public std::runtime_error
 {
   public:
     ParseError(std::size_t line, const std::string &message);
+    /** File-level error with no line attribution (open failure,
+     *  size-cap violation); line() reports 0. */
+    explicit ParseError(const std::string &message);
 
-    /** 1-based line number of the offending input. */
+    /** 1-based line number of the offending input (0 = whole file). */
     std::size_t line() const { return line_; }
 
   private:
     std::size_t line_;
 };
+
+/** Hard cap on workload file/line sizes: adversarial or corrupted
+ *  inputs fail fast with a clean ParseError instead of exhausting
+ *  memory. Generous — real networks are a few KB. */
+constexpr std::size_t kMaxWorkloadFileBytes = 16u << 20; // 16 MiB
+/** Upper bound accepted for any dimension value; products of several
+ *  dimensions stay well inside int64 for the cost models. */
+constexpr std::int64_t kMaxDimensionValue = std::int64_t(1) << 24;
 
 /** Parse a network from a stream. @throws ParseError. */
 Network parseNetwork(std::istream &in, const std::string &name);
@@ -44,8 +57,8 @@ Network parseNetwork(std::istream &in, const std::string &name);
 Network parseNetworkString(const std::string &text,
                            const std::string &name);
 
-/** Parse a network from a file. @throws ParseError or
- *  std::runtime_error when the file cannot be opened. */
+/** Parse a network from a file. @throws ParseError (line() == 0 when
+ *  the file cannot be opened or exceeds the size cap). */
 Network parseNetworkFile(const std::string &path);
 
 /** Serialize a network back into the parser's text format. */

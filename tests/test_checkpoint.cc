@@ -11,8 +11,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "common/cancel.hh"
 #include "common/fault.hh"
 #include "core/checkpoint.hh"
 #include "core/driver.hh"
@@ -249,4 +251,293 @@ TEST(Checkpoint, ResumeWithoutFileStartsFresh)
     CoOptimizer resumed(sharedEnv(), rcfg);
     expectIdentical(expected, resumed.run());
     std::remove(path.c_str());
+}
+
+namespace {
+
+/** Tiny checkpoint document with a recognizable iteration count. */
+SearchCheckpoint
+stubCheckpoint(int completed)
+{
+    SearchCheckpoint ck;
+    ck.configKey = "stub-config";
+    ck.completedIterations = completed;
+    ck.clockSeconds = 1.5 * completed;
+    ck.samplerState = common::Json::object();
+    return ck;
+}
+
+void
+removeRotation(const std::string &path, int keep)
+{
+    for (int n = 0; n < keep + 2; ++n)
+        std::remove(core::rotatedCheckpointPath(path, n).c_str());
+}
+
+} // namespace
+
+TEST(CheckpointDurability, SaveReportsTypedStatus)
+{
+    const std::string path = tmpPath("typed");
+    const auto ok = core::saveCheckpointFile(path, stubCheckpoint(1));
+    EXPECT_TRUE(ok.ok());
+    EXPECT_TRUE(static_cast<bool>(ok));
+    EXPECT_TRUE(ok.message.empty());
+    std::remove(path.c_str());
+
+    // Unwritable destination: failure with a reason, not a bare bool.
+    const auto bad = core::saveCheckpointFile(
+        "/nonexistent_dir_unico/ck.json", stubCheckpoint(1));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_FALSE(bad.message.empty());
+}
+
+TEST(CheckpointDurability, CrcTrailerDetectsBitFlip)
+{
+    const std::string path = tmpPath("bitflip");
+    ASSERT_TRUE(core::saveCheckpointFile(path, stubCheckpoint(3)));
+    ASSERT_TRUE(core::loadCheckpointFile(path).has_value());
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        bytes = oss.str();
+    }
+    bytes[bytes.size() / 3] ^= 0x04;
+    std::ofstream(path, std::ios::binary) << bytes;
+    EXPECT_THROW(core::loadCheckpointFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDurability, CrcTrailerDetectsTruncation)
+{
+    const std::string path = tmpPath("trunc");
+    ASSERT_TRUE(core::saveCheckpointFile(path, stubCheckpoint(3)));
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        bytes = oss.str();
+    }
+    // Torn write: half the document, no trailer.
+    std::ofstream(path, std::ios::binary)
+        << bytes.substr(0, bytes.size() / 2);
+    EXPECT_THROW(core::loadCheckpointFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointDurability, LegacyFileWithoutTrailerIsRejected)
+{
+    const std::string path = tmpPath("notrailer");
+    std::ofstream(path) << "{\n  \"version\": 2\n}\n";
+    EXPECT_THROW(core::loadCheckpointFile(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointRotation, PathNaming)
+{
+    EXPECT_EQ(core::rotatedCheckpointPath("ck.json", 0), "ck.json");
+    EXPECT_EQ(core::rotatedCheckpointPath("ck.json", 1), "ck.json.1");
+    EXPECT_EQ(core::rotatedCheckpointPath("ck.json", 2), "ck.json.2");
+}
+
+TEST(CheckpointRotation, KeepsLastKGenerations)
+{
+    const std::string path = tmpPath("rotate");
+    removeRotation(path, 3);
+    for (int i = 1; i <= 5; ++i)
+        ASSERT_TRUE(
+            core::saveCheckpointRotated(path, stubCheckpoint(i), 3));
+
+    // Window holds saves 5, 4, 3 — save 2 fell off the end.
+    const auto g0 = core::loadCheckpointFile(path);
+    const auto g1 =
+        core::loadCheckpointFile(core::rotatedCheckpointPath(path, 1));
+    const auto g2 =
+        core::loadCheckpointFile(core::rotatedCheckpointPath(path, 2));
+    ASSERT_TRUE(g0 && g1 && g2);
+    EXPECT_EQ(g0->completedIterations, 5);
+    EXPECT_EQ(g1->completedIterations, 4);
+    EXPECT_EQ(g2->completedIterations, 3);
+    EXPECT_FALSE(core::loadCheckpointFile(
+                     core::rotatedCheckpointPath(path, 3))
+                     .has_value());
+    removeRotation(path, 3);
+}
+
+TEST(CheckpointRotation, KeepOneDisablesRotation)
+{
+    const std::string path = tmpPath("keep1");
+    removeRotation(path, 3);
+    ASSERT_TRUE(core::saveCheckpointRotated(path, stubCheckpoint(1), 1));
+    ASSERT_TRUE(core::saveCheckpointRotated(path, stubCheckpoint(2), 1));
+    EXPECT_FALSE(core::loadCheckpointFile(
+                     core::rotatedCheckpointPath(path, 1))
+                     .has_value());
+    const auto newest = core::loadCheckpointFile(path);
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->completedIterations, 2);
+    removeRotation(path, 3);
+}
+
+TEST(CheckpointRecovery, FallsBackPastCorruptNewestGeneration)
+{
+    const std::string path = tmpPath("fallback");
+    removeRotation(path, 3);
+    for (int i = 1; i <= 3; ++i)
+        ASSERT_TRUE(
+            core::saveCheckpointRotated(path, stubCheckpoint(i), 3));
+    // Corrupt the newest generation only.
+    std::ofstream(path, std::ios::binary) << "{ torn";
+
+    const auto rec = core::loadNewestValidCheckpoint(path, 3);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->generation, 1);
+    EXPECT_EQ(rec->path, core::rotatedCheckpointPath(path, 1));
+    EXPECT_EQ(rec->checkpoint.completedIterations, 2);
+    ASSERT_EQ(rec->rejected.size(), 1u);
+    removeRotation(path, 3);
+}
+
+TEST(CheckpointRecovery, ThrowsWhenAllGenerationsCorrupt)
+{
+    const std::string path = tmpPath("allbad");
+    removeRotation(path, 3);
+    for (int n = 0; n < 3; ++n)
+        std::ofstream(core::rotatedCheckpointPath(path, n),
+                      std::ios::binary)
+            << "garbage";
+    EXPECT_THROW(core::loadNewestValidCheckpoint(path, 3),
+                 std::runtime_error);
+    removeRotation(path, 3);
+}
+
+TEST(CheckpointRecovery, NothingOnDiskReturnsNullopt)
+{
+    const std::string path = tmpPath("nodisk");
+    removeRotation(path, 3);
+    EXPECT_FALSE(core::loadNewestValidCheckpoint(path, 3).has_value());
+}
+
+TEST(CheckpointRecovery, DriverResumesFromRotatedGeneration)
+{
+    // End-to-end: corrupt the newest generation after a partial run;
+    // the resumed driver falls back one generation, replays the lost
+    // trial, counts the recovery, and still reproduces the straight
+    // run exactly.
+    auto cfg = tinyConfig(DriverConfig::unico());
+    CoOptimizer straight(sharedEnv(), cfg);
+    const CoSearchResult full = straight.run();
+
+    const std::string path = tmpPath("driver_fallback");
+    removeRotation(path, 3);
+    auto part = cfg;
+    part.maxIter = 3;
+    part.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), part);
+    first.run();
+
+    std::ofstream(path, std::ios::binary) << "{ torn write";
+
+    auto rest = cfg;
+    rest.checkpointPath = path;
+    rest.resumeFromCheckpoint = true;
+    CoOptimizer second(sharedEnv(), rest);
+    const CoSearchResult resumed = second.run();
+
+    expectIdentical(full, resumed);
+    EXPECT_EQ(resumed.faults.checkpointRecoveries, 1u);
+    EXPECT_FALSE(resumed.warnings.empty());
+    removeRotation(path, 3);
+}
+
+TEST(CheckpointCadence, SparseCheckpointEveryStillResumesExactly)
+{
+    auto cfg = tinyConfig(DriverConfig::unico());
+    CoOptimizer straight(sharedEnv(), cfg);
+    const CoSearchResult full = straight.run();
+
+    const std::string path = tmpPath("cadence");
+    removeRotation(path, 3);
+    auto part = cfg;
+    part.maxIter = 3;
+    part.checkpointPath = path;
+    part.checkpointEvery = 2; // saves after trials 2 and (final) 3
+    CoOptimizer first(sharedEnv(), part);
+    first.run();
+    const auto ck = core::loadCheckpointFile(path);
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_EQ(ck->completedIterations, 3);
+
+    auto rest = cfg;
+    rest.checkpointPath = path;
+    rest.resumeFromCheckpoint = true;
+    rest.checkpointEvery = 2;
+    CoOptimizer second(sharedEnv(), rest);
+    expectIdentical(full, second.run());
+    removeRotation(path, 3);
+}
+
+TEST(Interrupt, PreCancelledTokenStopsBeforeFirstTrial)
+{
+    common::CancelToken token;
+    token.cancel(common::CancelReason::Signal);
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.cancel = &token;
+    CoOptimizer opt(sharedEnv(), cfg);
+    const CoSearchResult r = opt.run();
+    EXPECT_TRUE(r.interrupted);
+    EXPECT_EQ(r.interruptReason, "signal");
+    EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Interrupt, WallDeadlineInterruptsAndResumeCompletesExactly)
+{
+    auto cfg = tinyConfig(DriverConfig::unico());
+    CoOptimizer straight(sharedEnv(), cfg);
+    const CoSearchResult full = straight.run();
+
+    // A very tight whole-run deadline: the run winds down at the
+    // next boundary with partial-trial state rolled back. Wherever
+    // it stopped, resuming without the deadline must complete the
+    // identical search.
+    const std::string path = tmpPath("deadline");
+    removeRotation(path, 3);
+    auto bounded = cfg;
+    bounded.checkpointPath = path;
+    bounded.wallDeadlineSeconds = 0.005;
+    CoOptimizer first(sharedEnv(), bounded);
+    const CoSearchResult r1 = first.run();
+    if (r1.interrupted) {
+        EXPECT_EQ(r1.interruptReason, "wall-deadline");
+    }
+    EXPECT_LE(r1.records.size(), full.records.size());
+
+    auto rest = cfg;
+    rest.checkpointPath = path;
+    rest.resumeFromCheckpoint = true;
+    CoOptimizer second(sharedEnv(), rest);
+    expectIdentical(full, second.run());
+    removeRotation(path, 3);
+}
+
+TEST(Interrupt, EvalWallDeadlineSurfacesAsTimeoutFaults)
+{
+    // An absurdly tight per-evaluation deadline trips constantly;
+    // the supervisor classifies expiries as Timeout and recovers
+    // (retry -> degrade -> penalty) instead of aborting.
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 1;
+    cfg.evalWallDeadlineSeconds = 1e-7;
+    cfg.recovery.maxRetries = 1;
+    CoOptimizer opt(sharedEnv(), cfg);
+    const CoSearchResult r = opt.run();
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_EQ(r.records.size(), 8u);
+    // The run survives whether or not every expiry beat the engine's
+    // first chunk; any that landed were counted as timeouts.
+    EXPECT_GE(r.faults.timeout, 0u);
 }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "accel/design_space.hh"
@@ -162,4 +163,44 @@ TEST(Mobo, ArdSamplerProposesValidPoints)
     EXPECT_EQ(batch.size(), 8u);
     for (const auto &h : batch)
         EXPECT_TRUE(ds.contains(h));
+}
+
+TEST(Mobo, GpFitFailureDegradesToSpaceFilling)
+{
+    // NaN objectives poison the GP targets: the fit produces a
+    // non-finite posterior, and proposeOne must fall back to random
+    // (space-filling) proposals instead of aborting — counted in
+    // gpFallbacks() for the driver's fault stats.
+    const auto ds = makeSpace();
+    MoboHwSampler sampler(ds, 3, 5);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const auto seedBatch = sampler.sampleBatch(8);
+    // Finite observations establish finite ideal/nadir bounds; the
+    // NaN observations then survive normalization (span > 0) and
+    // poison the ParEGO scalarization targets.
+    for (std::size_t i = 0; i < seedBatch.size(); ++i) {
+        if (i < 4)
+            sampler.observe(seedBatch[i], syntheticY(ds, seedBatch[i]),
+                            true);
+        else
+            sampler.observe(seedBatch[i], {nan, nan, nan}, true);
+    }
+
+    EXPECT_EQ(sampler.gpFallbacks(), 0u);
+    const auto batch = sampler.sampleBatch(8);
+    ASSERT_EQ(batch.size(), 8u);
+    for (const auto &h : batch)
+        EXPECT_TRUE(ds.contains(h));
+    EXPECT_GT(sampler.gpFallbacks(), 0u);
+}
+
+TEST(Mobo, HealthyFitDoesNotCountFallbacks)
+{
+    const auto ds = makeSpace();
+    MoboHwSampler sampler(ds, 3, 6);
+    const auto seedBatch = sampler.sampleBatch(8);
+    for (const auto &h : seedBatch)
+        sampler.observe(h, syntheticY(ds, h), true);
+    sampler.sampleBatch(8);
+    EXPECT_EQ(sampler.gpFallbacks(), 0u);
 }

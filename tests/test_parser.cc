@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 
 #include "workload/model_zoo.hh"
@@ -129,4 +130,98 @@ TEST(Parser, MissingFileThrows)
 {
     EXPECT_THROW(parseNetworkFile("/nonexistent/x.net"),
                  std::runtime_error);
+}
+
+TEST(Parser, MissingFileThrowsParseErrorWithLineZero)
+{
+    // Open failures are typed ParseError now (line() == 0), so CLI
+    // callers handle every workload problem through one catch.
+    try {
+        parseNetworkFile("/nonexistent/x.net");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 0u);
+    }
+}
+
+// Malformed-input table: every corrupted input must raise a clean
+// ParseError — never UB, never std::bad_alloc, never a crash.
+TEST(ParserHardening, MalformedInputTable)
+{
+    const char *bad[] = {
+        // Truncated lines.
+        "conv",
+        "conv c1",
+        "conv c1 k=",
+        "conv c1 k=64 c=32 y=28 x=28 r=3", // missing s
+        "gemm g m=4 n=4",                  // missing k
+        // Huge integers: stoll overflow and over-the-dimension-cap.
+        "gemv g m=99999999999999999999999999 k=4",
+        "gemv g m=9223372036854775807 k=4",
+        "gemv g m=16777217 k=4", // kMaxDimensionValue + 1
+        // Duplicate operator names.
+        "gemv a m=4 k=4\ngemv a m=8 k=8",
+        // Non-UTF8 / binary bytes in tokens.
+        "gemv \xff\xfe m=4 k=\x80\x81",
+        "\xc0\xaf g m=4 k=4",
+        "gemv g \xde\xad=4 k=4",
+        // Stray '=' placements.
+        "gemv g =4 k=4",
+        "gemv g m= k=4",
+    };
+    for (const char *text : bad) {
+        EXPECT_THROW(parseNetworkString(std::string(text) + "\n", "t"),
+                     ParseError)
+            << "accepted malformed input: " << text;
+    }
+}
+
+TEST(ParserHardening, AcceptsValuesUpToTheCap)
+{
+    const Network ok = parseNetworkString(
+        "gemv g m=16777216 k=4\n", "t"); // exactly 1 << 24
+    EXPECT_EQ(ok.size(), 1u);
+    EXPECT_THROW(parseNetworkString("gemv g m=16777217 k=4\n", "t"),
+                 ParseError);
+}
+
+TEST(ParserHardening, StreamInputSizeCapIsEnforced)
+{
+    // A synthetic workload just over the cap must fail fast with a
+    // ParseError instead of accumulating ops until memory runs out.
+    std::string line = "# padding-comment-line\n";
+    std::string text;
+    text.reserve(kMaxWorkloadFileBytes + 2 * line.size());
+    while (text.size() <= kMaxWorkloadFileBytes)
+        text += line;
+    EXPECT_THROW(parseNetworkString(text, "t"), ParseError);
+}
+
+TEST(ParserHardening, OversizedFileIsRefusedUpFront)
+{
+    const std::string path = "/tmp/unico_parser_oversize.net";
+    {
+        std::ofstream out(path, std::ios::binary);
+        std::string chunk(1 << 20, '#');
+        for (std::size_t written = 0;
+             written <= kMaxWorkloadFileBytes; written += chunk.size())
+            out << chunk;
+    }
+    try {
+        parseNetworkFile(path);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 0u); // rejected before any line parsing
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ParserHardening, ZooNetworksStayUnderTheCaps)
+{
+    // The hardening limits must not reject any shipped network.
+    for (const auto &name : modelNames()) {
+        const Network net = makeNetwork(name);
+        const Network reparsed = parseNetworkString(toText(net), name);
+        EXPECT_EQ(reparsed.size(), net.size()) << name;
+    }
 }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/robustness.hh"
 
@@ -173,4 +174,105 @@ TEST(Sensitivity, ScaleFree)
                            (100.0 + i) * 7.0));
     }
     EXPECT_NEAR(computeSensitivity(a), computeSensitivity(b), 1e-9);
+}
+
+TEST(FTheta, ExactAnchorArithmetic)
+{
+    // The three anchors written out against the raw quadratic
+    // coefficients (6/pi^2, -5/pi, 1), not just NEAR-zero slack:
+    // theta = 0 and theta = pi are the endpoints the driver feeds in
+    // when the displacement is axis-aligned.
+    EXPECT_DOUBLE_EQ(fTheta(0.0), 1.0);
+    const double half_pi = M_PI / 2.0;
+    EXPECT_NEAR(fTheta(half_pi),
+                (6.0 / (M_PI * M_PI)) * half_pi * half_pi -
+                    (5.0 / M_PI) * half_pi + 1.0,
+                0.0);
+    EXPECT_NEAR(fTheta(M_PI), 6.0 - 5.0 + 1.0, 1e-12);
+}
+
+TEST(Sensitivity, AxisAlignedDisplacements)
+{
+    // theta = 0: pure power displacement (sub-optimal burns more
+    // power at identical latency) -> R = Delta * (1 + F(0)) = 2*Delta.
+    std::vector<SamplePoint> pure_power;
+    for (int i = 0; i < 100; ++i)
+        pure_power.push_back(sample(1.0 + 0.01 * i, 1.0, 100.0 + i));
+    // theta = pi/2: pure latency displacement at constant power
+    // -> R = Delta * (1 + F(pi/2)) = Delta.
+    std::vector<SamplePoint> pure_latency;
+    for (int i = 0; i < 100; ++i) {
+        const double lat = 1.0 + 0.01 * i;
+        pure_latency.push_back(sample(lat, lat, 100.0));
+    }
+    const double r_power = computeSensitivity(pure_power);
+    const double r_latency = computeSensitivity(pure_latency);
+    EXPECT_GT(r_power, 0.0);
+    EXPECT_GT(r_latency, 0.0);
+    // Same Delta magnitude per construction? No — the deltas differ;
+    // instead check the multiplier structure via the angle function
+    // directly: theta = 0 doubles, theta = pi/2 passes through.
+    EXPECT_NEAR(1.0 + fTheta(0.0), 2.0, 1e-12);
+    EXPECT_NEAR(1.0 + fTheta(M_PI / 2.0), 1.0, 1e-12);
+    // theta = pi (power drops away from the optimum): multiplier 3.
+    EXPECT_NEAR(1.0 + fTheta(M_PI), 3.0, 1e-12);
+}
+
+TEST(Sensitivity, DeltaZeroFallsBackToHardnessOnly)
+{
+    // Identical feasible PPA but half the space infeasible: Delta = 0
+    // and R reduces to the feasibility-hardness term exactly.
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 40; ++i)
+        s.push_back(sample(2.0, 2.0, 50.0));
+    for (int i = 0; i < 120; ++i)
+        s.push_back(sample(1e9, 1e9, 1e9, false));
+    // feasible fraction 0.25 -> hardness (1 / 0.25) - 1 = 3.
+    EXPECT_NEAR(computeSensitivity(s), 3.0, 1e-12);
+}
+
+TEST(Sensitivity, NonFiniteSamplesAreIgnored)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // A clean landscape plus NaN/Inf garbage marked "feasible" (an
+    // engine fault that slipped through): R stays finite and the
+    // garbage contributes only to the hardness denominator.
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 100; ++i) {
+        const double lat = 1.0 + 0.01 * i;
+        s.push_back(sample(lat, lat, 100.0 + i));
+    }
+    std::vector<SamplePoint> clean = s;
+    s.push_back(sample(nan, nan, nan));
+    s.push_back(sample(inf, 1.0, 1.0));
+    s.push_back(sample(1.0, -inf, 1.0));
+    s.push_back(sample(1.0, 1.0, nan));
+    const double r = computeSensitivity(s);
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(r, 0.0);
+    // The same landscape without garbage, scaled to the same
+    // denominator, stays ordered: garbage rows only add hardness.
+    EXPECT_GE(r, computeSensitivity(clean));
+}
+
+TEST(Sensitivity, AllNonFiniteReturnsZero)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 10; ++i)
+        s.push_back(sample(nan, nan, nan));
+    EXPECT_DOUBLE_EQ(computeSensitivity(s), 0.0);
+}
+
+TEST(Sensitivity, ResultIsAlwaysFinite)
+{
+    // Pathological but finite inputs: extreme magnitudes must not
+    // overflow R into inf (guarded at the return).
+    std::vector<SamplePoint> s;
+    for (int i = 0; i < 50; ++i)
+        s.push_back(sample(1e-300 * (i + 1), 1e-300 * (i + 1),
+                           1e300 / (i + 1)));
+    EXPECT_TRUE(std::isfinite(computeSensitivity(s)));
 }

@@ -43,8 +43,8 @@ main(int argc, char **argv)
     std::cout << "UNICO design-choice ablations (DESIGN.md §6), scale="
               << opt.scale << ", seeds averaged=" << seeds << "\n\n";
 
-    core::SpatialEnv env =
-        makeSpatialEnv({"mobilenet", "resnet"}, accel::Scenario::Edge, 3);
+    const auto env =
+        makeBenchEnv(opt, {"mobilenet", "resnet"}, accel::Scenario::Edge, 3);
 
     auto run_with = [&](auto mutate_cfg) {
         std::vector<core::CoSearchResult> results;
@@ -53,7 +53,7 @@ main(int argc, char **argv)
             so.seed = opt.seed + static_cast<std::uint64_t>(s) * 7919;
             auto cfg = benchDriverConfig(core::DriverConfig::unico(), so);
             mutate_cfg(cfg);
-            core::CoOptimizer driver(env, cfg);
+            core::CoOptimizer driver(*env, cfg);
             results.push_back(driver.run());
         }
         return results;

@@ -21,8 +21,8 @@
 #include "baselines/nsga2.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "core/backend.hh"
 #include "core/driver.hh"
-#include "core/spatial_env.hh"
 #include "moo/hypervolume.hh"
 #include "moo/scalarize.hh"
 #include "workload/model_zoo.hh"
@@ -35,6 +35,8 @@ struct BenchOptions
     std::uint64_t seed = 1;
     double scale = 1.0;      ///< shrinks batch sizes / budgets
     std::string outCsv;      ///< optional CSV dump path
+    /** Evaluation stack the bench runs against (--backend). */
+    std::string backend = "spatial";
 
     static BenchOptions
     parse(const common::CliArgs &args)
@@ -43,6 +45,7 @@ struct BenchOptions
         opt.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
         opt.scale = args.getDouble("scale", 1.0);
         opt.outCsv = args.getString("out", "");
+        opt.backend = args.getString("backend", "spatial");
         return opt;
     }
 
@@ -89,19 +92,33 @@ benchNsga2Config(const BenchOptions &opt)
     return cfg;
 }
 
-/** Build a single-network spatial environment. */
-inline core::SpatialEnv
-makeSpatialEnv(const std::vector<std::string> &nets,
-               accel::Scenario scenario, std::size_t max_shapes = 5)
+/**
+ * Build an environment for zoo networks through the backend
+ * registry. The scenario applies to scenario-aware backends
+ * (spatial); area-capped backends (ascend) use their default
+ * envelope.
+ */
+inline std::unique_ptr<core::CoSearchEnv>
+makeBenchEnv(const std::string &backend,
+             const std::vector<std::string> &nets,
+             accel::Scenario scenario, std::size_t max_shapes = 5)
 {
     std::vector<workload::Network> networks;
     networks.reserve(nets.size());
     for (const auto &name : nets)
         networks.push_back(workload::makeNetwork(name));
-    core::SpatialEnvOptions env_opt;
+    core::BackendOptions env_opt;
     env_opt.scenario = scenario;
     env_opt.maxShapesPerNetwork = max_shapes;
-    return core::SpatialEnv(std::move(networks), env_opt);
+    return core::makeBackendEnv(backend, std::move(networks), env_opt);
+}
+
+/** makeBenchEnv() under the bench's --backend selection. */
+inline std::unique_ptr<core::CoSearchEnv>
+makeBenchEnv(const BenchOptions &opt, const std::vector<std::string> &nets,
+             accel::Scenario scenario, std::size_t max_shapes = 5)
+{
+    return makeBenchEnv(opt.backend, nets, scenario, max_shapes);
 }
 
 /**

@@ -44,7 +44,8 @@ main(int argc, char **argv)
     const common::CliArgs args(argc, argv);
     const auto opt = bench::BenchOptions::parse(args);
 
-    auto env = bench::makeSpatialEnv({"resnet"}, accel::Scenario::Edge);
+    const auto env =
+        bench::makeBenchEnv(opt, {"resnet"}, accel::Scenario::Edge);
     auto cfg = bench::benchDriverConfig(core::DriverConfig::unico(), opt);
     cfg.realThreads =
         static_cast<std::size_t>(args.getInt("threads", 1));
@@ -71,10 +72,10 @@ main(int argc, char **argv)
         spec.hangRate = sw.hang;
         spec.corruptRate = sw.corrupt;
         spec.seed = opt.seed + 1000;
-        core::FaultyEnv faulty(env, common::FaultPlan(spec));
+        core::FaultyEnv faulty(*env, common::FaultPlan(spec));
         core::CoSearchEnv &run_env =
             spec.active() ? static_cast<core::CoSearchEnv &>(faulty)
-                          : env;
+                          : *env;
         core::CoOptimizer driver(run_env, cfg);
         results.push_back(driver.run());
         injected.push_back(faulty.injected());

@@ -45,8 +45,8 @@ main(int argc, char **argv)
                  "update, scale=" << opt.scale << ", seed=" << opt.seed
               << "\n\n";
 
-    core::SpatialEnv env = makeSpatialEnv(
-        {"unet", "srgan", "bert", "vit"}, accel::Scenario::Edge, 3);
+    const auto env = makeBenchEnv(
+        opt, {"unet", "srgan", "bert", "vit"}, accel::Scenario::Edge, 3);
 
     struct Variant
     {
@@ -73,7 +73,7 @@ main(int argc, char **argv)
          {}});
 
     for (auto &variant : variants) {
-        core::CoOptimizer driver(env, variant.cfg);
+        core::CoOptimizer driver(*env, variant.cfg);
         variant.result = driver.run();
     }
 

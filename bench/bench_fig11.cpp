@@ -11,7 +11,6 @@
  */
 
 #include "bench_common.hh"
-#include "core/ascend_env.hh"
 
 using namespace unico;
 using namespace unico::bench;
@@ -37,9 +36,10 @@ main(int argc, char **argv)
     double lat_save_acc = 0.0, pow_save_acc = 0.0;
     int count = 0;
     for (const auto &net : nets) {
-        core::AscendEnvOptions env_opt;
-        env_opt.maxShapesPerNetwork = 3;
-        core::AscendEnv env({workload::makeNetwork(net)}, env_opt);
+        // Fig. 11 is the Ascend deployment experiment: pin the
+        // registry backend rather than following --backend.
+        const auto env =
+            makeBenchEnv("ascend", {net}, accel::Scenario::Edge, 3);
 
         // Paper settings N=8, MaxIter=30, b_max=200; scaled here.
         core::DriverConfig cfg = core::DriverConfig::unico();
@@ -49,16 +49,15 @@ main(int argc, char **argv)
         cfg.minBudgetPerRound = 6;
         cfg.workers = 8;
         cfg.seed = opt.seed;
-        core::CoOptimizer driver(env, cfg);
+        core::CoOptimizer driver(*env, cfg);
         const auto result = driver.run();
 
         const int default_budget = cfg.sh.bMax;
-        const accel::Ppa def = env.evaluateConfig(
-            env.ascendSpace().encodeDefault(), default_budget,
-            opt.seed + 3);
+        const accel::HwPoint expert_hw = env->expertDefault().value();
+        const accel::Ppa def =
+            env->evaluateConfig(expert_hw, default_budget, opt.seed + 3);
 
-        table.addRow({net, "default",
-                      env.describeHw(env.ascendSpace().encodeDefault()),
+        table.addRow({net, "default", env->describeHw(expert_hw),
                       common::TableWriter::num(def.latencyMs),
                       common::TableWriter::num(def.powerMw, 1),
                       common::TableWriter::num(def.areaMm2, 1), "-", "-",
@@ -101,7 +100,7 @@ main(int argc, char **argv)
         lat_save_acc += lat_save;
         pow_save_acc += pow_save;
         ++count;
-        table.addRow({net, "UNICO", env.describeHw(rec.hw),
+        table.addRow({net, "UNICO", env->describeHw(rec.hw),
                       common::TableWriter::num(rec.ppa.latencyMs),
                       common::TableWriter::num(rec.ppa.powerMw, 1),
                       common::TableWriter::num(rec.ppa.areaMm2, 1),

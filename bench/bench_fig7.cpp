@@ -48,27 +48,27 @@ runDevice(accel::Scenario scenario, const BenchOptions &opt,
       for (int s = 0; s < seeds; ++s) {
         BenchOptions seed_opt = opt;
         seed_opt.seed = opt.seed + static_cast<std::uint64_t>(s) * 1000;
-        core::SpatialEnv env = makeSpatialEnv({net}, scenario);
+        const auto env = makeBenchEnv(seed_opt, {net}, scenario);
 
         std::vector<core::CoSearchResult> results;
         {
-            core::CoOptimizer d(env,
+            core::CoOptimizer d(*env,
                                 benchDriverConfig(
                                     core::DriverConfig::hascoLike(),
                                     seed_opt));
             results.push_back(d.run());
         }
         results.push_back(
-            baselines::runNsga2(env, benchNsga2Config(seed_opt)));
+            baselines::runNsga2(*env, benchNsga2Config(seed_opt)));
         {
-            core::CoOptimizer d(env,
+            core::CoOptimizer d(*env,
                                 benchDriverConfig(
                                     core::DriverConfig::mobohbLike(),
                                     seed_opt));
             results.push_back(d.run());
         }
         {
-            core::CoOptimizer d(env, benchDriverConfig(
+            core::CoOptimizer d(*env, benchDriverConfig(
                                          core::DriverConfig::unico(),
                                          seed_opt));
             results.push_back(d.run());

@@ -39,12 +39,12 @@ main(int argc, char **argv)
               << "scale=" << opt.scale << ", seed=" << opt.seed << "\n\n";
 
     // (1) Co-optimize on the training set WITHOUT R as an objective.
-    core::SpatialEnv train_env = makeSpatialEnv(
-        {"unet", "srgan", "bert"}, accel::Scenario::Edge, 4);
+    const auto train_env = makeBenchEnv(
+        opt, {"unet", "srgan", "bert"}, accel::Scenario::Edge, 4);
     auto cfg = benchDriverConfig(core::DriverConfig::unico(), opt);
     cfg.useRobustness = false;
     cfg.name = "UNICO-noR";
-    core::CoOptimizer driver(train_env, cfg);
+    core::CoOptimizer driver(*train_env, cfg);
     const core::CoSearchResult result = driver.run();
 
     if (result.front.size() < 2) {
@@ -73,7 +73,7 @@ main(int argc, char **argv)
                 rec.sensitivity});
             front_table.addRow(
                 {common::TableWriter::num(static_cast<long long>(idx++)),
-                 train_env.describeHw(rec.hw),
+                 train_env->describeHw(rec.hw),
                  common::TableWriter::num(rec.ppa.latencyMs),
                  common::TableWriter::num(rec.ppa.powerMw, 1),
                  common::TableWriter::num(rec.ppa.areaMm2, 2),
@@ -161,15 +161,15 @@ main(int argc, char **argv)
         double log_ratio = 0.0;
         const int val_seeds = 3;
         for (const auto &net : validation) {
-            core::SpatialEnv val_env =
-                makeSpatialEnv({net}, accel::Scenario::Edge, 4);
+            const auto val_env =
+                makeBenchEnv(opt, {net}, accel::Scenario::Edge, 4);
             double lat_r = 0.0, lat_f = 0.0;
             for (int s = 0; s < val_seeds; ++s) {
-                auto run_r = val_env.createRun(
+                auto run_r = val_env->createRun(
                     result.records[robust.record].hw,
                     opt.seed + 101 + s * 37);
                 run_r->step(budget);
-                auto run_f = val_env.createRun(
+                auto run_f = val_env->createRun(
                     result.records[fragile.record].hw,
                     opt.seed + 101 + s * 37);
                 run_f->step(budget);
@@ -233,13 +233,13 @@ main(int argc, char **argv)
             double log_deg = 0.0;
             int n = 0;
             for (const auto &net : {"mobilenet", "resnet", "vit"}) {
-                core::SpatialEnv val_env =
-                    makeSpatialEnv({net}, accel::Scenario::Edge, 4);
+                const auto val_env =
+                    makeBenchEnv(opt, {net}, accel::Scenario::Edge, 4);
                 double limited = 0.0, converged = 0.0;
                 for (int s = 0; s < 2; ++s) {
-                    auto lim = val_env.createRun(rec.hw, 500 + s);
+                    auto lim = val_env->createRun(rec.hw, 500 + s);
                     lim->step(budget);
-                    auto conv = val_env.createRun(rec.hw, 500 + s);
+                    auto conv = val_env->createRun(rec.hw, 500 + s);
                     conv->step(opt.scaled(240, 64));
                     limited += lim->bestPpa().latencyMs;
                     converged += conv->bestPpa().latencyMs;

@@ -40,16 +40,16 @@ main(int argc, char **argv)
 
     const std::vector<std::string> training = {"mobilenet_v2", "resnet",
                                                "srgan", "vgg"};
-    core::SpatialEnv train_env =
-        makeSpatialEnv(training, accel::Scenario::Edge, 3);
+    const auto train_env =
+        makeBenchEnv(opt, training, accel::Scenario::Edge, 3);
 
     auto unico_cfg = benchDriverConfig(core::DriverConfig::unico(), opt);
-    core::CoOptimizer unico_driver(train_env, unico_cfg);
+    core::CoOptimizer unico_driver(*train_env, unico_cfg);
     const auto unico_result = unico_driver.run();
 
     auto hasco_cfg =
         benchDriverConfig(core::DriverConfig::hascoLike(), opt);
-    core::CoOptimizer hasco_driver(train_env, hasco_cfg);
+    core::CoOptimizer hasco_driver(*train_env, hasco_cfg);
     const auto hasco_result = hasco_driver.run();
 
     if (unico_result.front.empty() || hasco_result.front.empty()) {
@@ -87,8 +87,8 @@ main(int argc, char **argv)
     };
     const auto &unico_hw = unico_result.records[pick(unico_result)].hw;
     const auto &hasco_hw = hasco_result.records[pick(hasco_result)].hw;
-    std::cout << "UNICO hardware: " << train_env.describeHw(unico_hw)
-              << "\nHASCO hardware: " << train_env.describeHw(hasco_hw)
+    std::cout << "UNICO hardware: " << train_env->describeHw(unico_hw)
+              << "\nHASCO hardware: " << train_env->describeHw(hasco_hw)
               << "\n\n";
 
     const std::vector<std::string> validation = {
@@ -108,16 +108,16 @@ main(int argc, char **argv)
     double gain_acc = 0.0;
     int gain_count = 0;
     for (const auto &net : validation) {
-        core::SpatialEnv val_env =
-            makeSpatialEnv({net}, accel::Scenario::Edge, 4);
+        const auto val_env =
+            makeBenchEnv(opt, {net}, accel::Scenario::Edge, 4);
         accel::Ppa ppa_u, ppa_h;
         ppa_u.feasible = ppa_h.feasible = true;
         for (int s = 0; s < val_seeds; ++s) {
             auto run_u =
-                val_env.createRun(unico_hw, opt.seed + 17 + s * 53);
+                val_env->createRun(unico_hw, opt.seed + 17 + s * 53);
             run_u->step(budget);
             auto run_h =
-                val_env.createRun(hasco_hw, opt.seed + 17 + s * 53);
+                val_env->createRun(hasco_hw, opt.seed + 17 + s * 53);
             run_h->step(budget);
             const accel::Ppa pu = run_u->bestPpa();
             const accel::Ppa ph = run_h->bestPpa();

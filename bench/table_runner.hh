@@ -37,7 +37,7 @@ runScenarioTable(int argc, char **argv, accel::Scenario scenario,
                                "A(mm2)", "cost(h)", "evals"});
 
     for (const auto &net : nets) {
-        core::SpatialEnv env = makeSpatialEnv({net}, scenario);
+        const auto env = makeBenchEnv(opt, {net}, scenario);
 
         struct Aggregate
         {
@@ -58,15 +58,15 @@ runScenarioTable(int argc, char **argv, accel::Scenario scenario,
             {
                 auto cfg = benchDriverConfig(
                     core::DriverConfig::hascoLike(), so);
-                core::CoOptimizer driver(env, cfg);
+                core::CoOptimizer driver(*env, cfg);
                 results.push_back(driver.run());
             }
             results.push_back(
-                baselines::runNsga2(env, benchNsga2Config(so)));
+                baselines::runNsga2(*env, benchNsga2Config(so)));
             {
                 auto cfg = benchDriverConfig(core::DriverConfig::unico(),
                                              so);
-                core::CoOptimizer driver(env, cfg);
+                core::CoOptimizer driver(*env, cfg);
                 results.push_back(driver.run());
             }
 

@@ -7,7 +7,9 @@
  * Usage:
  *   co_search_cli --model resnet [--model vit ...] \
  *                 [--workload my_net.txt ...] \
- *                 [--scenario edge|cloud] \
+ *                 [--backend spatial|ascend] \
+ *                 [--scenario edge|cloud] [--engine ENGINE] \
+ *                 [--area-budget MM2] \
  *                 [--algo unico|hasco|mobohb|nsga2|sh|msh] \
  *                 [--batch N] [--iters I] [--bmax B] [--seed S] \
  *                 [--threads T] [--csv-prefix out/prefix] \
@@ -44,10 +46,10 @@
 #include "common/fault.hh"
 #include "common/shutdown.hh"
 #include "common/table.hh"
+#include "core/backend.hh"
 #include "core/driver.hh"
 #include "core/fault_env.hh"
 #include "core/report.hh"
-#include "core/spatial_env.hh"
 #include "workload/model_zoo.hh"
 #include "workload/parser.hh"
 
@@ -61,7 +63,9 @@ usage(const char *prog)
     std::cerr
         << "usage: " << prog
         << " --model NAME | --workload FILE [more ...]\n"
-           "  [--scenario edge|cloud] [--algo unico|hasco|mobohb|"
+           "  [--backend NAME] [--scenario edge|cloud]"
+           " [--engine random|annealing|genetic]\n"
+           "  [--area-budget MM2] [--algo unico|hasco|mobohb|"
            "nsga2|sh|msh]\n"
            "  [--batch N] [--iters I] [--bmax B] [--seed S]"
            " [--threads T]\n"
@@ -72,7 +76,10 @@ usage(const char *prog)
            "  [--checkpoint FILE] [--resume] [--checkpoint-every N]"
            " [--checkpoint-keep K]\n"
            "  [--wall-deadline SEC] [--eval-wall-deadline SEC]\n"
-           "models: ";
+           "backends: ";
+    for (const auto &name : core::backendNames())
+        std::cerr << name << " ";
+    std::cerr << "\nmodels: ";
     for (const auto &name : workload::modelNames())
         std::cerr << name << " ";
     std::cerr << "\n";
@@ -109,12 +116,17 @@ main(int argc, char **argv)
     if (nets.empty())
         return usage(args.program().c_str());
 
-    core::SpatialEnvOptions env_opt;
-    env_opt.scenario = args.getString("scenario", "edge") == "cloud"
-                           ? accel::Scenario::Cloud
-                           : accel::Scenario::Edge;
-    env_opt.maxShapesPerNetwork =
-        static_cast<std::size_t>(args.getInt("max-shapes", 5));
+    // Backend selection: every evaluation stack (HW space + mapping
+    // search + PPA engine) is constructed through the registry, and
+    // each backend parses its own option vocabulary.
+    const std::string backend = args.getString("backend", "spatial");
+    core::BackendOptions env_opt;
+    try {
+        env_opt = core::parseBackendOptions(backend, args);
+    } catch (const core::BackendError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return usage(args.program().c_str());
+    }
 
     // Evaluation cache: on by default; --no-cache disables it and
     // --cache-mb sizes it. Search results do not depend on either.
@@ -129,8 +141,12 @@ main(int argc, char **argv)
     std::cout << "workloads:";
     for (const auto &net : nets)
         std::cout << " " << net.name();
-    std::cout << "\nscenario: " << toString(env_opt.scenario) << "\n";
-    core::SpatialEnv spatial_env(std::move(nets), env_opt);
+    const std::unique_ptr<core::CoSearchEnv> backend_env =
+        core::makeBackendEnv(backend, std::move(nets), env_opt);
+    std::cout << "\nbackend: " << backend_env->backendName();
+    if (!backend_env->scenarioName().empty())
+        std::cout << " (" << backend_env->scenarioName() << ")";
+    std::cout << "\n";
 
     // Optional fault injection: wrap the real environment in a
     // deterministic injector so the run exercises the supervisor.
@@ -140,11 +156,11 @@ main(int argc, char **argv)
     fault_spec.corruptRate = args.getDouble("corrupt-rate", 0.0);
     fault_spec.seed =
         static_cast<std::uint64_t>(args.getInt("fault-seed", 7));
-    core::FaultyEnv faulty_env(spatial_env,
+    core::FaultyEnv faulty_env(*backend_env,
                                common::FaultPlan(fault_spec));
     core::CoSearchEnv &env =
         fault_spec.active() ? static_cast<core::CoSearchEnv &>(faulty_env)
-                            : spatial_env;
+                            : *backend_env;
     if (fault_spec.active())
         std::cout << "fault injection: "
                   << faulty_env.plan().describe() << "\n";

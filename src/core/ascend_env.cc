@@ -1,128 +1,77 @@
 #include "core/ascend_env.hh"
 
 #include <cassert>
-#include <cmath>
+#include <sstream>
 
 #include "camodel/search.hh"
-#include "core/robustness.hh"
+#include "core/layered_run.hh"
 
 namespace unico::core {
 
 namespace {
 
-constexpr double kUnmappedLatencyMs = 1e7;
-
-/** Multi-layer run over the cycle-level simulator. */
-class AscendMappingRun : public MappingRun
+/**
+ * Ascend backend binding for the shared layered run: per-layer
+ * searches are depth-first buffer-fusion sweeps over the cycle-level
+ * simulator, whose virtual cost is evaluation-dependent — the policy
+ * charges it from inside the evaluators (fixedEvalSeconds() < 0).
+ */
+class AscendRunPolicy final : public LayeredRunPolicy
 {
   public:
-    AscendMappingRun(const std::vector<workload::WeightedOp> &layers,
-                     const std::vector<camodel::CubeMappingSpace> &spaces,
-                     const camodel::CycleAccurateModel &model,
-                     accel::CubeHwConfig hw, std::uint64_t seed,
-                     accel::EvalCache *cache)
-        : layers_(layers), model_(model), hw_(hw), cache_(cache)
+    AscendRunPolicy(const std::vector<workload::WeightedOp> &layers,
+                    const std::vector<camodel::CubeMappingSpace> &spaces,
+                    const camodel::CycleAccurateModel &model,
+                    accel::CubeHwConfig hw, accel::EvalCache *cache)
+        : layers_(layers), spaces_(spaces), model_(model), hw_(hw),
+          cache_(cache)
     {
-        common::Rng seeder(seed);
-        runs_.reserve(layers_.size());
-        for (std::size_t l = 0; l < layers_.size(); ++l) {
-            const workload::TensorOp &op = layers_[l].op;
-            auto evaluator = [this, &op](const camodel::CubeMapping &m) {
-                // Degradation ladder: the cycle-level model is the
-                // default; after repeated faults the supervisor drops
-                // this run onto the coarse (analytical-fidelity) rung
-                // which charges analytical-scale virtual cost. The
-                // degraded model has a distinct tech fingerprint, so
-                // the rungs never share cache entries.
-                const camodel::CycleAccurateModel &engine =
-                    degraded_ ? degradedModel_ : model_;
-                const double fixed_seconds =
-                    degraded_ ? camodel::CycleAccurateModel::
-                                    nominalDegradedEvalSeconds()
-                              : -1.0;
-                accel::Ppa ppa;
-                if (cache_ != nullptr) {
-                    // Below the fault layer: FaultyRun decorates the
-                    // MappingRun, so only clean results reach here.
-                    double seconds = 0.0;
-                    ppa = engine.evaluateCached(op, hw_, m, *cache_,
-                                                &seconds, fixed_seconds);
-                    chargedSeconds_ += seconds;
-                } else {
-                    camodel::SimStats stats;
-                    ppa = engine.evaluate(op, hw_, m, &stats);
-                    chargedSeconds_ +=
-                        fixed_seconds >= 0.0
-                            ? fixed_seconds
-                            : model_.nominalEvalSeconds(stats);
-                }
-                mapping::MappingEval eval;
-                eval.ppa = ppa;
-                eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
-                return eval;
-            };
-            runs_.push_back(std::make_unique<camodel::CubeSearchRun>(
-                spaces[l], evaluator, seeder.next()));
-        }
     }
 
-    void
-    step(int sweeps) override
+    std::unique_ptr<LayerSearch>
+    startLayer(std::size_t layer, std::uint64_t seed) override
     {
-        // One budget unit is a sweep: one simulator query per layer.
-        for (int i = 0; i < sweeps; ++i) {
-            ++cursor_;
-            for (auto &run : runs_)
-                run->step(1);
-            lossHistory_.push_back(networkLoss());
-        }
+        const workload::TensorOp &op = layers_[layer].op;
+        auto evaluator = [this, &op](const camodel::CubeMapping &m) {
+            // Degradation ladder: the cycle-level model is the
+            // default; after repeated faults the supervisor drops
+            // this run onto the coarse (analytical-fidelity) rung
+            // which charges analytical-scale virtual cost. The
+            // degraded model has a distinct tech fingerprint, so the
+            // rungs never share cache entries.
+            const camodel::CycleAccurateModel &engine =
+                degraded_ ? degradedModel_ : model_;
+            const double fixed_seconds =
+                degraded_ ? camodel::CycleAccurateModel::
+                                nominalDegradedEvalSeconds()
+                          : -1.0;
+            accel::Ppa ppa;
+            if (cache_ != nullptr) {
+                // Below the fault layer: FaultyRun decorates the
+                // MappingRun, so only clean results reach here.
+                double seconds = 0.0;
+                ppa = engine.evaluateCached(op, hw_, m, *cache_,
+                                            &seconds, fixed_seconds);
+                charge(seconds);
+            } else {
+                camodel::SimStats stats;
+                ppa = engine.evaluate(op, hw_, m, &stats);
+                charge(fixed_seconds >= 0.0
+                           ? fixed_seconds
+                           : model_.nominalEvalSeconds(stats));
+            }
+            mapping::MappingEval eval;
+            eval.ppa = ppa;
+            eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+            return eval;
+        };
+        return std::make_unique<
+            LayerSearchAdapter<camodel::CubeSearchRun>>(
+            std::make_unique<camodel::CubeSearchRun>(spaces_[layer],
+                                                     evaluator, seed));
     }
 
-    int spent() const override { return static_cast<int>(cursor_); }
-
-    accel::Ppa
-    bestPpa() const override
-    {
-        double latency = 0.0;
-        double energy = 0.0;
-        for (std::size_t l = 0; l < runs_.size(); ++l) {
-            const auto &eval = runs_[l]->bestEval();
-            if (runs_[l]->spent() == 0 || !eval.ppa.feasible)
-                return accel::Ppa::infeasible();
-            const double count = static_cast<double>(layers_[l].count);
-            latency += count * eval.ppa.latencyMs;
-            energy += count * eval.ppa.energyMj;
-        }
-        accel::Ppa ppa;
-        ppa.latencyMs = latency;
-        ppa.energyMj = energy;
-        ppa.powerMw = latency > 0.0 ? energy / latency * 1000.0 : 0.0;
-        ppa.areaMm2 = model_.areaMm2(hw_);
-        ppa.feasible = true;
-        return ppa;
-    }
-
-    const std::vector<double> &
-    bestLossHistory() const override
-    {
-        return lossHistory_;
-    }
-
-    double
-    sensitivity(double alpha) const override
-    {
-        double total_w = 0.0;
-        double acc = 0.0;
-        for (std::size_t l = 0; l < runs_.size(); ++l) {
-            const double w = static_cast<double>(layers_[l].count) *
-                             static_cast<double>(layers_[l].op.macs());
-            acc += w * computeSensitivity(runs_[l]->samples(), alpha);
-            total_w += w;
-        }
-        return total_w > 0.0 ? acc / total_w : 0.0;
-    }
-
-    double chargedSeconds() const override { return chargedSeconds_; }
+    double areaMm2() const override { return model_.areaMm2(hw_); }
 
     bool
     degradeToAnalytical() override
@@ -135,32 +84,12 @@ class AscendMappingRun : public MappingRun
     }
 
   private:
-    double
-    networkLoss() const
-    {
-        double total = 0.0;
-        for (std::size_t l = 0; l < runs_.size(); ++l) {
-            const double count = static_cast<double>(layers_[l].count);
-            if (runs_[l]->spent() == 0) {
-                total += count * kUnmappedLatencyMs;
-            } else {
-                total += count *
-                         std::min(runs_[l]->bestLossHistory().back(),
-                                  kUnmappedLatencyMs);
-            }
-        }
-        return total;
-    }
-
     const std::vector<workload::WeightedOp> &layers_;
+    const std::vector<camodel::CubeMappingSpace> &spaces_;
     const camodel::CycleAccurateModel &model_;
     camodel::CycleAccurateModel degradedModel_;
     accel::CubeHwConfig hw_;
     accel::EvalCache *cache_ = nullptr;
-    std::vector<std::unique_ptr<camodel::CubeSearchRun>> runs_;
-    std::vector<double> lossHistory_;
-    std::size_t cursor_ = 0;
-    double chargedSeconds_ = 0.0;
     bool degraded_ = false;
 };
 
@@ -168,13 +97,10 @@ class AscendMappingRun : public MappingRun
 
 AscendEnv::AscendEnv(std::vector<workload::Network> networks,
                      AscendEnvOptions opt)
-    : opt_(opt), model_(opt.tech)
+    : opt_(opt), model_(opt.tech),
+      layers_(collectDominantLayers(networks, opt.maxShapesPerNetwork))
 {
     assert(!networks.empty());
-    for (const auto &net : networks) {
-        for (auto &wop : net.dominantOps(opt_.maxShapesPerNetwork))
-            layers_.push_back(std::move(wop));
-    }
     mapSpaces_.reserve(layers_.size());
     for (const auto &wop : layers_)
         mapSpaces_.emplace_back(wop.op);
@@ -189,9 +115,11 @@ AscendEnv::hwSpace() const
 std::unique_ptr<MappingRun>
 AscendEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
 {
-    return std::make_unique<AscendMappingRun>(layers_, mapSpaces_, model_,
-                                              space_.decode(h), seed,
-                                              opt_.cache);
+    return std::make_unique<LayeredMappingRun>(
+        layers_,
+        std::make_unique<AscendRunPolicy>(layers_, mapSpaces_, model_,
+                                          space_.decode(h), opt_.cache),
+        seed);
 }
 
 std::string
@@ -200,13 +128,25 @@ AscendEnv::describeHw(const accel::HwPoint &h) const
     return space_.decode(h).describe();
 }
 
-accel::Ppa
-AscendEnv::evaluateConfig(const accel::HwPoint &h, int budget,
-                          std::uint64_t seed) const
+std::string
+AscendEnv::scenarioName() const
 {
-    auto run = createRun(h, seed);
-    run->step(budget);
-    return run->bestPpa();
+    // The Ascend scenario is the edge-device area envelope.
+    std::ostringstream oss;
+    oss << "area" << opt_.areaBudgetMm2;
+    return oss.str();
+}
+
+std::uint64_t
+AscendEnv::workloadDigest() const
+{
+    return layersDigest(layers_);
+}
+
+std::optional<accel::HwPoint>
+AscendEnv::expertDefault() const
+{
+    return space_.encodeDefault();
 }
 
 } // namespace unico::core

@@ -10,7 +10,9 @@
 #ifndef UNICO_CORE_ASCEND_ENV_HH
 #define UNICO_CORE_ASCEND_ENV_HH
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "accel/ascend.hh"
@@ -49,6 +51,16 @@ class AscendEnv : public CoSearchEnv
     {
         return opt_.cache;
     }
+    /** Every SH round must seed each unique layer shape once. */
+    int minSeedBudget() const override
+    {
+        return std::max<int>(1, static_cast<int>(layers_.size()));
+    }
+    std::string backendName() const override { return "ascend"; }
+    std::string scenarioName() const override;
+    std::uint64_t workloadDigest() const override;
+    /** The hand-designed cube-core reference point of Fig. 11. */
+    std::optional<accel::HwPoint> expertDefault() const override;
 
     /** The typed Ascend design space. */
     const accel::AscendDesignSpace &ascendSpace() const { return space_; }
@@ -61,13 +73,6 @@ class AscendEnv : public CoSearchEnv
     {
         return layers_;
     }
-
-    /**
-     * Convenience: run a full-budget mapping search for a decoded
-     * configuration (used to score the expert default in Fig. 11).
-     */
-    accel::Ppa evaluateConfig(const accel::HwPoint &h, int budget,
-                              std::uint64_t seed) const;
 
   private:
     AscendEnvOptions opt_;

@@ -194,12 +194,54 @@ configFingerprint(const DriverConfig &cfg)
     return oss.str();
 }
 
+StackIdentity
+StackIdentity::of(const CoSearchEnv &env)
+{
+    StackIdentity id;
+    id.backend = env.backendName();
+    id.scenario = env.scenarioName();
+    const std::uint64_t digest = env.workloadDigest();
+    id.workloadDigest = digest != 0 ? common::hexU64(digest) : "";
+    return id;
+}
+
+CheckpointIoStatus
+checkpointCompatibility(const SearchCheckpoint &ck,
+                        const std::string &liveConfigKey,
+                        const StackIdentity &live)
+{
+    if (ck.configKey != liveConfigKey)
+        return CheckpointIoStatus::failure(
+            "produced by a different configuration");
+    // Stack identity: empty fields (legacy documents, ad-hoc envs)
+    // are unknown rather than different — skip them.
+    if (!ck.backend.empty() && !live.backend.empty() &&
+        ck.backend != live.backend)
+        return CheckpointIoStatus::failure(
+            "backend mismatch: checkpoint was produced by backend '" +
+            ck.backend + "', live run uses '" + live.backend + "'");
+    if (!ck.scenario.empty() && !live.scenario.empty() &&
+        ck.scenario != live.scenario)
+        return CheckpointIoStatus::failure(
+            "scenario mismatch: checkpoint was produced under '" +
+            ck.scenario + "', live run uses '" + live.scenario + "'");
+    if (!ck.workloadDigest.empty() && !live.workloadDigest.empty() &&
+        ck.workloadDigest != live.workloadDigest)
+        return CheckpointIoStatus::failure(
+            "workload mismatch: checkpoint digest " + ck.workloadDigest +
+            " != live digest " + live.workloadDigest);
+    return CheckpointIoStatus::success();
+}
+
 common::Json
 toJson(const SearchCheckpoint &ck)
 {
     Json doc = Json::object();
     doc["version"] = ck.version;
     doc["configKey"] = ck.configKey;
+    doc["backend"] = ck.backend;
+    doc["scenario"] = ck.scenario;
+    doc["workloadDigest"] = ck.workloadDigest;
     doc["completedIterations"] = ck.completedIterations;
     doc["clockSeconds"] = ck.clockSeconds;
     doc["clockEvaluations"] =
@@ -250,11 +292,19 @@ checkpointFromJson(const common::Json &doc)
 {
     SearchCheckpoint ck;
     ck.version = static_cast<int>(doc.at("version").asInt());
-    if (ck.version != 1 && ck.version != 2)
+    if (ck.version < 1 || ck.version > 3)
         throw std::runtime_error(
             "checkpoint: unsupported version " +
             std::to_string(ck.version));
     ck.configKey = doc.at("configKey").asString();
+    // Stack identity fields are new in version 3; older documents
+    // leave them empty (= unknown) and stay resumable.
+    ck.backend = doc.has("backend") ? doc.at("backend").asString() : "";
+    ck.scenario =
+        doc.has("scenario") ? doc.at("scenario").asString() : "";
+    ck.workloadDigest = doc.has("workloadDigest")
+                            ? doc.at("workloadDigest").asString()
+                            : "";
     ck.completedIterations =
         static_cast<int>(doc.at("completedIterations").asInt());
     ck.clockSeconds = doc.at("clockSeconds").asDouble();

@@ -29,6 +29,7 @@
 #define UNICO_CORE_CHECKPOINT_HH
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,10 +42,17 @@ namespace unico::core {
 /** Everything needed to resume a co-search mid-run. */
 struct SearchCheckpoint
 {
-    int version = 2;
+    int version = 3;
     /** Fingerprint of the producing DriverConfig; resume refuses a
      *  checkpoint whose fingerprint differs from the live config. */
     std::string configKey;
+    /** Identity of the producing evaluation stack (version 3+):
+     *  backend registry name, scenario label and workload digest.
+     *  Empty in documents written by older versions — compatibility
+     *  checks skip empty fields instead of refusing legacy files. */
+    std::string backend;
+    std::string scenario;
+    std::string workloadDigest;
     int completedIterations = 0;
     double clockSeconds = 0.0;
     std::uint64_t clockEvaluations = 0;
@@ -58,6 +66,33 @@ struct SearchCheckpoint
  * search trajectory (seed, batch, budgets, modes, recovery policy).
  */
 std::string configFingerprint(const DriverConfig &cfg);
+
+/**
+ * Identity triple of a live evaluation stack, in the exact string
+ * form stamped into checkpoints.
+ */
+struct StackIdentity
+{
+    std::string backend;
+    std::string scenario;
+    std::string workloadDigest;
+
+    /** Snapshot an environment's identity (digest in hex). */
+    static StackIdentity of(const CoSearchEnv &env);
+};
+
+/**
+ * Typed resume refusal: the checkpoint on disk was produced by a
+ * different configuration or evaluation stack (backend / scenario /
+ * workload) than the live run. Derives from std::runtime_error so
+ * existing catch sites keep working.
+ */
+class CheckpointMismatchError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 
 /** Serialize / deserialize a checkpoint document. */
 common::Json toJson(const SearchCheckpoint &ck);
@@ -82,6 +117,18 @@ struct CheckpointIoStatus
         return CheckpointIoStatus{std::move(why)};
     }
 };
+
+/**
+ * Compatibility verdict between a loaded checkpoint and the live
+ * (config fingerprint, stack identity). Identity fields that are
+ * empty on either side are skipped — documents predating version 3
+ * carry no stack identity and remain resumable. Returns a failed
+ * CheckpointIoStatus naming the first mismatching field.
+ */
+CheckpointIoStatus
+checkpointCompatibility(const SearchCheckpoint &ck,
+                        const std::string &liveConfigKey,
+                        const StackIdentity &live);
 
 /**
  * Durable atomic write: serialize with a CRC-64 trailer, fsync the

@@ -71,6 +71,35 @@ toString(UpdateMode mode)
     return "?";
 }
 
+BudgetMode
+budgetModeFromString(const std::string &name)
+{
+    if (name == "full")
+        return BudgetMode::FullBudget;
+    if (name == "sh")
+        return BudgetMode::SH;
+    if (name == "msh")
+        return BudgetMode::MSH;
+    if (name == "hyperband")
+        return BudgetMode::Hyperband;
+    throw std::invalid_argument("unknown budget mode '" + name +
+                                "' (expected full|sh|msh|hyperband)");
+}
+
+UpdateMode
+updateModeFromString(const std::string &name)
+{
+    if (name == "all")
+        return UpdateMode::All;
+    if (name == "high-fidelity")
+        return UpdateMode::HighFidelity;
+    if (name == "champion")
+        return UpdateMode::Champion;
+    throw std::invalid_argument(
+        "unknown update mode '" + name +
+        "' (expected all|high-fidelity|champion)");
+}
+
 DriverConfig
 DriverConfig::unico()
 {
@@ -240,14 +269,17 @@ CoOptimizer::run()
     // an interrupted trial re-runs identically from its start.
     // Resume walks the rotation window newest-first and skips any
     // generation that fails CRC/parse validation.
+    const StackIdentity stack_id = StackIdentity::of(env_);
     int start_iter = 0;
     if (cfg_.resumeFromCheckpoint && !cfg_.checkpointPath.empty()) {
         if (auto rec = loadNewestValidCheckpoint(cfg_.checkpointPath,
                                                  cfg_.checkpointKeep)) {
-            if (rec->checkpoint.configKey != configFingerprint(cfg_))
-                throw std::runtime_error(
-                    "checkpoint '" + rec->path +
-                    "' was produced by a different configuration");
+            if (const auto compat = checkpointCompatibility(
+                    rec->checkpoint, configFingerprint(cfg_), stack_id);
+                !compat.ok())
+                throw CheckpointMismatchError("checkpoint '" +
+                                              rec->path +
+                                              "': " + compat.message);
             sampler.restoreState(rec->checkpoint.samplerState);
             selector.restoreState(rec->checkpoint.selector);
             clock.restore(rec->checkpoint.clockSeconds,
@@ -273,6 +305,9 @@ CoOptimizer::run()
             return;
         SearchCheckpoint ck;
         ck.configKey = configFingerprint(cfg_);
+        ck.backend = stack_id.backend;
+        ck.scenario = stack_id.scenario;
+        ck.workloadDigest = stack_id.workloadDigest;
         ck.completedIterations = completed;
         ck.clockSeconds = clock.seconds();
         ck.clockEvaluations = clock.evaluations();

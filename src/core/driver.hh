@@ -49,6 +49,11 @@ enum class UpdateMode {
 const char *toString(BudgetMode mode);
 const char *toString(UpdateMode mode);
 
+/** Inverse of toString(); throws std::invalid_argument on an
+ *  unknown name. Round-trip: fromString(toString(m)) == m. */
+BudgetMode budgetModeFromString(const std::string &name);
+UpdateMode updateModeFromString(const std::string &name);
+
 /**
  * Recovery policy of the fault-tolerant evaluation supervisor.
  *

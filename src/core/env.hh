@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,53 @@ class CoSearchEnv
      * first successive-halving round seeds every layer once.
      */
     virtual int minSeedBudget() const { return 1; }
+
+    /**
+     * Registry name of the backend this environment binds
+     * ("spatial", "ascend"); "custom" for ad-hoc environments.
+     * Stamped into checkpoints so --resume refuses a mismatched
+     * stack. Decorators forward to the wrapped environment.
+     */
+    virtual std::string backendName() const { return "custom"; }
+
+    /**
+     * Constraint-scenario label ("edge", "cloud", "area200", ...);
+     * empty when the backend has no scenario notion. Part of the
+     * checkpoint stack identity alongside backendName().
+     */
+    virtual std::string scenarioName() const { return ""; }
+
+    /**
+     * Digest of the count-weighted layer set being co-optimized
+     * (0 = unknown). Completes the checkpoint stack identity: a
+     * resume against different workloads is refused.
+     */
+    virtual std::uint64_t workloadDigest() const { return 0; }
+
+    /**
+     * Hand-designed reference configuration, when the platform ships
+     * one (e.g. the Ascend expert default of Fig. 11); std::nullopt
+     * otherwise.
+     */
+    virtual std::optional<accel::HwPoint>
+    expertDefault() const
+    {
+        return std::nullopt;
+    }
+
+    /**
+     * Convenience: run one budgeted mapping search for configuration
+     * @p h and return the aggregated best PPA (used to score fixed
+     * reference designs in benches).
+     */
+    accel::Ppa
+    evaluateConfig(const accel::HwPoint &h, int budget,
+                   std::uint64_t seed) const
+    {
+        auto run = createRun(h, seed);
+        run->step(budget);
+        return run->bestPpa();
+    }
 };
 
 } // namespace unico::core

@@ -155,6 +155,30 @@ FaultyEnv::minSeedBudget() const
     return inner_.minSeedBudget();
 }
 
+std::string
+FaultyEnv::backendName() const
+{
+    return inner_.backendName();
+}
+
+std::string
+FaultyEnv::scenarioName() const
+{
+    return inner_.scenarioName();
+}
+
+std::uint64_t
+FaultyEnv::workloadDigest() const
+{
+    return inner_.workloadDigest();
+}
+
+std::optional<accel::HwPoint>
+FaultyEnv::expertDefault() const
+{
+    return inner_.expertDefault();
+}
+
 InjectionCounts
 FaultyEnv::injected() const
 {

@@ -63,6 +63,12 @@ class FaultyEnv : public CoSearchEnv
     {
         return inner_.evalCache();
     }
+    // Stack identity is the wrapped environment's: fault injection
+    // does not change what a checkpoint was computed against.
+    std::string backendName() const override;
+    std::string scenarioName() const override;
+    std::uint64_t workloadDigest() const override;
+    std::optional<accel::HwPoint> expertDefault() const override;
 
     /** The fault oracle in use. */
     const common::FaultPlan &plan() const { return plan_; }

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Backend-agnostic multi-layer mapping run.
+ *
+ * Every platform binding (spatial + analytical model, Ascend-like +
+ * cycle-level simulator, future backends) shares the same network-
+ * level machinery: one budgeted mapping search per unique layer
+ * shape, stepped round-robin; count-weighted PPA aggregation over
+ * the per-layer incumbents; MACs-weighted sensitivity; and the
+ * fidelity-degradation hook. LayeredMappingRun implements all of it
+ * once, parameterized by a small LayeredRunPolicy that supplies the
+ * per-layer search engine, the virtual-cost charging rule and the
+ * area model — the only parts that actually differ per platform.
+ *
+ * Determinism contract (shared by every backend): per-layer search
+ * seeds derive from the run seed via one common::Rng draw per layer
+ * in layer order, and each sweep steps every layer exactly once
+ * before the network loss is recorded. Refactoring an env onto this
+ * core must keep its trajectories bit-identical (covered by the
+ * golden-CSV parity test).
+ */
+
+#ifndef UNICO_CORE_LAYERED_RUN_HH
+#define UNICO_CORE_LAYERED_RUN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/env.hh"
+#include "mapping/engine.hh"
+#include "workload/network.hh"
+
+namespace unico::core {
+
+/** Latency penalty (ms) for a layer with no feasible mapping yet. */
+constexpr double kUnmappedLatencyMs = 1e7;
+
+/**
+ * One budgeted mapping search over a single layer shape. The two
+ * backend search runs (mapping::SearchRun, camodel::CubeSearchRun)
+ * expose this duck-typed surface already; LayerSearchAdapter lifts
+ * either behind a common virtual interface.
+ */
+class LayerSearch
+{
+  public:
+    virtual ~LayerSearch() = default;
+
+    virtual void step(int evals) = 0;
+    virtual int spent() const = 0;
+    virtual const mapping::MappingEval &bestEval() const = 0;
+    virtual const std::vector<double> &bestLossHistory() const = 0;
+    virtual const std::vector<mapping::SamplePoint> &samples() const = 0;
+};
+
+/** Virtual-interface adapter over a concrete per-layer search run. */
+template <typename Run>
+class LayerSearchAdapter final : public LayerSearch
+{
+  public:
+    explicit LayerSearchAdapter(std::unique_ptr<Run> run)
+        : run_(std::move(run))
+    {
+    }
+
+    void step(int evals) override { run_->step(evals); }
+    int spent() const override { return run_->spent(); }
+    const mapping::MappingEval &
+    bestEval() const override
+    {
+        return run_->bestEval();
+    }
+    const std::vector<double> &
+    bestLossHistory() const override
+    {
+        return run_->bestLossHistory();
+    }
+    const std::vector<mapping::SamplePoint> &
+    samples() const override
+    {
+        return run_->samples();
+    }
+
+  private:
+    std::unique_ptr<Run> run_;
+};
+
+/**
+ * The per-backend part of a multi-layer run: how to start one
+ * layer's search, how evaluation cost is charged, and which area
+ * model applies. Owned by the LayeredMappingRun it parameterizes.
+ */
+class LayeredRunPolicy
+{
+  public:
+    virtual ~LayeredRunPolicy() = default;
+
+    /**
+     * Begin the budgeted mapping search for layer @p layer. The seed
+     * is the layer's draw from the run-level seeder; evaluator
+     * lambdas created here may capture `this` (the policy outlives
+     * every layer search it starts).
+     */
+    virtual std::unique_ptr<LayerSearch>
+    startLayer(std::size_t layer, std::uint64_t seed) = 0;
+
+    /**
+     * Fixed virtual seconds charged per layer evaluation by the
+     * shared core (immediately after each per-layer step). Return a
+     * negative value when the cost is evaluation-dependent; the
+     * policy then reports it through charge() from inside its
+     * evaluators instead.
+     */
+    virtual double fixedEvalSeconds() const { return -1.0; }
+
+    /** Silicon area (mm^2) of the hardware sample under search. */
+    virtual double areaMm2() const = 0;
+
+    /** Fidelity-degradation hook; see MappingRun::degradeToAnalytical. */
+    virtual bool degradeToAnalytical() { return false; }
+
+  protected:
+    /** Charge evaluation-dependent virtual cost to the owning run. */
+    void
+    charge(double seconds)
+    {
+        *chargeSink_ += seconds;
+    }
+
+  private:
+    friend class LayeredMappingRun;
+
+    double *chargeSink_ = nullptr;
+};
+
+/**
+ * Multi-layer mapping run shared by every backend: one budgeted
+ * search per unique layer shape, stepped round-robin; the recorded
+ * loss is the count-weighted network latency under the current
+ * per-layer incumbents.
+ */
+class LayeredMappingRun final : public MappingRun
+{
+  public:
+    /**
+     * @param layers the count-weighted layer set (owned by the env;
+     *        must outlive the run).
+     * @param policy backend binding; the run takes ownership.
+     * @param seed   run-level seed; per-layer seeds are drawn from it
+     *        in layer order.
+     */
+    LayeredMappingRun(const std::vector<workload::WeightedOp> &layers,
+                      std::unique_ptr<LayeredRunPolicy> policy,
+                      std::uint64_t seed);
+
+    void step(int sweeps) override;
+    int spent() const override;
+    accel::Ppa bestPpa() const override;
+    const std::vector<double> &bestLossHistory() const override;
+    double sensitivity(double alpha) const override;
+    double chargedSeconds() const override;
+    bool degradeToAnalytical() override;
+
+  private:
+    double networkLoss() const;
+
+    const std::vector<workload::WeightedOp> &layers_;
+    std::unique_ptr<LayeredRunPolicy> policy_;
+    std::vector<std::unique_ptr<LayerSearch>> runs_;
+    std::vector<double> lossHistory_;
+    std::size_t cursor_ = 0;
+    double chargedSeconds_ = 0.0;
+};
+
+/**
+ * The dominant count-weighted layer set of a workload list — the
+ * common first step of every env constructor.
+ */
+std::vector<workload::WeightedOp>
+collectDominantLayers(const std::vector<workload::Network> &networks,
+                      std::size_t maxShapesPerNetwork);
+
+/**
+ * Order-sensitive digest of a count-weighted layer set; stamped into
+ * checkpoints so --resume can refuse a different workload stack.
+ */
+std::uint64_t
+layersDigest(const std::vector<workload::WeightedOp> &layers);
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_LAYERED_RUN_HH

@@ -1,162 +1,82 @@
 #include "core/spatial_env.hh"
 
 #include <cassert>
-#include <cmath>
 
-#include "core/robustness.hh"
+#include "core/layered_run.hh"
 
 namespace unico::core {
 
 namespace {
 
-/** Latency penalty (ms) for a layer with no feasible mapping yet. */
-constexpr double kUnmappedLatencyMs = 1e7;
-
 /**
- * Multi-layer mapping run: one budgeted search per unique layer
- * shape, stepped round-robin; the recorded loss is the count-weighted
- * network latency under the current per-layer incumbents.
+ * Spatial backend binding for the shared layered run: per-layer
+ * searches come from the FlexTensor/GAMMA-style engines over the
+ * analytical model, and every evaluation charges the model's fixed
+ * nominal seconds (the shared core applies the charge after each
+ * layer step, preserving the historical charging order).
  */
-class SpatialMappingRun : public MappingRun
+class SpatialRunPolicy final : public LayeredRunPolicy
 {
   public:
-    SpatialMappingRun(const std::vector<workload::WeightedOp> &layers,
-                      const std::vector<mapping::MappingSpace> &spaces,
-                      const costmodel::AnalyticalCostModel &model,
-                      accel::SpatialHwConfig hw,
-                      mapping::EngineKind engine, std::uint64_t seed,
-                      accel::EvalCache *cache)
-        : layers_(layers), model_(model), hw_(hw)
+    SpatialRunPolicy(const std::vector<workload::WeightedOp> &layers,
+                     const std::vector<mapping::MappingSpace> &spaces,
+                     const costmodel::AnalyticalCostModel &model,
+                     accel::SpatialHwConfig hw,
+                     mapping::EngineKind engine, accel::EvalCache *cache)
+        : layers_(layers), spaces_(spaces), model_(model), hw_(hw),
+          engine_(engine), cache_(cache)
     {
-        common::Rng seeder(seed);
-        runs_.reserve(layers_.size());
-        for (std::size_t l = 0; l < layers_.size(); ++l) {
-            const workload::TensorOp &op = layers_[l].op;
-            auto evaluator = [this, &op](const mapping::Mapping &m) {
-                const accel::Ppa ppa = model_.evaluate(op, hw_, m);
-                mapping::MappingEval eval;
-                eval.ppa = ppa;
-                eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
-                return eval;
-            };
-            // The cache sits below the fault-injection wrappers (they
-            // decorate MappingRun, not the evaluator), so only clean
-            // model outputs are ever stored.
-            runs_.push_back(mapping::startSearch(
-                engine, spaces[l],
+    }
+
+    std::unique_ptr<LayerSearch>
+    startLayer(std::size_t layer, std::uint64_t seed) override
+    {
+        const workload::TensorOp &op = layers_[layer].op;
+        auto evaluator = [this, &op](const mapping::Mapping &m) {
+            const accel::Ppa ppa = model_.evaluate(op, hw_, m);
+            mapping::MappingEval eval;
+            eval.ppa = ppa;
+            eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+            return eval;
+        };
+        // The cache sits below the fault-injection wrappers (they
+        // decorate MappingRun, not the evaluator), so only clean
+        // model outputs are ever stored.
+        return std::make_unique<LayerSearchAdapter<mapping::SearchRun>>(
+            mapping::startSearch(
+                engine_, spaces_[layer],
                 mapping::cachingEvaluator(
-                    cache, model_.queryFingerprint(op, hw_),
+                    cache_, model_.queryFingerprint(op, hw_),
                     std::move(evaluator),
                     costmodel::AnalyticalCostModel::nominalEvalSeconds()),
-                seeder.next()));
-        }
-    }
-
-    void
-    step(int sweeps) override
-    {
-        // One budget unit is a *sweep*: one mapping evaluation per
-        // unique layer (the paper's budget b counts per-operator
-        // search steps).
-        for (int i = 0; i < sweeps; ++i) {
-            ++cursor_;
-            for (auto &run : runs_) {
-                run->step(1);
-                chargedSeconds_ += costmodel::AnalyticalCostModel::
-                    nominalEvalSeconds();
-            }
-            lossHistory_.push_back(networkLoss());
-        }
-    }
-
-    int spent() const override { return static_cast<int>(cursor_); }
-
-    accel::Ppa
-    bestPpa() const override
-    {
-        double latency = 0.0;
-        double energy = 0.0;
-        for (std::size_t l = 0; l < runs_.size(); ++l) {
-            const auto &eval = runs_[l]->bestEval();
-            if (runs_[l]->spent() == 0 || !eval.ppa.feasible)
-                return accel::Ppa::infeasible();
-            const double count = static_cast<double>(layers_[l].count);
-            latency += count * eval.ppa.latencyMs;
-            energy += count * eval.ppa.energyMj;
-        }
-        accel::Ppa ppa;
-        ppa.latencyMs = latency;
-        ppa.energyMj = energy;
-        // mJ / ms == W; report mW.
-        ppa.powerMw = latency > 0.0 ? energy / latency * 1000.0 : 0.0;
-        ppa.areaMm2 = model_.areaMm2(hw_);
-        ppa.feasible = true;
-        return ppa;
-    }
-
-    const std::vector<double> &
-    bestLossHistory() const override
-    {
-        return lossHistory_;
+                seed));
     }
 
     double
-    sensitivity(double alpha) const override
+    fixedEvalSeconds() const override
     {
-        // Count*MACs-weighted mean of per-layer sensitivities: every
-        // layer's mapping landscape contributes in proportion to its
-        // share of network execution.
-        double total_w = 0.0;
-        double acc = 0.0;
-        for (std::size_t l = 0; l < runs_.size(); ++l) {
-            const double w = static_cast<double>(layers_[l].count) *
-                             static_cast<double>(layers_[l].op.macs());
-            acc += w * computeSensitivity(runs_[l]->samples(), alpha);
-            total_w += w;
-        }
-        return total_w > 0.0 ? acc / total_w : 0.0;
+        return costmodel::AnalyticalCostModel::nominalEvalSeconds();
     }
 
-    double chargedSeconds() const override { return chargedSeconds_; }
+    double areaMm2() const override { return model_.areaMm2(hw_); }
 
   private:
-    double
-    networkLoss() const
-    {
-        double total = 0.0;
-        for (std::size_t l = 0; l < runs_.size(); ++l) {
-            const double count = static_cast<double>(layers_[l].count);
-            if (runs_[l]->spent() == 0) {
-                total += count * kUnmappedLatencyMs;
-            } else {
-                total += count *
-                         std::min(runs_[l]->bestLossHistory().back(),
-                                  kUnmappedLatencyMs);
-            }
-        }
-        return total;
-    }
-
     const std::vector<workload::WeightedOp> &layers_;
+    const std::vector<mapping::MappingSpace> &spaces_;
     const costmodel::AnalyticalCostModel &model_;
     accel::SpatialHwConfig hw_;
-    std::vector<std::unique_ptr<mapping::SearchRun>> runs_;
-    std::vector<double> lossHistory_;
-    std::size_t cursor_ = 0;
-    double chargedSeconds_ = 0.0;
+    mapping::EngineKind engine_;
+    accel::EvalCache *cache_;
 };
 
 } // namespace
 
 SpatialEnv::SpatialEnv(std::vector<workload::Network> networks,
                        SpatialEnvOptions opt)
-    : opt_(opt), space_(opt.scenario), model_(opt.tech)
+    : opt_(opt), space_(opt.scenario), model_(opt.tech),
+      layers_(collectDominantLayers(networks, opt.maxShapesPerNetwork))
 {
     assert(!networks.empty());
-    for (const auto &net : networks) {
-        for (auto &wop : net.dominantOps(opt_.maxShapesPerNetwork))
-            layers_.push_back(std::move(wop));
-    }
     mapSpaces_.reserve(layers_.size());
     for (const auto &wop : layers_)
         mapSpaces_.emplace_back(wop.op);
@@ -171,9 +91,12 @@ SpatialEnv::hwSpace() const
 std::unique_ptr<MappingRun>
 SpatialEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
 {
-    return std::make_unique<SpatialMappingRun>(
-        layers_, mapSpaces_, model_, space_.decode(h), opt_.engine, seed,
-        opt_.cache);
+    return std::make_unique<LayeredMappingRun>(
+        layers_,
+        std::make_unique<SpatialRunPolicy>(layers_, mapSpaces_, model_,
+                                           space_.decode(h), opt_.engine,
+                                           opt_.cache),
+        seed);
 }
 
 double
@@ -186,6 +109,18 @@ std::string
 SpatialEnv::describeHw(const accel::HwPoint &h) const
 {
     return space_.decode(h).describe();
+}
+
+std::string
+SpatialEnv::scenarioName() const
+{
+    return toString(opt_.scenario);
+}
+
+std::uint64_t
+SpatialEnv::workloadDigest() const
+{
+    return layersDigest(layers_);
 }
 
 } // namespace unico::core

@@ -10,6 +10,7 @@
 #ifndef UNICO_CORE_SPATIAL_ENV_HH
 #define UNICO_CORE_SPATIAL_ENV_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -53,6 +54,14 @@ class SpatialEnv : public CoSearchEnv
     {
         return opt_.cache;
     }
+    /** Every SH round must seed each unique layer shape once. */
+    int minSeedBudget() const override
+    {
+        return std::max<int>(1, static_cast<int>(layers_.size()));
+    }
+    std::string backendName() const override { return "spatial"; }
+    std::string scenarioName() const override;
+    std::uint64_t workloadDigest() const override;
 
     /** The typed spatial design space (for decode in benches). */
     const accel::SpatialDesignSpace &spatialSpace() const { return space_; }

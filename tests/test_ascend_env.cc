@@ -115,3 +115,27 @@ TEST(AscendEnv, DescribeHwMentionsCube)
         env.describeHw(env.ascendSpace().encodeDefault());
     EXPECT_NE(desc.find("cube="), std::string::npos);
 }
+
+TEST(AscendEnv, MinSeedBudgetCoversEveryLayer)
+{
+    // One mapping evaluation per unique layer is the floor below
+    // which a "seeded" design would leave layers unmapped (each
+    // budget unit is a round-robin sweep seeded per layer).
+    const auto env = makeEnv();
+    EXPECT_EQ(env.minSeedBudget(),
+              static_cast<int>(env.layers().size()));
+    EXPECT_GE(env.minSeedBudget(), 1);
+}
+
+TEST(AscendEnv, ReportsStackIdentity)
+{
+    AscendEnvOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    opt.areaBudgetMm2 = 150.0;
+    const AscendEnv env({workload::makeNetwork("fsrcnn_120x320")}, opt);
+    EXPECT_EQ(env.backendName(), "ascend");
+    EXPECT_EQ(env.scenarioName(), "area150");
+    EXPECT_NE(env.workloadDigest(), 0u);
+    ASSERT_TRUE(env.expertDefault().has_value());
+    EXPECT_EQ(env.expertDefault()->size(), env.hwSpace().dims());
+}

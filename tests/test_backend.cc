@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the backend registry (core/backend.hh): built-in
+ * registration, typed lookup failure, per-backend option parsing with
+ * foreign-flag rejection, stack-identity reporting and user backend
+ * registration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+using core::BackendError;
+using core::BackendOptions;
+
+namespace {
+
+/** CliArgs over a token list (argv[0] is supplied). */
+common::CliArgs
+makeArgs(const std::vector<std::string> &tokens)
+{
+    std::vector<const char *> argv = {"test"};
+    for (const auto &t : tokens)
+        argv.push_back(t.c_str());
+    return common::CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+std::vector<workload::Network>
+nets(const std::string &name)
+{
+    return {workload::makeNetwork(name)};
+}
+
+} // namespace
+
+TEST(BackendRegistry, BuiltinsPresentAndSorted)
+{
+    EXPECT_TRUE(core::isBackendRegistered("spatial"));
+    EXPECT_TRUE(core::isBackendRegistered("ascend"));
+    EXPECT_FALSE(core::isBackendRegistered("tpu"));
+
+    const auto names = core::backendNames();
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_NE(std::find(names.begin(), names.end(), "spatial"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "ascend"),
+              names.end());
+    EXPECT_FALSE(core::backendInfo("spatial").description.empty());
+    EXPECT_FALSE(core::backendInfo("ascend").description.empty());
+}
+
+TEST(BackendRegistry, UnknownBackendThrowsTypedErrorListingKnown)
+{
+    try {
+        core::makeBackendEnv("npu9000", nets("mobilenet"),
+                             BackendOptions{});
+        FAIL() << "expected BackendError";
+    } catch (const BackendError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("npu9000"), std::string::npos);
+        EXPECT_NE(msg.find("spatial"), std::string::npos)
+            << "error should list the known backends: " << msg;
+        EXPECT_NE(msg.find("ascend"), std::string::npos);
+    }
+}
+
+TEST(BackendRegistry, FactoriesProduceMatchingStackIdentity)
+{
+    BackendOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    const auto spatial =
+        core::makeBackendEnv("spatial", nets("mobilenet"), opt);
+    const auto ascend =
+        core::makeBackendEnv("ascend", nets("fsrcnn_120x320"), opt);
+
+    EXPECT_EQ(spatial->backendName(), "spatial");
+    EXPECT_EQ(spatial->scenarioName(), "edge");
+    EXPECT_NE(spatial->workloadDigest(), 0u);
+    EXPECT_FALSE(spatial->expertDefault().has_value());
+
+    EXPECT_EQ(ascend->backendName(), "ascend");
+    EXPECT_EQ(ascend->scenarioName(), "area200");
+    EXPECT_NE(ascend->workloadDigest(), 0u);
+    ASSERT_TRUE(ascend->expertDefault().has_value());
+    EXPECT_EQ(ascend->expertDefault()->size(),
+              ascend->hwSpace().dims());
+}
+
+TEST(BackendRegistry, WorkloadDigestTracksTheLayerStack)
+{
+    BackendOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    const auto a = core::makeBackendEnv("spatial", nets("mobilenet"), opt);
+    const auto b = core::makeBackendEnv("spatial", nets("mobilenet"), opt);
+    const auto c = core::makeBackendEnv("spatial", nets("resnet"), opt);
+    EXPECT_EQ(a->workloadDigest(), b->workloadDigest());
+    EXPECT_NE(a->workloadDigest(), c->workloadDigest());
+}
+
+TEST(BackendRegistry, ScenarioNameFollowsOptions)
+{
+    BackendOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    opt.scenario = accel::Scenario::Cloud;
+    const auto cloud =
+        core::makeBackendEnv("spatial", nets("mobilenet"), opt);
+    EXPECT_EQ(cloud->scenarioName(), "cloud");
+
+    opt.areaBudgetMm2 = 120.0;
+    const auto ascend =
+        core::makeBackendEnv("ascend", nets("fsrcnn_120x320"), opt);
+    EXPECT_EQ(ascend->scenarioName(), "area120");
+}
+
+TEST(BackendOptionsParse, SpatialDefaultsAndOverrides)
+{
+    const auto def = core::parseBackendOptions("spatial", makeArgs({}));
+    EXPECT_EQ(def.scenario, accel::Scenario::Edge);
+    EXPECT_EQ(def.engine, mapping::EngineKind::Annealing);
+    EXPECT_EQ(def.maxShapesPerNetwork, 5u);
+
+    const auto cloud = core::parseBackendOptions(
+        "spatial", makeArgs({"--scenario", "cloud", "--engine", "genetic",
+                             "--max-shapes", "3"}));
+    EXPECT_EQ(cloud.scenario, accel::Scenario::Cloud);
+    EXPECT_EQ(cloud.engine, mapping::EngineKind::Genetic);
+    EXPECT_EQ(cloud.maxShapesPerNetwork, 3u);
+
+    EXPECT_THROW(core::parseBackendOptions(
+                     "spatial", makeArgs({"--scenario", "mars"})),
+                 BackendError);
+    EXPECT_THROW(core::parseBackendOptions(
+                     "spatial", makeArgs({"--engine", "quantum"})),
+                 BackendError);
+}
+
+TEST(BackendOptionsParse, SpatialRejectsForeignAreaBudget)
+{
+    try {
+        core::parseBackendOptions("spatial",
+                                  makeArgs({"--area-budget", "100"}));
+        FAIL() << "expected BackendError";
+    } catch (const BackendError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--area-budget"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("spatial"), std::string::npos) << msg;
+    }
+}
+
+TEST(BackendOptionsParse, AscendDefaultsAndOverrides)
+{
+    const auto def = core::parseBackendOptions("ascend", makeArgs({}));
+    EXPECT_DOUBLE_EQ(def.areaBudgetMm2, 200.0);
+
+    const auto tight = core::parseBackendOptions(
+        "ascend", makeArgs({"--area-budget", "96.5"}));
+    EXPECT_DOUBLE_EQ(tight.areaBudgetMm2, 96.5);
+
+    EXPECT_THROW(core::parseBackendOptions(
+                     "ascend", makeArgs({"--area-budget", "0"})),
+                 BackendError);
+    EXPECT_THROW(core::parseBackendOptions(
+                     "ascend", makeArgs({"--area-budget", "-3"})),
+                 BackendError);
+    EXPECT_THROW(core::parseBackendOptions(
+                     "ascend", makeArgs({"--max-shapes", "0"})),
+                 BackendError);
+}
+
+TEST(BackendOptionsParse, AscendRejectsForeignSpatialFlags)
+{
+    EXPECT_THROW(core::parseBackendOptions(
+                     "ascend", makeArgs({"--scenario", "edge"})),
+                 BackendError);
+    EXPECT_THROW(core::parseBackendOptions(
+                     "ascend", makeArgs({"--engine", "random"})),
+                 BackendError);
+}
+
+TEST(BackendOptionsParse, UnknownBackendThrows)
+{
+    EXPECT_THROW(core::parseBackendOptions("npu9000", makeArgs({})),
+                 BackendError);
+}
+
+TEST(BackendRegistry, UserBackendRegistration)
+{
+    // A user backend is a plain registerBackend() call; reuse the
+    // spatial factory under a new name to keep the test hermetic.
+    ASSERT_FALSE(core::isBackendRegistered("test-alias"));
+    core::BackendInfo info = core::backendInfo("spatial");
+    info.description = "alias of spatial for registry tests";
+    core::registerBackend("test-alias", info);
+
+    EXPECT_TRUE(core::isBackendRegistered("test-alias"));
+    const auto names = core::backendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "test-alias"),
+              names.end());
+
+    BackendOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    const auto env =
+        core::makeBackendEnv("test-alias", nets("mobilenet"), opt);
+    EXPECT_EQ(env->backendName(), "spatial"); // env reports its stack
+}

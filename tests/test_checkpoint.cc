@@ -16,6 +16,7 @@
 
 #include "common/cancel.hh"
 #include "common/fault.hh"
+#include "core/backend.hh"
 #include "core/checkpoint.hh"
 #include "core/driver.hh"
 #include "core/fault_env.hh"
@@ -540,4 +541,171 @@ TEST(Interrupt, EvalWallDeadlineSurfacesAsTimeoutFaults)
     // The run survives whether or not every expiry beat the engine's
     // first chunk; any that landed were counted as timeouts.
     EXPECT_GE(r.faults.timeout, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Stack identity (version 3): backend / scenario / workload digest are
+// stamped into checkpoints, and --resume refuses a mismatched stack
+// with a typed error. Empty fields (legacy documents, stub envs) skip
+// the check instead of refusing.
+// ---------------------------------------------------------------------
+
+TEST(StackIdentity, SnapshotsTheLiveEnvironment)
+{
+    const auto id = core::StackIdentity::of(sharedEnv());
+    EXPECT_EQ(id.backend, "spatial");
+    EXPECT_EQ(id.scenario, "edge");
+    EXPECT_FALSE(id.workloadDigest.empty());
+    EXPECT_EQ(id.workloadDigest,
+              common::hexU64(sharedEnv().workloadDigest()));
+}
+
+TEST(StackIdentity, DocumentRoundTripsIdentityFields)
+{
+    auto ck = stubCheckpoint(2);
+    ck.backend = "spatial";
+    ck.scenario = "edge";
+    ck.workloadDigest = "00decafc0ffee000";
+    const auto back = core::checkpointFromJson(core::toJson(ck));
+    EXPECT_EQ(back.backend, ck.backend);
+    EXPECT_EQ(back.scenario, ck.scenario);
+    EXPECT_EQ(back.workloadDigest, ck.workloadDigest);
+}
+
+TEST(StackIdentity, CompatibilityChecksEachField)
+{
+    auto ck = stubCheckpoint(1);
+    ck.backend = "spatial";
+    ck.scenario = "edge";
+    ck.workloadDigest = "abc123";
+    const core::StackIdentity live{"spatial", "edge", "abc123"};
+
+    EXPECT_TRUE(core::checkpointCompatibility(ck, "stub-config", live));
+
+    const auto bad_cfg =
+        core::checkpointCompatibility(ck, "other-config", live);
+    EXPECT_FALSE(bad_cfg.ok());
+    EXPECT_NE(bad_cfg.message.find("configuration"), std::string::npos);
+
+    auto mism = live;
+    mism.backend = "ascend";
+    const auto bad_backend =
+        core::checkpointCompatibility(ck, "stub-config", mism);
+    EXPECT_FALSE(bad_backend.ok());
+    EXPECT_NE(bad_backend.message.find("backend"), std::string::npos);
+    EXPECT_NE(bad_backend.message.find("ascend"), std::string::npos);
+
+    mism = live;
+    mism.scenario = "cloud";
+    EXPECT_FALSE(
+        core::checkpointCompatibility(ck, "stub-config", mism).ok());
+
+    mism = live;
+    mism.workloadDigest = "def456";
+    const auto bad_wl =
+        core::checkpointCompatibility(ck, "stub-config", mism);
+    EXPECT_FALSE(bad_wl.ok());
+    EXPECT_NE(bad_wl.message.find("workload"), std::string::npos);
+}
+
+TEST(StackIdentity, EmptyFieldsSkipTheCheck)
+{
+    // Legacy (pre-v3) documents carry no identity; they must remain
+    // resumable against any stack. Likewise a live env that reports
+    // no identity (stub backends) never trips the check.
+    auto legacy = stubCheckpoint(1);
+    const core::StackIdentity live{"spatial", "edge", "abc123"};
+    EXPECT_TRUE(core::checkpointCompatibility(legacy, "stub-config", live));
+
+    auto ck = stubCheckpoint(1);
+    ck.backend = "ascend";
+    ck.scenario = "area200";
+    ck.workloadDigest = "abc123";
+    const core::StackIdentity anonymous{"", "", ""};
+    EXPECT_TRUE(
+        core::checkpointCompatibility(ck, "stub-config", anonymous));
+}
+
+TEST(StackIdentity, DriverStampsIdentityIntoCheckpoints)
+{
+    const std::string path = tmpPath("identity");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 1;
+    cfg.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), cfg);
+    first.run();
+
+    const auto ck = core::loadCheckpointFile(path);
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_EQ(ck->version, 3);
+    EXPECT_EQ(ck->backend, "spatial");
+    EXPECT_EQ(ck->scenario, "edge");
+    EXPECT_EQ(ck->workloadDigest,
+              common::hexU64(sharedEnv().workloadDigest()));
+    std::remove(path.c_str());
+}
+
+TEST(StackIdentity, ResumeRefusesForeignBackendStack)
+{
+    // A checkpoint written by the spatial stack must not resume under
+    // the ascend stack, even with an identical DriverConfig.
+    const std::string path = tmpPath("foreign_backend");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 1;
+    cfg.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), cfg);
+    first.run();
+
+    core::BackendOptions bopt;
+    bopt.maxShapesPerNetwork = 2;
+    const auto ascend = core::makeBackendEnv(
+        "ascend", {workload::makeNetwork("fsrcnn_120x320")}, bopt);
+    auto rcfg = cfg;
+    rcfg.resumeFromCheckpoint = true;
+    CoOptimizer second(*ascend, rcfg);
+    EXPECT_THROW(second.run(), core::CheckpointMismatchError);
+    std::remove(path.c_str());
+}
+
+TEST(StackIdentity, ResumeRefusesForeignWorkload)
+{
+    // Same backend, same config, different workload stack: the digest
+    // differs, so resume must refuse instead of blending trajectories.
+    const std::string path = tmpPath("foreign_workload");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 1;
+    cfg.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), cfg);
+    first.run();
+
+    core::BackendOptions bopt;
+    bopt.maxShapesPerNetwork = 2;
+    const auto other = core::makeBackendEnv(
+        "spatial", {workload::makeNetwork("resnet")}, bopt);
+    auto rcfg = cfg;
+    rcfg.resumeFromCheckpoint = true;
+    CoOptimizer second(*other, rcfg);
+    EXPECT_THROW(second.run(), core::CheckpointMismatchError);
+    std::remove(path.c_str());
+}
+
+TEST(StackIdentity, ResumeRefusesForeignScenario)
+{
+    const std::string path = tmpPath("foreign_scenario");
+    auto cfg = tinyConfig(DriverConfig::unico());
+    cfg.maxIter = 1;
+    cfg.checkpointPath = path;
+    CoOptimizer first(sharedEnv(), cfg);
+    first.run();
+
+    core::BackendOptions bopt;
+    bopt.maxShapesPerNetwork = 2;
+    bopt.scenario = accel::Scenario::Cloud;
+    const auto cloud = core::makeBackendEnv(
+        "spatial", {workload::makeMobileNet()}, bopt);
+    auto rcfg = cfg;
+    rcfg.resumeFromCheckpoint = true;
+    CoOptimizer second(*cloud, rcfg);
+    EXPECT_THROW(second.run(), core::CheckpointMismatchError);
+    std::remove(path.c_str());
 }

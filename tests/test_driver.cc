@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/backend.hh"
 #include "core/driver.hh"
 #include "core/spatial_env.hh"
 #include "workload/model_zoo.hh"
@@ -246,3 +247,122 @@ TEST(Driver, RealThreadsBitIdenticalToSerial)
     }
     EXPECT_DOUBLE_EQ(rs.totalHours, rt.totalHours);
 }
+
+// ---------------------------------------------------------------------
+// Mode-name round trips: the CLI and checkpoint layers parse the
+// strings toString() produces.
+// ---------------------------------------------------------------------
+
+TEST(DriverModes, BudgetModeNamesRoundTrip)
+{
+    for (const auto mode :
+         {BudgetMode::FullBudget, BudgetMode::SH, BudgetMode::MSH,
+          BudgetMode::Hyperband})
+        EXPECT_EQ(core::budgetModeFromString(toString(mode)), mode)
+            << toString(mode);
+    EXPECT_THROW(core::budgetModeFromString("turbo"),
+                 std::invalid_argument);
+    EXPECT_THROW(core::budgetModeFromString(""), std::invalid_argument);
+}
+
+TEST(DriverModes, UpdateModeNamesRoundTrip)
+{
+    for (const auto mode : {UpdateMode::All, UpdateMode::HighFidelity,
+                            UpdateMode::Champion})
+        EXPECT_EQ(core::updateModeFromString(toString(mode)), mode)
+            << toString(mode);
+    EXPECT_THROW(core::updateModeFromString("sometimes"),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// The driver is backend-agnostic: the same contracts hold over every
+// registered evaluation stack, constructed through the registry.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Small registry-built env per backend (cheap enough for ctest). */
+std::unique_ptr<core::CoSearchEnv>
+registryEnv(const std::string &backend)
+{
+    core::BackendOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    const char *net =
+        backend == "ascend" ? "fsrcnn_120x320" : "mobilenet";
+    return core::makeBackendEnv(backend, {workload::makeNetwork(net)},
+                                opt);
+}
+
+DriverConfig
+backendTinyConfig(const std::string &backend)
+{
+    auto cfg = tinyConfig(DriverConfig::unico());
+    if (backend == "ascend") {
+        // The cycle-level simulator is pricier per evaluation; shrink
+        // the budget to keep the suite fast.
+        cfg.batchSize = 4;
+        cfg.maxIter = 2;
+        cfg.sh.bMax = 12;
+    }
+    return cfg;
+}
+
+class DriverOnBackend : public ::testing::TestWithParam<const char *>
+{
+};
+
+} // namespace
+
+TEST_P(DriverOnBackend, ProducesFeasibleFrontDeterministically)
+{
+    const std::string backend = GetParam();
+    const auto cfg = backendTinyConfig(backend);
+
+    const auto env_a = registryEnv(backend);
+    CoOptimizer a(*env_a, cfg);
+    const CoSearchResult ra = a.run();
+
+    EXPECT_FALSE(ra.records.empty());
+    EXPECT_FALSE(ra.front.empty());
+    EXPECT_GT(ra.totalHours, 0.0);
+    for (const auto &entry : ra.front.entries()) {
+        const auto &rec = ra.records[entry.id];
+        EXPECT_TRUE(rec.ppa.feasible);
+        EXPECT_GT(rec.ppa.latencyMs, 0.0);
+        EXPECT_GT(rec.ppa.powerMw, 0.0);
+    }
+
+    // Same seed, fresh registry env: identical trajectory.
+    const auto env_b = registryEnv(backend);
+    CoOptimizer b(*env_b, cfg);
+    const CoSearchResult rb = b.run();
+    ASSERT_EQ(ra.records.size(), rb.records.size());
+    for (std::size_t i = 0; i < ra.records.size(); ++i) {
+        EXPECT_EQ(ra.records[i].hw, rb.records[i].hw);
+        EXPECT_EQ(ra.records[i].ppa.latencyMs,
+                  rb.records[i].ppa.latencyMs);
+        EXPECT_EQ(ra.records[i].budgetSpent, rb.records[i].budgetSpent);
+    }
+    EXPECT_EQ(ra.totalHours, rb.totalHours);
+}
+
+TEST_P(DriverOnBackend, SeedBudgetCoversAllLayers)
+{
+    const std::string backend = GetParam();
+    const auto env = registryEnv(backend);
+    auto cfg = backendTinyConfig(backend);
+    cfg.minBudgetPerRound = 1; // below the layer count on purpose
+    CoOptimizer opt(*env, cfg);
+    const CoSearchResult r = opt.run();
+    // minSeedBudget() (= layer count) floors every candidate's spend:
+    // no record may have fewer evaluations than layers.
+    for (const auto &rec : r.records)
+        EXPECT_GE(rec.budgetSpent, env->minSeedBudget());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DriverOnBackend,
+                         ::testing::Values("spatial", "ascend"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "baselines/nsga2.hh"
 #include "core/ascend_env.hh"
+#include "core/backend.hh"
+#include "core/checkpoint.hh"
 #include "core/driver.hh"
 #include "core/report.hh"
 #include "core/spatial_env.hh"
@@ -220,3 +224,90 @@ TEST(Integration, SensitivityObjectiveReducesMeanR)
     // Allow slack: the trend should hold on average.
     EXPECT_LE(with_r, without_r * 1.25);
 }
+
+// ---------------------------------------------------------------------
+// Backend-parametric end-to-end: the identical co-search + kill/resume
+// contract must hold on every registered evaluation stack, built
+// through the registry exactly like the CLI and benches build it.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class BackendEndToEnd : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<core::CoSearchEnv>
+    makeEnv() const
+    {
+        core::BackendOptions opt;
+        opt.maxShapesPerNetwork = 2;
+        const char *net = std::string(GetParam()) == "ascend"
+                              ? "fsrcnn_120x320"
+                              : "mobilenet";
+        return core::makeBackendEnv(GetParam(),
+                                    {workload::makeNetwork(net)}, opt);
+    }
+
+    DriverConfig
+    makeConfig() const
+    {
+        auto cfg = smallConfig(DriverConfig::unico());
+        cfg.maxIter = 2;
+        if (std::string(GetParam()) == "ascend") {
+            cfg.batchSize = 4;
+            cfg.sh.bMax = 12;
+        }
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST_P(BackendEndToEnd, KillAndResumeReproducesStraightRun)
+{
+    const auto cfg = makeConfig();
+    const auto straight_env = makeEnv();
+    CoOptimizer straight(*straight_env, cfg);
+    const CoSearchResult full = straight.run();
+    ASSERT_FALSE(full.records.empty());
+    EXPECT_FALSE(full.front.empty());
+
+    const std::string path = testing::TempDir() + "unico_e2e_" +
+                             GetParam() + ".json";
+    auto part = cfg;
+    part.maxIter = 1;
+    part.checkpointPath = path;
+    const auto part_env = makeEnv();
+    CoOptimizer first(*part_env, part);
+    first.run();
+
+    // The checkpoint names the stack that produced it.
+    const auto ck = core::loadCheckpointFile(path);
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_EQ(ck->backend, GetParam());
+
+    auto rest = cfg;
+    rest.checkpointPath = path;
+    rest.resumeFromCheckpoint = true;
+    const auto rest_env = makeEnv();
+    CoOptimizer second(*rest_env, rest);
+    const CoSearchResult resumed = second.run();
+
+    ASSERT_EQ(full.records.size(), resumed.records.size());
+    for (std::size_t i = 0; i < full.records.size(); ++i) {
+        EXPECT_EQ(full.records[i].hw, resumed.records[i].hw);
+        EXPECT_EQ(full.records[i].ppa.latencyMs,
+                  resumed.records[i].ppa.latencyMs);
+        EXPECT_EQ(full.records[i].budgetSpent,
+                  resumed.records[i].budgetSpent);
+    }
+    EXPECT_EQ(full.totalHours, resumed.totalHours);
+    EXPECT_EQ(full.front.size(), resumed.front.size());
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendEndToEnd,
+                         ::testing::Values("spatial", "ascend"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });

@@ -208,3 +208,32 @@ TEST(SpatialEnv, DifferentSeedsDifferentSearchPaths)
     // (identical ones would mean the seed is ignored).
     EXPECT_NE(a->bestLossHistory(), b->bestLossHistory());
 }
+
+TEST(SpatialEnv, MinSeedBudgetCoversEveryLayer)
+{
+    // One mapping evaluation per unique layer is the floor below
+    // which a "seeded" design would leave layers unmapped (each
+    // budget unit is a round-robin sweep seeded per layer).
+    const auto env = makeEnv(3);
+    EXPECT_EQ(env.minSeedBudget(),
+              static_cast<int>(env.layers().size()));
+    EXPECT_EQ(env.minSeedBudget(), 3);
+}
+
+TEST(SpatialEnv, ReportsStackIdentity)
+{
+    const auto edge = makeEnv(2);
+    EXPECT_EQ(edge.backendName(), "spatial");
+    EXPECT_EQ(edge.scenarioName(), "edge");
+    EXPECT_NE(edge.workloadDigest(), 0u);
+    EXPECT_FALSE(edge.expertDefault().has_value());
+
+    SpatialEnvOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    opt.scenario = accel::Scenario::Cloud;
+    const SpatialEnv cloud({workload::makeMobileNet()}, opt);
+    EXPECT_EQ(cloud.scenarioName(), "cloud");
+    // Same layer stack, different scenario: the workload digest is a
+    // function of the layers alone.
+    EXPECT_EQ(cloud.workloadDigest(), makeEnv(2).workloadDigest());
+}

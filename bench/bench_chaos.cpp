@@ -12,8 +12,20 @@
  * process), and the re-executed-trial count stays <= K with the
  * default checkpoint cadence of 1.
  *
- * Usage: bench_chaos [--kills "0,1,2,4,8"] [--iters N] [--batch N]
- *                    [--bmax B] [--seed S] [--csv out.csv]
+ * A second sweep exercises the evaluation fleet: the CLI runs with
+ * --workers 4 and the master SIGKILLs K of its own worker processes
+ * mid-search (--worker-chaos-kills). Here the master survives, so the
+ * cost of a kill is a respawn plus one replayed request — outputs
+ * must again be byte-identical to the in-process baseline.
+ *
+ * Both sweeps land in BENCH_chaos.json (machine-readable, uploaded by
+ * CI next to BENCH_micro.json) in addition to the console table and
+ * the optional --csv file.
+ *
+ * Usage: bench_chaos [--kills "0,1,2,4,8"] [--worker-kills "0,2,4,8"]
+ *                    [--workers 4] [--iters N] [--batch N] [--bmax B]
+ *                    [--seed S] [--csv out.csv]
+ *                    [--json BENCH_chaos.json]
  */
 
 #if defined(_WIN32)
@@ -32,6 +44,7 @@ main()
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +55,7 @@ main()
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/json.hh"
 
 #ifndef UNICO_CLI_PATH
 #define UNICO_CLI_PATH "./examples/co_search_cli"
@@ -121,6 +135,35 @@ runMaybeKill(const std::vector<std::string> &args, int delay_ms,
     return false;
 }
 
+/** Numeric column from a one-row fault-ledger CSV; 0 if absent. */
+std::uint64_t
+faultsCsvColumn(const std::string &path, const std::string &name)
+{
+    const std::string text = readFile(path);
+    const auto nl = text.find('\n');
+    if (nl == std::string::npos)
+        return 0;
+    std::istringstream head(text.substr(0, nl));
+    std::istringstream row(text.substr(nl + 1));
+    std::string col, val;
+    while (std::getline(head, col, ',') &&
+           std::getline(row, val, ','))
+        if (col == name)
+            return std::strtoull(val.c_str(), nullptr, 10);
+    return 0;
+}
+
+std::vector<int>
+parseIntList(const std::string &csv)
+{
+    std::vector<int> out;
+    std::istringstream iss(csv);
+    std::string tok;
+    while (std::getline(iss, tok, ','))
+        out.push_back(std::atoi(tok.c_str()));
+    return out;
+}
+
 /** Completed trials recorded in the newest valid checkpoint. */
 int
 completedTrials(const std::string &ck_path)
@@ -146,16 +189,12 @@ main(int argc, char **argv)
         std::to_string(args.getInt("batch", 16));
     const std::string bmax = std::to_string(args.getInt("bmax", 400));
     const std::string seed = std::to_string(args.getInt("seed", 3));
-    const std::string kills_csv =
-        args.getString("kills", "0,1,2,4,8");
-
-    std::vector<int> kill_counts;
-    {
-        std::istringstream iss(kills_csv);
-        std::string tok;
-        while (std::getline(iss, tok, ','))
-            kill_counts.push_back(std::atoi(tok.c_str()));
-    }
+    const std::vector<int> kill_counts =
+        parseIntList(args.getString("kills", "0,1,2,4,8"));
+    const std::vector<int> worker_kill_counts =
+        parseIntList(args.getString("worker-kills", "0,2,4,8"));
+    const std::string workers =
+        std::to_string(args.getInt("workers", 4));
 
     const std::string dir = "/tmp/unico_bench_chaos";
     mkdir(dir.c_str(), 0755);
@@ -177,7 +216,7 @@ main(int argc, char **argv)
         for (const char *suffix :
              {".json", ".json.1", ".json.2", ".json.tmp",
               "_records.csv", "_front.csv", "_trace.csv",
-              "_cache.csv"})
+              "_cache.csv", "_faults.csv"})
             std::remove((dir + "/" + tag + suffix).c_str());
     };
 
@@ -198,9 +237,12 @@ main(int argc, char **argv)
         readFile(dir + "/base_records.csv");
     const int total_trials = completedTrials(dir + "/base.json");
 
+    unico::common::Json bench_json = unico::common::Json::array();
+
     std::ostringstream csv;
     csv << "kills,runs,wall_ms,overhead_x,replayed_trials,"
            "identical\n";
+    std::printf("Master-kill sweep (crash-consistency overhead)\n");
     std::printf("%6s %6s %10s %10s %9s %10s\n", "kills", "runs",
                 "wall(ms)", "overhead", "replayed", "identical");
 
@@ -259,11 +301,108 @@ main(int argc, char **argv)
         csv << kills << ',' << runs << ',' << wall_ms << ','
             << wall_ms / base_ms << ',' << replayed << ','
             << (identical ? 1 : 0) << "\n";
+        {
+            auto row = unico::common::Json::object();
+            row["name"] =
+                "chaos/master_kills/" + std::to_string(target_kills);
+            row["run_type"] = "iteration";
+            row["kills"] = kills;
+            row["runs"] = runs;
+            row["real_time"] = wall_ms;
+            row["time_unit"] = "ms";
+            row["overhead_x"] = wall_ms / base_ms;
+            row["replayed_trials"] = replayed;
+            row["identical"] = identical;
+            bench_json.push(std::move(row));
+        }
         cleanup(tag);
     }
     std::printf("(baseline %.1f ms, %d trials)\n", base_ms,
                 total_trials);
+
+    // --- Fleet sweep: same search served by worker processes; the
+    // master SIGKILLs K of them at deterministic points mid-run. The
+    // master survives, so there is no resume loop — a kill costs a
+    // respawn plus one replayed request, never a result.
+    std::printf("\nWorker-kill sweep (fleet mode, --workers %s)\n",
+                workers.c_str());
+    std::printf("%6s %10s %10s %8s %9s %10s\n", "kills", "wall(ms)",
+                "overhead", "crashes", "respawns", "identical");
+    csv << "worker_kills,wall_ms,overhead_x,crashes,respawns,"
+           "identical\n";
+    for (const int wkills : worker_kill_counts) {
+        const std::string tag = "w" + std::to_string(wkills);
+        cleanup(tag);
+        auto a = cli(tag, false);
+        a.insert(a.end(), {"--workers", workers,
+                           "--worker-chaos-kills",
+                           std::to_string(wkills)});
+        const auto start = std::chrono::steady_clock::now();
+        runMaybeKill(a, -1, code);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (code != 0) {
+            std::cerr << tag << ": run failed (" << code << ")\n";
+            return 1;
+        }
+        const bool identical =
+            readFile(dir + "/" + tag + "_records.csv") ==
+            base_records;
+        if (!identical) {
+            std::cerr << tag
+                      << ": records diverged from baseline\n";
+            return 1;
+        }
+        const std::uint64_t crashes = faultsCsvColumn(
+            dir + "/" + tag + "_faults.csv", "worker_crashes");
+        const std::uint64_t respawns = faultsCsvColumn(
+            dir + "/" + tag + "_faults.csv", "worker_respawns");
+        std::printf("%6d %10.1f %9.2fx %8llu %9llu %10s\n", wkills,
+                    wall_ms, wall_ms / base_ms,
+                    static_cast<unsigned long long>(crashes),
+                    static_cast<unsigned long long>(respawns),
+                    identical ? "yes" : "NO");
+        csv << wkills << ',' << wall_ms << ',' << wall_ms / base_ms
+            << ',' << crashes << ',' << respawns << ','
+            << (identical ? 1 : 0) << "\n";
+        auto row = unico::common::Json::object();
+        row["name"] =
+            "chaos/worker_kills/" + std::to_string(wkills);
+        row["run_type"] = "iteration";
+        row["workers"] = std::atoi(workers.c_str());
+        row["kills"] = wkills;
+        row["real_time"] = wall_ms;
+        row["time_unit"] = "ms";
+        row["overhead_x"] = wall_ms / base_ms;
+        row["worker_crashes"] = crashes;
+        row["worker_respawns"] = respawns;
+        row["identical"] = identical;
+        bench_json.push(std::move(row));
+        cleanup(tag);
+    }
     cleanup("base");
+
+    // Machine-readable output next to BENCH_micro.json; CI uploads it
+    // so the perf trajectory tracks robustness overhead over time.
+    const std::string json_out =
+        args.getString("json", "BENCH_chaos.json");
+    if (!json_out.empty()) {
+        auto doc = unico::common::Json::object();
+        auto ctx = unico::common::Json::object();
+        ctx["executable"] = "bench_chaos";
+        ctx["baseline_ms"] = base_ms;
+        ctx["baseline_trials"] = total_trials;
+        ctx["iters"] = std::atoi(iters.c_str());
+        ctx["batch"] = std::atoi(batch.c_str());
+        ctx["seed"] = std::atoi(seed.c_str());
+        doc["context"] = std::move(ctx);
+        doc["benchmarks"] = std::move(bench_json);
+        std::ofstream f(json_out);
+        f << doc.dump(2) << "\n";
+        std::cout << "json written to " << json_out << "\n";
+    }
 
     const std::string out = args.getString("csv", "");
     if (!out.empty()) {

@@ -17,7 +17,18 @@
  *                 [--fault-rate F] [--hang-rate F] [--corrupt-rate F] \
  *                 [--fault-seed S] [--checkpoint FILE] [--resume] \
  *                 [--checkpoint-every N] [--checkpoint-keep K] \
- *                 [--wall-deadline SEC] [--eval-wall-deadline SEC]
+ *                 [--wall-deadline SEC] [--eval-wall-deadline SEC] \
+ *                 [--workers N] [--worker-eval-deadline SEC] \
+ *                 [--worker-chaos-kills K] [--worker-chaos-seed S]
+ *
+ * Evaluation fleet: --workers N forks N evaluation worker processes
+ * (master/worker over CRC-framed socketpairs, Sec. 3.5's cluster
+ * deployment in miniature). Worker crashes, hangs and corrupt
+ * responses are absorbed by respawn + deterministic replay, so
+ * results — records, front, trace CSVs and checkpoints — are
+ * byte-identical to the in-process run for any worker count, even
+ * under --worker-chaos-kills, which SIGKILLs live workers mid-search
+ * at seeded points to prove exactly that.
  *
  * Fault tolerance: the --*-rate flags wrap the environment in a
  * deterministic fault injector (per-evaluation crash/hang/corrupt
@@ -49,6 +60,7 @@
 #include "core/backend.hh"
 #include "core/driver.hh"
 #include "core/fault_env.hh"
+#include "core/fleet.hh"
 #include "core/report.hh"
 #include "workload/model_zoo.hh"
 #include "workload/parser.hh"
@@ -76,6 +88,8 @@ usage(const char *prog)
            "  [--checkpoint FILE] [--resume] [--checkpoint-every N]"
            " [--checkpoint-keep K]\n"
            "  [--wall-deadline SEC] [--eval-wall-deadline SEC]\n"
+           "  [--workers N] [--worker-eval-deadline SEC]"
+           " [--worker-chaos-kills K] [--worker-chaos-seed S]\n"
            "backends: ";
     for (const auto &name : core::backendNames())
         std::cerr << name << " ";
@@ -158,12 +172,50 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("fault-seed", 7));
     core::FaultyEnv faulty_env(*backend_env,
                                common::FaultPlan(fault_spec));
-    core::CoSearchEnv &env =
+    core::CoSearchEnv &base_env =
         fault_spec.active() ? static_cast<core::CoSearchEnv &>(faulty_env)
                             : *backend_env;
     if (fault_spec.active())
         std::cout << "fault injection: "
                   << faulty_env.plan().describe() << "\n";
+
+    // Optional evaluation fleet: fork worker processes NOW, while the
+    // process is still single-threaded (the zygote must precede the
+    // driver's thread pool). Results are byte-identical to the
+    // in-process path for any worker count.
+    std::unique_ptr<core::FleetEnv> fleet_env;
+    const std::int64_t workers_arg = args.getInt("workers", 0);
+    const double worker_deadline =
+        args.getDouble("worker-eval-deadline", 30.0);
+    const std::int64_t worker_kills =
+        args.getInt("worker-chaos-kills", 0);
+    if (workers_arg < 0 || workers_arg > 1024 || worker_kills < 0 ||
+        !(worker_deadline > 0.0)) {
+        std::cerr << "error: --workers must be 0..1024, "
+                     "--worker-chaos-kills >= 0 and "
+                     "--worker-eval-deadline > 0\n";
+        return usage(args.program().c_str());
+    }
+    const auto fleet_workers = static_cast<std::size_t>(workers_arg);
+    if (fleet_workers > 0) {
+        core::FleetConfig fleet_cfg;
+        fleet_cfg.workers = fleet_workers;
+        fleet_cfg.requestDeadlineSeconds = worker_deadline;
+        fleet_cfg.chaosKills = static_cast<int>(worker_kills);
+        fleet_cfg.chaosSeed = static_cast<std::uint64_t>(
+            args.getInt("worker-chaos-seed", 0x5eed));
+        fleet_env =
+            std::make_unique<core::FleetEnv>(base_env, fleet_cfg);
+        std::cout << "evaluation fleet: " << fleet_env->liveWorkers()
+                  << "/" << fleet_workers << " workers";
+        if (fleet_cfg.chaosKills > 0)
+            std::cout << " (chaos: " << fleet_cfg.chaosKills
+                      << " kills, seed " << fleet_cfg.chaosSeed << ")";
+        std::cout << "\n";
+    }
+    core::CoSearchEnv &env =
+        fleet_env ? static_cast<core::CoSearchEnv &>(*fleet_env)
+                  : base_env;
 
     const std::string algo = args.getString("algo", "unico");
     const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
@@ -233,10 +285,12 @@ main(int argc, char **argv)
                       << "\n";
         } else if (result.faults.total() > 0 ||
                    result.faults.gpFallbacks > 0 ||
-                   result.faults.checkpointRecoveries > 0) {
+                   result.faults.checkpointRecoveries > 0 ||
+                   result.faults.transport.total() > 0 ||
+                   result.faults.transport.workerRespawns > 0) {
             // Genuine (non-injected) faults — watchdog timeouts, GP
-            // fit fallbacks, checkpoint recoveries — also deserve a
-            // digest.
+            // fit fallbacks, checkpoint recoveries, transport faults
+            // the fleet absorbed — also deserve a digest.
             std::cout << "\nrecovered " << core::toString(result.faults)
                       << "\n";
         }
@@ -280,6 +334,9 @@ main(int argc, char **argv)
         if (env.evalCache() != nullptr)
             ok = ok &&
                  core::writeCacheCsv(result, prefix + "_cache.csv");
+        // Likewise the fault ledger (supervisor + transport): its
+        // counters legitimately differ across execution topologies.
+        ok = ok && core::writeFaultsCsv(result, prefix + "_faults.csv");
         std::cout << (ok ? "\ncsv written to " : "\ncsv write FAILED: ")
                   << prefix << "_{records,front,trace}.csv\n";
         if (!ok)

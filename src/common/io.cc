@@ -1,0 +1,246 @@
+#include "common/io.hh"
+
+#include <cerrno>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace unico::common {
+
+const char *
+toString(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok: return "ok";
+      case IoStatus::Eof: return "eof";
+      case IoStatus::Timeout: return "timeout";
+      case IoStatus::Error: return "error";
+    }
+    return "?";
+}
+
+#if defined(_WIN32)
+
+// The evaluation fleet is POSIX-only; the helpers exist on Windows so
+// common code links, but always report failure.
+IoStatus
+readFull(int, void *, std::size_t, std::size_t *got)
+{
+    if (got)
+        *got = 0;
+    return IoStatus::Error;
+}
+
+IoStatus
+writeFull(int, const void *, std::size_t)
+{
+    return IoStatus::Error;
+}
+
+IoStatus
+waitReadable(int, double)
+{
+    return IoStatus::Error;
+}
+
+IoStatus
+readFullDeadline(int, void *, std::size_t, double, std::size_t *got)
+{
+    if (got)
+        *got = 0;
+    return IoStatus::Error;
+}
+
+bool
+setCloexec(int, bool)
+{
+    return false;
+}
+
+bool
+makeSocketPair(int[2])
+{
+    return false;
+}
+
+#else
+
+namespace {
+
+/** Monotonic now in seconds (immune to wall-clock steps). */
+double
+monotonicSeconds()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** One read(2)/recv(2) attempt; callers loop. */
+ssize_t
+readOnce(int fd, void *buf, std::size_t len)
+{
+    return ::read(fd, buf, len);
+}
+
+} // namespace
+
+IoStatus
+readFull(int fd, void *buf, std::size_t len, std::size_t *got)
+{
+    std::size_t off = 0;
+    char *p = static_cast<char *>(buf);
+    while (off < len) {
+        const ssize_t n = readOnce(fd, p + off, len - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got)
+                *got = off;
+            return IoStatus::Eof;
+        }
+        if (errno == EINTR)
+            continue;
+        if (got)
+            *got = off;
+        return IoStatus::Error;
+    }
+    if (got)
+        *got = off;
+    return IoStatus::Ok;
+}
+
+IoStatus
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    std::size_t off = 0;
+    const char *p = static_cast<const char *>(buf);
+    while (off < len) {
+        // Try send(MSG_NOSIGNAL) first so writes to a dead socket peer
+        // raise EPIPE instead of SIGPIPE; fall back to write(2) for
+        // plain pipes/files (send fails with ENOTSOCK there).
+        ssize_t n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, p + off, len - off);
+        if (n >= 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return errno == EPIPE ? IoStatus::Eof : IoStatus::Error;
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+writeFull(int fd, const std::string &bytes)
+{
+    return writeFull(fd, bytes.data(), bytes.size());
+}
+
+IoStatus
+waitReadable(int fd, double deadline_seconds)
+{
+    const bool bounded = deadline_seconds > 0.0;
+    const double deadline =
+        bounded ? monotonicSeconds() + deadline_seconds : 0.0;
+    for (;;) {
+        int timeout_ms = -1;
+        if (bounded) {
+            const double left = deadline - monotonicSeconds();
+            if (left <= 0.0)
+                return IoStatus::Timeout;
+            timeout_ms = static_cast<int>(left * 1000.0) + 1;
+        }
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, timeout_ms);
+        if (r > 0)
+            return IoStatus::Ok; // readable or HUP; read resolves it
+        if (r == 0)
+            return IoStatus::Timeout;
+        if (errno == EINTR)
+            continue;
+        return IoStatus::Error;
+    }
+}
+
+IoStatus
+readFullDeadline(int fd, void *buf, std::size_t len,
+                 double deadline_seconds, std::size_t *got)
+{
+    const bool bounded = deadline_seconds > 0.0;
+    const double deadline =
+        bounded ? monotonicSeconds() + deadline_seconds : 0.0;
+    std::size_t off = 0;
+    char *p = static_cast<char *>(buf);
+    while (off < len) {
+        const double left =
+            bounded ? deadline - monotonicSeconds() : 0.0;
+        if (bounded && left <= 0.0) {
+            if (got)
+                *got = off;
+            return IoStatus::Timeout;
+        }
+        const IoStatus ready = waitReadable(fd, bounded ? left : 0.0);
+        if (ready != IoStatus::Ok) {
+            if (got)
+                *got = off;
+            return ready;
+        }
+        const ssize_t n = readOnce(fd, p + off, len - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got)
+                *got = off;
+            return IoStatus::Eof;
+        }
+        if (errno == EINTR || errno == EAGAIN)
+            continue;
+        if (got)
+            *got = off;
+        return IoStatus::Error;
+    }
+    if (got)
+        *got = off;
+    return IoStatus::Ok;
+}
+
+bool
+setCloexec(int fd, bool enable)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags < 0)
+        return false;
+    const int next =
+        enable ? (flags | FD_CLOEXEC) : (flags & ~FD_CLOEXEC);
+    return ::fcntl(fd, F_SETFD, next) == 0;
+}
+
+bool
+makeSocketPair(int fds[2])
+{
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        return false;
+    setCloexec(fds[0]);
+    setCloexec(fds[1]);
+    return true;
+}
+
+#endif // !_WIN32
+
+} // namespace unico::common

@@ -14,6 +14,7 @@
 #endif
 
 #include "common/crc64.hh"
+#include "common/io.hh"
 
 namespace unico::core {
 
@@ -142,6 +143,10 @@ faultsToJson(const FaultStats &f)
     j["gpFallbacks"] = static_cast<std::size_t>(f.gpFallbacks);
     j["checkpointRecoveries"] =
         static_cast<std::size_t>(f.checkpointRecoveries);
+    // f.transport is deliberately NOT serialized: transport faults
+    // are recovered transparently by the fleet, so a checkpoint (and
+    // therefore a resume) must be byte-identical whether or not
+    // workers were killed along the way.
     return j;
 }
 
@@ -385,23 +390,17 @@ writeDurable(const std::string &path, const std::string &bytes)
         return CheckpointIoStatus::failure("write failed '" + path + "'");
     return CheckpointIoStatus::success();
 #else
-    const int fd =
-        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    // O_CLOEXEC: checkpoint descriptors must never leak into fleet
+    // worker processes forked while a save is in flight.
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0)
         return CheckpointIoStatus::failure(errnoMessage("open", path));
-    std::size_t off = 0;
-    while (off < bytes.size()) {
-        const ssize_t n =
-            ::write(fd, bytes.data() + off, bytes.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            const auto st =
-                CheckpointIoStatus::failure(errnoMessage("write", path));
-            ::close(fd);
-            return st;
-        }
-        off += static_cast<std::size_t>(n);
+    if (common::writeFull(fd, bytes) != common::IoStatus::Ok) {
+        const auto st =
+            CheckpointIoStatus::failure(errnoMessage("write", path));
+        ::close(fd);
+        return st;
     }
     // fsync before rename: otherwise a power loss can surface the
     // new name with zero-length contents.
@@ -422,7 +421,8 @@ void
 syncDirectory(const std::string &dir)
 {
 #if !defined(_WIN32)
-    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    const int dfd =
+        ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
     if (dfd >= 0) {
         ::fsync(dfd); // best effort: some filesystems refuse dir fsync
         ::close(dfd);

@@ -32,6 +32,7 @@ FaultStats::merge(const FaultStats &other)
     penalized += other.penalized;
     gpFallbacks += other.gpFallbacks;
     checkpointRecoveries += other.checkpointRecoveries;
+    transport.merge(other.transport);
 }
 
 std::string
@@ -45,6 +46,19 @@ toString(const FaultStats &stats)
         << " penalized=" << stats.penalized
         << " gp_fallbacks=" << stats.gpFallbacks
         << " ckpt_recoveries=" << stats.checkpointRecoveries;
+    if (stats.transport.total() > 0 ||
+        stats.transport.workerRespawns > 0 ||
+        stats.transport.workSteals > 0 ||
+        stats.transport.inprocFallbacks > 0) {
+        oss << " | transport: crashes=" << stats.transport.workerCrashes
+            << " timeouts=" << stats.transport.requestTimeouts
+            << " (hangs=" << stats.transport.workerHangs << ")"
+            << " torn=" << stats.transport.tornFrames
+            << " corrupt=" << stats.transport.corruptFrames
+            << " respawns=" << stats.transport.workerRespawns
+            << " steals=" << stats.transport.workSteals
+            << " local_fallbacks=" << stats.transport.inprocFallbacks;
+    }
     return oss.str();
 }
 
@@ -746,6 +760,11 @@ CoOptimizer::run()
         result.evaluations += static_cast<std::uint64_t>(rec.budgetSpent);
     if (const accel::EvalCache *cache = env_.evalCache())
         result.cacheStats = cache->stats();
+    // Snapshot at the very end (after any rollback restored
+    // result.faults): transport counters live in the env, not in the
+    // per-iteration fault ledger, so an interrupted-iteration
+    // rollback must not erase them.
+    result.faults.transport = env_.transportStats();
     return result;
 }
 

@@ -23,6 +23,7 @@
 
 #include "accel/design_space.hh"
 #include "accel/ppa.hh"
+#include "common/status.hh"
 #include "mapping/engine.hh"
 
 namespace unico::core {
@@ -111,6 +112,19 @@ class CoSearchEnv
      * the driver can report cache statistics from any stack.
      */
     virtual const accel::EvalCache *evalCache() const { return nullptr; }
+
+    /**
+     * Transport-layer fault counters of the evaluation fleet this
+     * environment evaluates through (all zero for in-process
+     * environments). Like evalCache(): diagnostics the driver
+     * snapshots into the result; decorator environments forward to
+     * the wrapped env.
+     */
+    virtual common::TransportStats
+    transportStats() const
+    {
+        return {};
+    }
 
     /**
      * Smallest useful SW search budget for one hardware sample —

@@ -63,6 +63,10 @@ class FaultyEnv : public CoSearchEnv
     {
         return inner_.evalCache();
     }
+    common::TransportStats transportStats() const override
+    {
+        return inner_.transportStats();
+    }
     // Stack identity is the wrapped environment's: fault injection
     // does not change what a checkpoint was computed against.
     std::string backendName() const override;

@@ -1,0 +1,956 @@
+#include "core/fleet.hh"
+
+#if !defined(_WIN32)
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/frame.hh"
+#include "common/json.hh"
+#include "common/shard_cache.hh"
+#include "common/subprocess.hh"
+
+namespace unico::core {
+
+namespace {
+
+using common::EvalFault;
+using common::EvalStatus;
+using common::Json;
+
+/** Wire op kinds. A run's history is the exact sequence of mutating
+ *  calls made on it — including calls that threw, since a faulted
+ *  step still advances the run's internal evaluation index. */
+constexpr int kOpStep = 0;
+constexpr int kOpDegrade = 1;
+
+struct WireOp
+{
+    int kind = kOpStep;
+    int arg = 0;
+
+    bool operator==(const WireOp &other) const = default;
+};
+
+/** Stable identity of one mapping run: fingerprint of (hw, seed).
+ *  Master and worker compute it with the same code, so placement
+ *  (rendezvous hashing) and the worker resident cache agree. */
+common::Fingerprint
+runKey(const accel::HwPoint &h, std::uint64_t seed)
+{
+    common::FingerprintBuilder b;
+    b.add(std::uint64_t{0xf1ee70001ULL}); // domain tag
+    b.add(seed);
+    b.add(static_cast<std::uint64_t>(h.size()));
+    for (const auto v : h)
+        b.add(static_cast<std::uint64_t>(v));
+    return b.fingerprint();
+}
+
+EvalStatus
+statusFromString(const std::string &s)
+{
+    if (s == "ok")
+        return EvalStatus::Ok;
+    if (s == "transient")
+        return EvalStatus::Transient;
+    if (s == "timeout")
+        return EvalStatus::Timeout;
+    if (s == "infeasible")
+        return EvalStatus::Infeasible;
+    return EvalStatus::Fatal;
+}
+
+/** splitmix64: the repo's standard cheap deterministic stream. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Json
+opsToJson(const std::vector<WireOp> &ops)
+{
+    Json arr = Json::array();
+    for (const auto &op : ops) {
+        Json pair = Json::array();
+        pair.push(Json(op.kind));
+        pair.push(Json(op.arg));
+        arr.push(std::move(pair));
+    }
+    return arr;
+}
+
+std::vector<WireOp>
+opsFromJson(const Json &arr)
+{
+    std::vector<WireOp> ops;
+    ops.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const Json &pair = arr.at(i);
+        ops.push_back(WireOp{static_cast<int>(pair.at(0).asInt()),
+                             static_cast<int>(pair.at(1).asInt())});
+    }
+    return ops;
+}
+
+std::string
+makeRequest(const char *op, const accel::HwPoint &h, std::uint64_t seed,
+            const std::vector<WireOp> &ops, double alpha)
+{
+    Json req = Json::object();
+    req["op"] = Json(op);
+    Json hw = Json::array();
+    for (const auto v : h)
+        hw.push(Json(static_cast<double>(v)));
+    req["hw"] = std::move(hw);
+    req["seed"] = Json(common::hexU64(seed));
+    req["ops"] = opsToJson(ops);
+    req["alpha"] = Json(common::hexDouble(alpha));
+    return req.dump();
+}
+
+} // namespace
+
+#if !defined(_WIN32)
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/** Outcome record of one applied op, kept so a re-request after a
+ *  lost/corrupt response can answer with the identical result
+ *  without re-applying the op. */
+struct DoneOp
+{
+    WireOp op;
+    EvalStatus status = EvalStatus::Ok;
+    std::string message;
+    bool degraded = false;
+};
+
+/** One run resident in a worker, plus the ops already applied. */
+struct ResidentRun
+{
+    std::unique_ptr<MappingRun> run;
+    std::vector<DoneOp> done;
+    std::uint64_t stamp = 0; ///< LRU clock
+};
+
+/** Apply one op, capturing the evaluation outcome instead of letting
+ *  it unwind: the master re-raises it from the response, preserving
+ *  in-process exception semantics across the process boundary. */
+DoneOp
+applyOp(MappingRun &run, const WireOp &op)
+{
+    DoneOp d;
+    d.op = op;
+    try {
+        if (op.kind == kOpStep) {
+            run.step(op.arg);
+        } else if (op.kind == kOpDegrade) {
+            d.degraded = run.degradeToAnalytical();
+        } else {
+            d.status = EvalStatus::Fatal;
+            d.message = "fleet: unknown op kind";
+        }
+    } catch (const EvalFault &f) {
+        d.status = f.status();
+        d.message = f.what();
+    } catch (const std::exception &e) {
+        d.status = EvalStatus::Fatal;
+        d.message = e.what();
+    }
+    return d;
+}
+
+/** True if @p done (by op identity) is a prefix of @p ops. */
+bool
+isPrefix(const std::vector<DoneOp> &done, const std::vector<WireOp> &ops)
+{
+    if (done.size() > ops.size())
+        return false;
+    for (std::size_t i = 0; i < done.size(); ++i)
+        if (!(done[i].op == ops[i]))
+            return false;
+    return true;
+}
+
+/** Serves framed evaluation requests inside one worker process. */
+class WorkerServer
+{
+  public:
+    WorkerServer(int fd, const CoSearchEnv &env, FleetConfig cfg)
+        : fd_(fd), env_(env), cfg_(cfg)
+    {}
+
+    [[noreturn]] void
+    serve()
+    {
+        for (;;) {
+            std::string payload;
+            const auto st = common::readFrame(fd_, payload);
+            if (st == common::FrameStatus::Eof)
+                ::_exit(0); // master closed our socket: clean drain
+            if (st != common::FrameStatus::Ok)
+                ::_exit(3); // request stream torn/corrupt: unusable
+            const std::string reply = handle(payload);
+            std::string frame = common::encodeFrame(reply);
+            ++responses_;
+            if (cfg_.chaosCorruptEvery > 0 &&
+                responses_ % static_cast<std::uint64_t>(
+                                 cfg_.chaosCorruptEvery) ==
+                    0) {
+                // Flip one payload bit AFTER the CRC was computed, so
+                // the master's decoder must catch it.
+                frame[common::kFrameHeaderSize] ^= 0x01;
+            }
+            if (common::writeFull(fd_, frame) != common::IoStatus::Ok)
+                ::_exit(0); // master went away mid-reply
+        }
+    }
+
+  private:
+    std::string
+    handle(const std::string &payload)
+    {
+        Json resp = Json::object();
+        try {
+            handleParsed(Json::parse(payload), resp);
+        } catch (const std::exception &e) {
+            // Malformed request or createRun failure: report fatal;
+            // the master surfaces it as an evaluation fault.
+            resp["status"] = Json(toString(EvalStatus::Fatal));
+            resp["message"] = Json(std::string(e.what()));
+        }
+        return resp.dump();
+    }
+
+    void
+    handleParsed(const Json &req, Json &resp)
+    {
+        const std::string op = req.at("op").asString();
+        accel::HwPoint hw;
+        const Json &hwArr = req.at("hw");
+        hw.reserve(hwArr.size());
+        for (std::size_t i = 0; i < hwArr.size(); ++i)
+            hw.push_back(static_cast<std::size_t>(hwArr.at(i).asInt()));
+        const std::uint64_t seed =
+            common::parseHexU64(req.at("seed").asString());
+        const std::vector<WireOp> ops = opsFromJson(req.at("ops"));
+
+        ResidentRun &res = materialize(hw, seed, ops);
+
+        // Replay any history the resident is missing, swallowing
+        // faults: each was already raised to the master by whichever
+        // worker first applied the op, and purity of the fault
+        // streams makes the recurrence bit-identical.
+        const bool mutating = (op == "step" || op == "degrade");
+        const std::size_t tail = mutating ? ops.size() - 1 : ops.size();
+        while (res.done.size() < tail)
+            res.done.push_back(applyOp(*res.run, ops[res.done.size()]));
+
+        EvalStatus status = EvalStatus::Ok;
+        std::string message;
+        bool degraded = false;
+        if (mutating) {
+            if (res.done.size() == ops.size()) {
+                // Op already applied (response to the first attempt
+                // was lost/corrupted): answer from the record.
+                const DoneOp &d = res.done.back();
+                status = d.status;
+                message = d.message;
+                degraded = d.degraded;
+            } else {
+                DoneOp d = applyOp(*res.run, ops.back());
+                status = d.status;
+                message = d.message;
+                degraded = d.degraded;
+                res.done.push_back(std::move(d));
+            }
+        }
+
+        double sense = 0.0;
+        if (op == "sense") {
+            const double alpha =
+                common::doubleFromHex(req.at("alpha").asString());
+            try {
+                sense = res.run->sensitivity(alpha);
+            } catch (const EvalFault &f) {
+                status = f.status();
+                message = f.what();
+            } catch (const std::exception &e) {
+                status = EvalStatus::Fatal;
+                message = e.what();
+            }
+        }
+
+        resp["status"] = Json(toString(status));
+        if (!message.empty())
+            resp["message"] = Json(std::move(message));
+        resp["spent"] = Json(res.run->spent());
+        resp["seconds"] =
+            Json(common::hexDouble(res.run->chargedSeconds()));
+        const accel::Ppa ppa = res.run->bestPpa();
+        resp["lat"] = Json(common::hexDouble(ppa.latencyMs));
+        resp["pow"] = Json(common::hexDouble(ppa.powerMw));
+        resp["area"] = Json(common::hexDouble(ppa.areaMm2));
+        resp["energy"] = Json(common::hexDouble(ppa.energyMj));
+        resp["feasible"] = Json(ppa.feasible);
+        Json hist = Json::array();
+        for (const double v : res.run->bestLossHistory())
+            hist.push(Json(common::hexDouble(v)));
+        resp["hist"] = std::move(hist);
+        if (op == "sense")
+            resp["sense"] = Json(common::hexDouble(sense));
+        if (op == "degrade")
+            resp["degraded"] = Json(degraded);
+    }
+
+    /** Find or rebuild the resident run for (hw, seed); evict LRU
+     *  residents beyond the cap. A resident whose applied ops are not
+     *  a prefix of the requested history has diverged (stale steal
+     *  target) and is rebuilt from scratch. */
+    ResidentRun &
+    materialize(const accel::HwPoint &hw, std::uint64_t seed,
+                const std::vector<WireOp> &ops)
+    {
+        const common::Fingerprint key = runKey(hw, seed);
+        const auto mapKey = std::make_pair(key.hi, key.lo);
+        auto it = runs_.find(mapKey);
+        if (it != runs_.end() && !isPrefix(it->second.done, ops)) {
+            runs_.erase(it);
+            it = runs_.end();
+        }
+        if (it == runs_.end()) {
+            ResidentRun res;
+            res.run = env_.createRun(hw, seed);
+            it = runs_.emplace(mapKey, std::move(res)).first;
+        }
+        it->second.stamp = ++clock_;
+        while (runs_.size() > std::max<std::size_t>(
+                                  1, cfg_.workerResidentRuns)) {
+            auto victim = runs_.end();
+            for (auto j = runs_.begin(); j != runs_.end(); ++j)
+                if (j != it &&
+                    (victim == runs_.end() ||
+                     j->second.stamp < victim->second.stamp))
+                    victim = j;
+            if (victim == runs_.end())
+                break;
+            runs_.erase(victim);
+        }
+        return it->second;
+    }
+
+    int fd_;
+    const CoSearchEnv &env_;
+    FleetConfig cfg_;
+    std::uint64_t responses_ = 0;
+    std::uint64_t clock_ = 0;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, ResidentRun>
+        runs_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Master side: worker pool
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/**
+ * Owns the worker processes and the transport supervisor. All
+ * public methods are thread-safe; frame I/O happens outside the
+ * pool lock so slow evaluations on one worker never block requests
+ * to the others.
+ */
+class WorkerPool
+{
+  public:
+    WorkerPool(const CoSearchEnv &inner, const FleetConfig &cfg)
+        : cfg_(cfg)
+    {
+        // The zygote must fork before the driver goes multithreaded;
+        // FleetEnv's constructor contract guarantees we are called
+        // single-threaded here.
+        factory_ = std::make_unique<common::WorkerFactory>(
+            [&inner, cfg](int fd) {
+                WorkerServer server(fd, inner, cfg);
+                server.serve();
+            });
+        slots_.resize(std::max<std::size_t>(1, cfg_.workers));
+        for (auto &slot : slots_) {
+            common::WorkerHandle h;
+            if (factory_->ok() && factory_->spawn(h)) {
+                slot.pid = h.pid;
+                slot.fd = h.fd;
+                slot.alive = true;
+            }
+        }
+        if (cfg_.chaosKills > 0) {
+            std::uint64_t z = cfg_.chaosSeed;
+            std::uint64_t at = 0;
+            for (int i = 0; i < cfg_.chaosKills; ++i) {
+                z = mix64(z);
+                at += 2 + z % 9;
+                killAt_.insert(at);
+            }
+        }
+    }
+
+    ~WorkerPool()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &slot : slots_) {
+            if (slot.fd >= 0)
+                ::close(slot.fd); // workers _exit(0) on the EOF
+            slot.fd = -1;
+            slot.alive = false;
+        }
+        factory_.reset(); // zygote drains; dead workers were kernel-reaped
+    }
+
+    /**
+     * One supervised request round-trip. Returns false only when the
+     * circuit breaker is open (no live workers, or the retry budget
+     * is exhausted); the caller then evaluates in-process.
+     */
+    bool
+    call(const common::Fingerprint &key, const std::string &request,
+         std::string &response)
+    {
+        const int attempts = std::max(1, cfg_.maxRequestRetries);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+            std::int64_t pid = -1;
+            int fd = -1;
+            bool chaosKill = false;
+            const int idx = acquire(key, pid, fd, chaosKill);
+            if (idx < 0)
+                return false; // fleet fully degraded
+            if (chaosKill && pid > 0) {
+                // Chaos harness: murder the worker we are about to
+                // talk to. The conversation must recover and the
+                // search must not notice.
+                ::kill(static_cast<pid_t>(pid), SIGKILL);
+            }
+
+            if (common::writeFrame(fd, request) !=
+                common::IoStatus::Ok) {
+                fault(idx, common::TransportFault::WorkerCrash, false);
+                continue;
+            }
+            std::string payload;
+            const auto st = common::readFrame(
+                fd, payload, cfg_.requestDeadlineSeconds);
+            switch (st) {
+              case common::FrameStatus::Ok:
+                release(idx);
+                response = std::move(payload);
+                return true;
+              case common::FrameStatus::Eof:
+              case common::FrameStatus::Error:
+                fault(idx, common::TransportFault::WorkerCrash, false);
+                break;
+              case common::FrameStatus::Torn:
+                fault(idx, common::TransportFault::TornFrame, false);
+                break;
+              case common::FrameStatus::Corrupt:
+                fault(idx, common::TransportFault::CorruptFrame, false);
+                break;
+              case common::FrameStatus::Timeout: {
+                // Deadline expired. If the process is still there it
+                // is hung (vs. a death the deadline surfaced).
+                const bool stillAlive =
+                    pid > 0 &&
+                    ::kill(static_cast<pid_t>(pid), 0) == 0;
+                fault(idx, common::TransportFault::RequestTimeout,
+                      stillAlive);
+                break;
+              }
+            }
+        }
+        return false; // retry budget exhausted: degrade this request
+    }
+
+    void
+    noteInprocFallback()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.inprocFallbacks;
+    }
+
+    common::TransportStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    std::size_t
+    liveWorkers() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t n = 0;
+        for (const auto &slot : slots_)
+            n += slot.alive ? 1 : 0;
+        return n;
+    }
+
+    std::vector<std::int64_t>
+    pids() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<std::int64_t> out;
+        for (const auto &slot : slots_)
+            if (slot.alive)
+                out.push_back(slot.pid);
+        return out;
+    }
+
+  private:
+    struct Slot
+    {
+        std::int64_t pid = -1;
+        int fd = -1;
+        bool alive = false;
+        bool busy = false;
+        int respawns = 0;
+    };
+
+    /**
+     * Pick a worker for @p key: its rendezvous-hash home when idle,
+     * otherwise steal any idle worker; block while all live workers
+     * are busy. Returns the slot index (marked busy) or -1 when the
+     * fleet has no live workers left.
+     */
+    int
+    acquire(const common::Fingerprint &key, std::int64_t &pid,
+            int &fd, bool &chaosKill)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            int home = -1;
+            std::uint64_t best = 0;
+            bool anyAlive = false;
+            int idle = -1;
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                if (!slots_[i].alive)
+                    continue;
+                anyAlive = true;
+                // Highest-random-weight: stable per-key order that
+                // only reshuffles the dead worker's keys.
+                const std::uint64_t score =
+                    mix64(key.hi ^ mix64(key.lo ^ (i + 1)));
+                if (home < 0 || score > best) {
+                    home = static_cast<int>(i);
+                    best = score;
+                }
+                if (idle < 0 && !slots_[i].busy)
+                    idle = static_cast<int>(i);
+            }
+            if (!anyAlive)
+                return -1;
+            int pick = -1;
+            if (!slots_[static_cast<std::size_t>(home)].busy) {
+                pick = home;
+            } else if (idle >= 0) {
+                pick = idle;
+                ++stats_.workSteals;
+            }
+            if (pick >= 0) {
+                Slot &slot = slots_[static_cast<std::size_t>(pick)];
+                slot.busy = true;
+                pid = slot.pid;
+                fd = slot.fd;
+                const std::uint64_t req = ++requestIndex_;
+                chaosKill = killAt_.count(req) > 0;
+                return pick;
+            }
+            available_.wait(lock);
+        }
+    }
+
+    void
+    release(int idx)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_[static_cast<std::size_t>(idx)].busy = false;
+        available_.notify_all();
+    }
+
+    /**
+     * Transport supervision for a failed conversation: count the
+     * fault, make sure the worker is dead, and respawn a replacement
+     * through the zygote — unless this slot has flapped past its
+     * respawn budget, in which case it is retired for good.
+     */
+    void
+    fault(int idx, common::TransportFault f, bool hang)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.count(f);
+        if (hang)
+            stats_.count(common::TransportFault::WorkerHang);
+        Slot &slot = slots_[static_cast<std::size_t>(idx)];
+        if (slot.pid > 0)
+            ::kill(static_cast<pid_t>(slot.pid), SIGKILL);
+        if (slot.fd >= 0)
+            ::close(slot.fd);
+        slot.fd = -1;
+        slot.pid = -1;
+        slot.alive = false;
+        slot.busy = false;
+        if (slot.respawns < cfg_.maxRespawnsPerWorker && factory_ &&
+            factory_->ok()) {
+            common::WorkerHandle h;
+            if (factory_->spawn(h)) {
+                slot.pid = h.pid;
+                slot.fd = h.fd;
+                slot.alive = true;
+                ++slot.respawns;
+                ++stats_.workerRespawns;
+            }
+        }
+        available_.notify_all();
+    }
+
+    FleetConfig cfg_;
+    std::unique_ptr<common::WorkerFactory> factory_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::vector<Slot> slots_;
+    common::TransportStats stats_;
+    std::uint64_t requestIndex_ = 0;
+    std::set<std::uint64_t> killAt_;
+};
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Master side: run proxy
+// ---------------------------------------------------------------------------
+
+/**
+ * Master-side proxy for a mapping run evaluated by the fleet. Keeps
+ * the full mutating-op history so any worker can reconstruct the
+ * run's exact state, and mirrors the last-known state (spent,
+ * charged seconds, best PPA, loss history) so read accessors never
+ * touch the transport. When the pool's circuit breaker opens, the
+ * proxy rebuilds the run in-process from the same history and
+ * continues locally — byte-identical either way.
+ */
+class RemoteRun : public MappingRun
+{
+  public:
+    RemoteRun(const FleetEnv &env, detail::WorkerPool *pool,
+              accel::HwPoint h, std::uint64_t seed)
+        : env_(env), pool_(pool), hw_(std::move(h)), seed_(seed),
+          key_(runKey(hw_, seed)), ppa_(accel::Ppa::infeasible())
+    {}
+
+    void
+    step(int evals) override
+    {
+        if (local_) {
+            local_->step(evals);
+            return;
+        }
+        ops_.push_back(WireOp{kOpStep, evals});
+        Json resp;
+        if (roundTrip("step", 0.0, resp)) {
+            applyState(resp);
+            throwIfFault(resp);
+            return;
+        }
+        goLocal(ops_.size() - 1);
+        local_->step(evals); // tail op: let faults propagate as in-process
+    }
+
+    int
+    spent() const override
+    {
+        return local_ ? local_->spent() : spent_;
+    }
+
+    accel::Ppa
+    bestPpa() const override
+    {
+        return local_ ? local_->bestPpa() : ppa_;
+    }
+
+    const std::vector<double> &
+    bestLossHistory() const override
+    {
+        return local_ ? local_->bestLossHistory() : hist_;
+    }
+
+    double
+    sensitivity(double alpha) const override
+    {
+        if (local_)
+            return local_->sensitivity(alpha);
+        Json resp;
+        if (roundTrip("sense", alpha, resp)) {
+            const_cast<RemoteRun *>(this)->applyState(resp);
+            throwIfFault(resp);
+            return common::doubleFromHex(resp.at("sense").asString());
+        }
+        goLocal(ops_.size());
+        return local_->sensitivity(alpha);
+    }
+
+    double
+    chargedSeconds() const override
+    {
+        return local_ ? local_->chargedSeconds() : seconds_;
+    }
+
+    bool
+    degradeToAnalytical() override
+    {
+        if (local_)
+            return local_->degradeToAnalytical();
+        ops_.push_back(WireOp{kOpDegrade, 0});
+        Json resp;
+        if (roundTrip("degrade", 0.0, resp)) {
+            applyState(resp);
+            throwIfFault(resp);
+            return resp.at("degraded").asBool();
+        }
+        goLocal(ops_.size() - 1);
+        return local_->degradeToAnalytical();
+    }
+
+  private:
+    bool
+    roundTrip(const char *op, double alpha, Json &resp) const
+    {
+        if (pool_ == nullptr)
+            return false;
+        // "sense" is non-mutating and is NOT part of the history; the
+        // request ships the history so the worker can materialize.
+        std::string payload;
+        if (!pool_->call(key_, makeRequest(op, hw_, seed_, ops_, alpha),
+                         payload))
+            return false;
+        try {
+            resp = Json::parse(payload);
+            return resp.has("status") && resp.has("spent");
+        } catch (const std::exception &) {
+            // CRC-clean but unparsable reply: a worker bug. Treat as
+            // a degraded transport rather than corrupting the run.
+            return false;
+        }
+    }
+
+    void
+    applyState(const Json &r)
+    {
+        spent_ = static_cast<int>(r.at("spent").asInt());
+        seconds_ = common::doubleFromHex(r.at("seconds").asString());
+        ppa_.latencyMs = common::doubleFromHex(r.at("lat").asString());
+        ppa_.powerMw = common::doubleFromHex(r.at("pow").asString());
+        ppa_.areaMm2 = common::doubleFromHex(r.at("area").asString());
+        ppa_.energyMj =
+            common::doubleFromHex(r.at("energy").asString());
+        ppa_.feasible = r.at("feasible").asBool();
+        const Json &hist = r.at("hist");
+        hist_.clear();
+        hist_.reserve(hist.size());
+        for (std::size_t i = 0; i < hist.size(); ++i)
+            hist_.push_back(common::doubleFromHex(hist.at(i).asString()));
+    }
+
+    void
+    throwIfFault(const Json &r) const
+    {
+        const EvalStatus st = statusFromString(r.at("status").asString());
+        if (st == EvalStatus::Ok)
+            return;
+        throw EvalFault(st, r.has("message")
+                                ? r.at("message").asString()
+                                : std::string(toString(st)));
+    }
+
+    /**
+     * Circuit breaker fell back to in-process evaluation: rebuild
+     * the run locally by replaying the first @p replay ops of the
+     * history, swallowing replayed faults (each was already raised
+     * once; the deterministic fault streams make the recurrence
+     * identical). Mutating callers pass ops_.size() - 1 — the tail
+     * is the pending op they then apply with normal propagation —
+     * while sensitivity() replays the whole history. Permanent: once
+     * local, the run never talks to the fleet again.
+     */
+    void
+    goLocal(std::size_t replay) const
+    {
+        auto run = env_.inner_.createRun(hw_, seed_);
+        for (std::size_t i = 0; i < replay; ++i) {
+            try {
+                if (ops_[i].kind == kOpStep)
+                    run->step(ops_[i].arg);
+                else if (ops_[i].kind == kOpDegrade)
+                    run->degradeToAnalytical();
+            } catch (const std::exception &) {
+                // Already reported when first applied; recurrence is
+                // part of the deterministic replay.
+            }
+        }
+        local_ = std::move(run);
+        if (pool_ != nullptr)
+            pool_->noteInprocFallback();
+    }
+
+    const FleetEnv &env_;
+    detail::WorkerPool *pool_;
+    accel::HwPoint hw_;
+    std::uint64_t seed_;
+    common::Fingerprint key_;
+    std::vector<WireOp> ops_;
+
+    // Mirrored state from the last successful response.
+    int spent_ = 0;
+    double seconds_ = 0.0;
+    accel::Ppa ppa_;
+    std::vector<double> hist_;
+
+    mutable std::unique_ptr<MappingRun> local_;
+};
+
+#endif // !_WIN32
+
+// ---------------------------------------------------------------------------
+// FleetEnv
+// ---------------------------------------------------------------------------
+
+FleetEnv::FleetEnv(CoSearchEnv &inner, FleetConfig cfg)
+    : inner_(inner), cfg_(cfg)
+{
+#if !defined(_WIN32)
+    pool_ = std::make_unique<detail::WorkerPool>(inner_, cfg_);
+#endif
+}
+
+FleetEnv::~FleetEnv() = default;
+
+const accel::DesignSpace &
+FleetEnv::hwSpace() const
+{
+    return inner_.hwSpace();
+}
+
+std::unique_ptr<MappingRun>
+FleetEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
+{
+#if !defined(_WIN32)
+    if (pool_)
+        return std::make_unique<RemoteRun>(*this, pool_.get(), h, seed);
+#endif
+    return inner_.createRun(h, seed);
+}
+
+double
+FleetEnv::powerBudgetMw() const
+{
+    return inner_.powerBudgetMw();
+}
+
+double
+FleetEnv::areaBudgetMm2() const
+{
+    return inner_.areaBudgetMm2();
+}
+
+std::string
+FleetEnv::describeHw(const accel::HwPoint &h) const
+{
+    return inner_.describeHw(h);
+}
+
+int
+FleetEnv::minSeedBudget() const
+{
+    return inner_.minSeedBudget();
+}
+
+const accel::EvalCache *
+FleetEnv::evalCache() const
+{
+    return inner_.evalCache();
+}
+
+std::string
+FleetEnv::backendName() const
+{
+    return inner_.backendName();
+}
+
+std::string
+FleetEnv::scenarioName() const
+{
+    return inner_.scenarioName();
+}
+
+std::uint64_t
+FleetEnv::workloadDigest() const
+{
+    return inner_.workloadDigest();
+}
+
+std::optional<accel::HwPoint>
+FleetEnv::expertDefault() const
+{
+    return inner_.expertDefault();
+}
+
+common::TransportStats
+FleetEnv::transportStats() const
+{
+    common::TransportStats stats = inner_.transportStats();
+#if !defined(_WIN32)
+    if (pool_)
+        stats.merge(pool_->stats());
+#endif
+    return stats;
+}
+
+std::size_t
+FleetEnv::liveWorkers() const
+{
+#if !defined(_WIN32)
+    if (pool_)
+        return pool_->liveWorkers();
+#endif
+    return 0;
+}
+
+std::vector<std::int64_t>
+FleetEnv::workerPids() const
+{
+#if !defined(_WIN32)
+    if (pool_)
+        return pool_->pids();
+#endif
+    return {};
+}
+
+} // namespace unico::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Distributed evaluation fleet: master/worker evaluation behind the
+ * CoSearchEnv seam.
+ *
+ * UNICO's original deployment (Sec. 3.5) ran evaluations on a
+ * master/worker cluster of four machines; this module reproduces
+ * that topology with worker *processes* so a crashed, hung or
+ * babbling evaluation can never take the co-search down with it.
+ * FleetEnv decorates any environment: createRun() returns a proxy
+ * whose step/sensitivity/degrade calls are serialized into
+ * CRC-64-framed requests (common/frame) and served by worker
+ * processes forked from a pre-threading zygote (common/subprocess).
+ *
+ * Determinism is the design invariant. A mapping run is a pure
+ * function of (hardware point, seed) and of the op sequence applied
+ * to it, so the master keeps each proxy's full op history and every
+ * request carries it. A fresh worker — first spawn, respawn after a
+ * SIGKILL, or an off-home worker serving a stolen request — replays
+ * the history and lands in the bit-identical state, injected
+ * evaluation faults included (the fault oracle is a pure function of
+ * (stream, index)). Transport faults are therefore *transparent*:
+ * trajectories, Pareto fronts and checkpoints are byte-identical to
+ * the in-process run regardless of worker count, work stealing,
+ * worker kills, or the circuit breaker falling back to local
+ * evaluation. The TransportStats counters record what the fleet
+ * absorbed without ever entering the search state.
+ *
+ * Placement: run affinity uses rendezvous (highest-random-weight)
+ * hashing of the run fingerprint over the live workers, so each
+ * worker's process-local evaluation-cache shard serves a stable
+ * slice of the fingerprint space and a worker's death only moves its
+ * own runs. An idle worker steals requests whose home worker is
+ * busy.
+ */
+
+#ifndef UNICO_CORE_FLEET_HH
+#define UNICO_CORE_FLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.hh"
+#include "core/env.hh"
+
+namespace unico::core {
+
+/** Fleet topology and transport-supervisor policy. */
+struct FleetConfig
+{
+    /** Worker processes to fork (>= 1). */
+    std::size_t workers = 4;
+    /** Real-seconds deadline per request round-trip; expiry kills
+     *  the worker (hang) and replays elsewhere. <= 0 disables. */
+    double requestDeadlineSeconds = 30.0;
+    /** Transport-level attempts per request (across respawns /
+     *  steals) before the circuit breaker evaluates in-process. */
+    int maxRequestRetries = 3;
+    /** Circuit breaker: respawns per worker slot before the slot is
+     *  declared flapping and permanently retired. When every slot is
+     *  retired the whole fleet degrades to in-process evaluation. */
+    int maxRespawnsPerWorker = 3;
+    /** Worker-side resident-run cap (LRU evicted; evicted runs are
+     *  rebuilt by history replay on their next request). */
+    std::size_t workerResidentRuns = 256;
+
+    /** Chaos testing: SIGKILL a worker before this many requests,
+     *  at deterministic seeded points (0 = no chaos). The kills hit
+     *  real worker processes mid-run; results must not change. */
+    int chaosKills = 0;
+    std::uint64_t chaosSeed = 0x5eedULL;
+    /** Chaos testing: workers corrupt every Nth response frame
+     *  (payload bit flip) to exercise CRC rejection (0 = off). */
+    int chaosCorruptEvery = 0;
+};
+
+namespace detail {
+class WorkerPool;
+}
+
+/** Master-side fleet decorator over any co-search environment. */
+class FleetEnv : public CoSearchEnv
+{
+  public:
+    /**
+     * Fork the zygote and the initial worker fleet. MUST be
+     * constructed while the process is single-threaded (before the
+     * driver starts its pool); @p inner must outlive the wrapper.
+     * If no worker can be spawned (fork limits, unsupported
+     * platform) the env still works — every run silently evaluates
+     * in-process and inprocFallbacks counts them.
+     */
+    FleetEnv(CoSearchEnv &inner, FleetConfig cfg);
+    ~FleetEnv() override;
+
+    const accel::DesignSpace &hwSpace() const override;
+    std::unique_ptr<MappingRun>
+    createRun(const accel::HwPoint &h, std::uint64_t seed) const override;
+    double powerBudgetMw() const override;
+    double areaBudgetMm2() const override;
+    std::string describeHw(const accel::HwPoint &h) const override;
+    int minSeedBudget() const override;
+    const accel::EvalCache *evalCache() const override;
+    // Stack identity is the wrapped environment's: the fleet is
+    // execution topology, not search identity, so checkpoints written
+    // in fleet mode resume in-process and vice versa.
+    std::string backendName() const override;
+    std::string scenarioName() const override;
+    std::uint64_t workloadDigest() const override;
+    std::optional<accel::HwPoint> expertDefault() const override;
+    common::TransportStats transportStats() const override;
+
+    /** Workers currently alive (0 = fully degraded to in-process). */
+    std::size_t liveWorkers() const;
+
+    /** Pids of the live workers (chaos harnesses kill these). */
+    std::vector<std::int64_t> workerPids() const;
+
+    const FleetConfig &config() const { return cfg_; }
+
+  private:
+    friend class RemoteRun;
+
+    CoSearchEnv &inner_;
+    FleetConfig cfg_;
+    std::unique_ptr<detail::WorkerPool> pool_;
+};
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_FLEET_HH

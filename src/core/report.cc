@@ -144,4 +144,33 @@ writeCacheCsv(const CoSearchResult &result, const std::string &path)
     return table.writeCsv(path);
 }
 
+bool
+writeFaultsCsv(const CoSearchResult &result, const std::string &path)
+{
+    const FaultStats &f = result.faults;
+    const common::TransportStats &t = f.transport;
+    common::TableWriter table(
+        {"transient", "timeout", "corrupt", "fatal", "retries",
+         "degradations", "penalized", "gp_fallbacks", "ckpt_recoveries",
+         "worker_crashes", "request_timeouts", "worker_hangs",
+         "torn_frames", "corrupt_frames", "worker_respawns",
+         "work_steals", "inproc_fallbacks"});
+    table.addRow({std::to_string(f.transient), std::to_string(f.timeout),
+                  std::to_string(f.corrupt), std::to_string(f.fatal),
+                  std::to_string(f.retries),
+                  std::to_string(f.degradations),
+                  std::to_string(f.penalized),
+                  std::to_string(f.gpFallbacks),
+                  std::to_string(f.checkpointRecoveries),
+                  std::to_string(t.workerCrashes),
+                  std::to_string(t.requestTimeouts),
+                  std::to_string(t.workerHangs),
+                  std::to_string(t.tornFrames),
+                  std::to_string(t.corruptFrames),
+                  std::to_string(t.workerRespawns),
+                  std::to_string(t.workSteals),
+                  std::to_string(t.inprocFallbacks)});
+    return table.writeCsv(path);
+}
+
 } // namespace unico::core

@@ -23,6 +23,7 @@ TEST(Chaos, SkippedOnWindows) { GTEST_SKIP(); }
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -164,7 +165,7 @@ removeArtifacts(const std::string &dir)
     for (const char *f :
          {"/ck.json", "/ck.json.1", "/ck.json.2", "/ck.json.tmp",
           "/out_records.csv", "/out_front.csv", "/out_trace.csv",
-          "/out_cache.csv"})
+          "/out_cache.csv", "/out_faults.csv"})
         std::remove((dir + f).c_str());
 }
 
@@ -192,6 +193,23 @@ expectSameOutputs(const std::string &base_dir,
                   readFile(chaos_dir + "/ck.json"))
             << "divergent final checkpoint";
     }
+}
+
+/** Column @p name of the one-row faults CSV at @p path. */
+std::uint64_t
+faultsCsvColumn(const std::string &path, const std::string &name)
+{
+    const std::string text = readFile(path);
+    const std::size_t nl = text.find('\n');
+    EXPECT_NE(nl, std::string::npos) << path;
+    std::istringstream header(text.substr(0, nl));
+    std::istringstream row(text.substr(nl + 1));
+    std::string col, val;
+    while (std::getline(header, col, ',') && std::getline(row, val, ','))
+        if (col == name || col == name + "\r")
+            return std::strtoull(val.c_str(), nullptr, 10);
+    ADD_FAILURE() << "column '" << name << "' not in " << path;
+    return 0;
 }
 
 } // namespace
@@ -300,6 +318,76 @@ TEST(Chaos, CorruptedNewestCheckpointFallsBackToPreviousGeneration)
         std::ofstream(dir + f, std::ios::binary) << "{ torn write";
     const auto refused = runMaybeKill(cliArgs(dir, true), -1);
     EXPECT_EQ(refused.exitCode, 1);
+}
+
+TEST(Chaos, FleetWithWorkerKillsMatchesInProcessRun)
+{
+    // THE fleet acceptance check: the same fixed-seed search through
+    // 4 worker processes — with real SIGKILLs delivered to live
+    // workers at seeded points mid-run, and a multithreaded master
+    // stealing work across them — must produce byte-identical
+    // records/front/trace CSVs AND a byte-identical final checkpoint
+    // versus the plain in-process run.
+    const std::string base = makeBaseline("fbase");
+    const std::string dir = makeTempDir("fleet");
+
+    std::vector<std::string> args = cliArgs(dir, false);
+    for (const char *extra : {"--workers", "4", "--worker-chaos-kills",
+                              "4", "--threads", "2"})
+        args.push_back(extra);
+    const auto out = runMaybeKill(args, -1);
+    ASSERT_EQ(out.exitCode, 0);
+    expectSameOutputs(base, dir, true);
+
+    // The transport ledger must show the kills were real and were
+    // absorbed by respawns — not silently skipped.
+    EXPECT_GE(faultsCsvColumn(dir + "/out_faults.csv",
+                              "worker_crashes"),
+              3u);
+    EXPECT_GE(faultsCsvColumn(dir + "/out_faults.csv",
+                              "worker_respawns"),
+              3u);
+    EXPECT_EQ(faultsCsvColumn(base + "/out_faults.csv",
+                              "worker_crashes"),
+              0u);
+}
+
+TEST(Chaos, MasterKillInFleetModeResumesAcrossTopologies)
+{
+    // Kill the whole MASTER process mid-run in fleet mode, then
+    // resume in-process (and vice versa would hold too): checkpoint
+    // identity deliberately excludes the execution topology, so the
+    // resumed search must converge to the baseline bit-for-bit.
+    const std::string base = makeBaseline("mbase");
+    const std::string dir = makeTempDir("mkill");
+    Lcg rng(0xf1ee7ULL);
+
+    int kills = 0;
+    bool completed = false;
+    for (int attempt = 0; attempt < 60 && !completed; ++attempt) {
+        const bool resume = fileExists(dir + "/ck.json") ||
+                            fileExists(dir + "/ck.json.1");
+        std::vector<std::string> args = cliArgs(dir, resume);
+        if (kills == 0) {
+            // First leg runs through the fleet; later legs (after
+            // the master died) complete in-process.
+            for (const char *extra : {"--workers", "3"})
+                args.push_back(extra);
+        }
+        const int delay =
+            kills < 1 ? 20 + static_cast<int>(rng.next() % 150) : -1;
+        const auto out = runMaybeKill(args, delay);
+        if (out.killed) {
+            ++kills;
+        } else {
+            ASSERT_EQ(out.exitCode, 0);
+            completed = kills >= 1;
+            if (!completed)
+                removeArtifacts(dir);
+        }
+    }
+    ASSERT_TRUE(completed) << "master-kill loop never completed";
+    expectSameOutputs(base, dir, true);
 }
 
 #endif // !_WIN32

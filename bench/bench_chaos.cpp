@@ -40,6 +40,7 @@ main()
 
 #else
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -326,10 +327,11 @@ main(int argc, char **argv)
     // respawn plus one replayed request, never a result.
     std::printf("\nWorker-kill sweep (fleet mode, --workers %s)\n",
                 workers.c_str());
-    std::printf("%6s %10s %10s %8s %9s %10s\n", "kills", "wall(ms)",
-                "overhead", "crashes", "respawns", "identical");
+    std::printf("%6s %10s %10s %8s %9s %8s %10s\n", "kills",
+                "wall(ms)", "overhead", "crashes", "respawns",
+                "rt/eval", "identical");
     csv << "worker_kills,wall_ms,overhead_x,crashes,respawns,"
-           "identical\n";
+           "round_trips,ops_applied,round_trips_per_eval,identical\n";
     for (const int wkills : worker_kill_counts) {
         const std::string tag = "w" + std::to_string(wkills);
         cleanup(tag);
@@ -359,13 +361,24 @@ main(int argc, char **argv)
             dir + "/" + tag + "_faults.csv", "worker_crashes");
         const std::uint64_t respawns = faultsCsvColumn(
             dir + "/" + tag + "_faults.csv", "worker_respawns");
-        std::printf("%6d %10.1f %9.2fx %8llu %9llu %10s\n", wkills,
-                    wall_ms, wall_ms / base_ms,
+        // Batching leverage: with op coalescing one framed round-trip
+        // carries several mutating ops, so round-trips per acked op
+        // drops well below the 1.0 a per-op protocol pays.
+        const std::uint64_t round_trips = faultsCsvColumn(
+            dir + "/" + tag + "_faults.csv", "request_round_trips");
+        const std::uint64_t ops_applied = faultsCsvColumn(
+            dir + "/" + tag + "_faults.csv", "ops_applied");
+        const double rt_per_eval =
+            static_cast<double>(round_trips) /
+            static_cast<double>(std::max<std::uint64_t>(1, ops_applied));
+        std::printf("%6d %10.1f %9.2fx %8llu %9llu %8.3f %10s\n",
+                    wkills, wall_ms, wall_ms / base_ms,
                     static_cast<unsigned long long>(crashes),
                     static_cast<unsigned long long>(respawns),
-                    identical ? "yes" : "NO");
+                    rt_per_eval, identical ? "yes" : "NO");
         csv << wkills << ',' << wall_ms << ',' << wall_ms / base_ms
-            << ',' << crashes << ',' << respawns << ','
+            << ',' << crashes << ',' << respawns << ',' << round_trips
+            << ',' << ops_applied << ',' << rt_per_eval << ','
             << (identical ? 1 : 0) << "\n";
         auto row = unico::common::Json::object();
         row["name"] =
@@ -378,6 +391,9 @@ main(int argc, char **argv)
         row["overhead_x"] = wall_ms / base_ms;
         row["worker_crashes"] = crashes;
         row["worker_respawns"] = respawns;
+        row["request_round_trips"] = round_trips;
+        row["ops_applied"] = ops_applied;
+        row["round_trips_per_eval"] = rt_per_eval;
         row["identical"] = identical;
         bench_json.push(std::move(row));
         cleanup(tag);

@@ -37,6 +37,10 @@ struct BenchOptions
     std::string outCsv;      ///< optional CSV dump path
     /** Evaluation stack the bench runs against (--backend). */
     std::string backend = "spatial";
+    /** Surrogate screening (--surrogate / --surrogate-keep /
+     *  --no-surrogate), mirroring the CLI flag semantics. */
+    bool surrogate = false;
+    double surrogateKeep = 0.25;
 
     static BenchOptions
     parse(const common::CliArgs &args)
@@ -46,7 +50,21 @@ struct BenchOptions
         opt.scale = args.getDouble("scale", 1.0);
         opt.outCsv = args.getString("out", "");
         opt.backend = args.getString("backend", "spatial");
+        opt.surrogate =
+            (args.has("surrogate") || args.has("surrogate-keep")) &&
+            !args.has("no-surrogate");
+        opt.surrogateKeep =
+            args.getDouble("surrogate-keep", opt.surrogateKeep);
         return opt;
+    }
+
+    /** Configure a caller-owned surrogate context from the flags
+     *  (the context is non-copyable: it holds the atomic sink). */
+    void
+    applySurrogate(surrogate::SurrogateContext &ctx) const
+    {
+        ctx.options.enabled = surrogate;
+        ctx.options.keep = surrogateKeep;
     }
 
     /** Scale an integer parameter, keeping a floor. */
@@ -101,7 +119,9 @@ benchNsga2Config(const BenchOptions &opt)
 inline std::unique_ptr<core::CoSearchEnv>
 makeBenchEnv(const std::string &backend,
              const std::vector<std::string> &nets,
-             accel::Scenario scenario, std::size_t max_shapes = 5)
+             accel::Scenario scenario, std::size_t max_shapes = 5,
+             accel::EvalCache *cache = nullptr,
+             surrogate::SurrogateContext *surrogate = nullptr)
 {
     std::vector<workload::Network> networks;
     networks.reserve(nets.size());
@@ -110,15 +130,20 @@ makeBenchEnv(const std::string &backend,
     core::BackendOptions env_opt;
     env_opt.scenario = scenario;
     env_opt.maxShapesPerNetwork = max_shapes;
+    env_opt.cache = cache;
+    env_opt.surrogate = surrogate;
     return core::makeBackendEnv(backend, std::move(networks), env_opt);
 }
 
 /** makeBenchEnv() under the bench's --backend selection. */
 inline std::unique_ptr<core::CoSearchEnv>
 makeBenchEnv(const BenchOptions &opt, const std::vector<std::string> &nets,
-             accel::Scenario scenario, std::size_t max_shapes = 5)
+             accel::Scenario scenario, std::size_t max_shapes = 5,
+             accel::EvalCache *cache = nullptr,
+             surrogate::SurrogateContext *surrogate = nullptr)
 {
-    return makeBenchEnv(opt.backend, nets, scenario, max_shapes);
+    return makeBenchEnv(opt.backend, nets, scenario, max_shapes, cache,
+                        surrogate);
 }
 
 /**

@@ -40,8 +40,17 @@ main(int argc, char **argv)
 
     const std::vector<std::string> training = {"mobilenet_v2", "resnet",
                                                "srgan", "vgg"};
-    const auto train_env =
-        makeBenchEnv(opt, training, accel::Scenario::Edge, 3);
+    // --surrogate/--surrogate-keep screen the training co-searches;
+    // the fixed-hardware validation runs below stay exact so the
+    // generalization comparison itself is never approximated.
+    surrogate::SurrogateContext surrogate_ctx;
+    opt.applySurrogate(surrogate_ctx);
+    if (surrogate_ctx.options.enabled)
+        std::cout << "surrogate screening: keep="
+                  << surrogate_ctx.options.keep << "\n\n";
+    const auto train_env = makeBenchEnv(opt, training,
+                                        accel::Scenario::Edge, 3,
+                                        nullptr, &surrogate_ctx);
 
     auto unico_cfg = benchDriverConfig(core::DriverConfig::unico(), opt);
     core::CoOptimizer unico_driver(*train_env, unico_cfg);

@@ -10,14 +10,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <string_view>
 #include <vector>
 
 #include "camodel/simulator.hh"
 #include "common/rng.hh"
+#include "common/shard_cache.hh"
+#include "core/backend.hh"
+#include "core/driver.hh"
 #include "costmodel/analytical.hh"
 #include "moo/hypervolume.hh"
 #include "surrogate/gp.hh"
+#include "surrogate/learned_model.hh"
 #include "workload/model_zoo.hh"
 
 using namespace unico;
@@ -245,6 +250,95 @@ BM_ModelZooBuild(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ModelZooBuild);
+
+/**
+ * End-to-end spatial co-search on the Fig. 9 training workload,
+ * exact-only vs surrogate-screened (keep = 0.25). Counters carry the
+ * acceptance metrics into BENCH_micro.json: cold exact evaluations
+ * (= evaluation-cache insertions — every unique mapping that reached
+ * the exact model), screening decision totals, and the final
+ * constrained front's hypervolume in fixed log10 coordinates. The
+ * fixed log-domain reference makes the hypervolume comparable across
+ * the two registrations without shared min-max bounds.
+ */
+void
+surrogateCoSearch(benchmark::State &state, bool screened)
+{
+    double cold_evals = 0.0;
+    double hv = 0.0;
+    surrogate::SurrogateStats sstats;
+    for (auto _ : state) {
+        std::vector<workload::Network> nets;
+        for (const char *name :
+             {"mobilenet_v2", "resnet", "srgan", "vgg"})
+            nets.push_back(workload::makeNetwork(name));
+        accel::EvalCache cache(64 * 1024 * 1024);
+        common::CorpusTap tap;
+        surrogate::SurrogateContext ctx;
+        ctx.options.enabled = screened;
+        ctx.options.keep = 0.25;
+        ctx.tap = &tap;
+        core::BackendOptions env_opt;
+        env_opt.scenario = accel::Scenario::Edge;
+        env_opt.maxShapesPerNetwork = 2;
+        env_opt.cache = &cache;
+        env_opt.surrogate = &ctx;
+        auto env =
+            core::makeBackendEnv("spatial", std::move(nets), env_opt);
+        core::DriverConfig cfg = core::DriverConfig::unico();
+        cfg.batchSize = 6;
+        cfg.maxIter = 3;
+        cfg.sh.bMax = 240;
+        cfg.minBudgetPerRound = 8;
+        cfg.workers = 1;
+        cfg.seed = 9;
+        core::CoOptimizer driver(*env, cfg);
+        const core::CoSearchResult result = driver.run();
+        cold_evals = static_cast<double>(cache.stats().insertions);
+        sstats = result.surrogateStats;
+        std::vector<moo::Objectives> pts;
+        pts.reserve(result.front.size());
+        std::size_t dims = 3;
+        for (const auto &entry : result.front.entries()) {
+            moo::Objectives z;
+            z.reserve(entry.objectives.size());
+            for (double v : entry.objectives)
+                z.push_back(std::log10(1.0 + std::max(v, 0.0)));
+            dims = z.size();
+            pts.push_back(std::move(z));
+        }
+        hv = moo::hypervolume(pts, moo::Objectives(dims, 9.0));
+    }
+    state.counters["cold_exact_evals"] = cold_evals;
+    state.counters["screen_candidates"] =
+        static_cast<double>(sstats.candidates);
+    state.counters["screened_out"] =
+        static_cast<double>(sstats.screenedOut);
+    state.counters["admitted"] = static_cast<double>(sstats.admitted);
+    state.counters["forced_admits"] =
+        static_cast<double>(sstats.forcedAdmits);
+    state.counters["surrogate_refits"] =
+        static_cast<double>(sstats.refits);
+    state.counters["hypervolume_log10"] = hv;
+}
+
+void
+BM_CoSearchExactOnly(benchmark::State &state)
+{
+    surrogateCoSearch(state, false);
+}
+BENCHMARK(BM_CoSearchExactOnly)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_CoSearchSurrogateScreened(benchmark::State &state)
+{
+    surrogateCoSearch(state, true);
+}
+BENCHMARK(BM_CoSearchSurrogateScreened)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 } // namespace
 

@@ -14,6 +14,7 @@
  *                 [--batch N] [--iters I] [--bmax B] [--seed S] \
  *                 [--threads T] [--csv-prefix out/prefix] \
  *                 [--cache-mb MB] [--no-cache] \
+ *                 [--surrogate] [--surrogate-keep F] [--no-surrogate] \
  *                 [--fault-rate F] [--hang-rate F] [--corrupt-rate F] \
  *                 [--fault-seed S] [--checkpoint FILE] [--resume] \
  *                 [--checkpoint-every N] [--checkpoint-keep K] \
@@ -48,6 +49,15 @@
  * (--cache-mb sets the byte budget, default 64 MB; --no-cache
  * disables it). Results, checkpoints and the records/front/trace
  * CSVs are bit-identical either way — only wall-clock changes.
+ *
+ * Surrogate screening: --surrogate (tune with --surrogate-keep F,
+ * default 0.25) trains an online ridge-regression cost model on the
+ * exact evaluations each run pays for and answers the predicted-worst
+ * candidates from the model, reserving exact evaluation for the keep
+ * fraction. Off by default; --no-surrogate forces the legacy path,
+ * whose outputs are byte-identical to builds without the feature.
+ * Screened-out candidates are fidelity-tagged and never become
+ * incumbents, Pareto entries, checkpoint state or CSV rows.
  */
 
 #include <iostream>
@@ -55,6 +65,7 @@
 #include "baselines/nsga2.hh"
 #include "common/cli.hh"
 #include "common/fault.hh"
+#include "common/shard_cache.hh"
 #include "common/shutdown.hh"
 #include "common/table.hh"
 #include "core/backend.hh"
@@ -62,6 +73,7 @@
 #include "core/fault_env.hh"
 #include "core/fleet.hh"
 #include "core/report.hh"
+#include "surrogate/learned_model.hh"
 #include "workload/model_zoo.hh"
 #include "workload/parser.hh"
 
@@ -83,6 +95,7 @@ usage(const char *prog)
            " [--threads T]\n"
            "  [--max-shapes K] [--csv-prefix PREFIX]\n"
            "  [--cache-mb MB] [--no-cache]\n"
+           "  [--surrogate] [--surrogate-keep F] [--no-surrogate]\n"
            "  [--fault-rate F] [--hang-rate F] [--corrupt-rate F]"
            " [--fault-seed S]\n"
            "  [--checkpoint FILE] [--resume] [--checkpoint-every N]"
@@ -152,6 +165,29 @@ main(int argc, char **argv)
     if (!args.has("no-cache") && cache_mb > 0)
         env_opt.cache = &cache;
 
+    // Learned surrogate screening: off by default (byte-identical
+    // legacy path); --surrogate (or --surrogate-keep F) turns it on,
+    // --no-surrogate wins over both. Exact evaluations stay the sole
+    // source of truth — screened-out candidates never reach results,
+    // checkpoints or the records/front/trace CSVs.
+    common::CorpusTap corpus_tap;
+    surrogate::SurrogateContext surrogate_ctx;
+    surrogate_ctx.options.enabled =
+        (args.has("surrogate") || args.has("surrogate-keep")) &&
+        !args.has("no-surrogate");
+    surrogate_ctx.options.keep =
+        args.getDouble("surrogate-keep", surrogate_ctx.options.keep);
+    surrogate_ctx.tap = &corpus_tap;
+    if (surrogate_ctx.options.enabled) {
+        if (!(surrogate_ctx.options.keep > 0.0) ||
+            surrogate_ctx.options.keep > 1.0) {
+            std::cerr
+                << "error: --surrogate-keep must be in (0, 1]\n";
+            return usage(args.program().c_str());
+        }
+        env_opt.surrogate = &surrogate_ctx;
+    }
+
     std::cout << "workloads:";
     for (const auto &net : nets)
         std::cout << " " << net.name();
@@ -161,6 +197,9 @@ main(int argc, char **argv)
     if (!backend_env->scenarioName().empty())
         std::cout << " (" << backend_env->scenarioName() << ")";
     std::cout << "\n";
+    if (surrogate_ctx.options.enabled)
+        std::cout << "surrogate screening: keep="
+                  << surrogate_ctx.options.keep << "\n";
 
     // Optional fault injection: wrap the real environment in a
     // deterministic injector so the run exercises the supervisor.
@@ -298,12 +337,19 @@ main(int argc, char **argv)
 
     // Baselines (nsga2) don't report cache counters themselves;
     // snapshot them here so every algorithm prints the same digest.
-    if (const accel::EvalCache *c = env.evalCache())
+    // The corpus-tap counters fold into the cache stats (they share
+    // the diagnostics CSV), and the surrogate digest rides beside it.
+    if (const accel::EvalCache *c = env.evalCache()) {
         result.cacheStats = c->stats();
+        corpus_tap.mergeInto(result.cacheStats);
+    }
+    result.surrogateStats = env.surrogateStats();
 
     std::cout << "\n" << core::toString(core::summarize(result)) << "\n";
     if (env.evalCache() != nullptr)
         std::cout << common::toString(result.cacheStats) << "\n";
+    if (surrogate_ctx.options.enabled)
+        std::cout << surrogate::toString(result.surrogateStats) << "\n";
     std::cout << "\n";
     common::TableWriter table(
         {"hw", "L(ms)", "P(mW)", "A(mm2)", "R"});

@@ -1,6 +1,24 @@
 #include "camodel/search.hh"
 
+#include <cassert>
+
 namespace unico::camodel {
+
+CubeEvaluator
+screeningEvaluator(CubeCandidateScreen *screen, CubeEvaluator inner)
+{
+    if (screen == nullptr)
+        return inner;
+    return [screen, inner = std::move(inner)](const CubeMapping &m) {
+        if (auto predicted = screen->screen(m)) {
+            assert(predicted->fidelity == mapping::Fidelity::Surrogate);
+            return *predicted;
+        }
+        const mapping::MappingEval eval = inner(m);
+        screen->observeExact(m, eval);
+        return eval;
+    };
+}
 
 CubeSearchRun::CubeSearchRun(const CubeMappingSpace &space,
                              CubeEvaluator evaluator, std::uint64_t seed)
@@ -12,6 +30,15 @@ void
 CubeSearchRun::record(const CubeMapping &m,
                       const mapping::MappingEval &eval)
 {
+    if (eval.fidelity == mapping::Fidelity::Surrogate) {
+        // Advisory prediction: spend the budget slot, keep the
+        // incumbent and sample set untouched. The restart counter
+        // still advances so a screened-heavy stretch can trigger the
+        // depth-first backtrack just like a fruitless exact stretch.
+        ++sinceImprove_;
+        bestLoss_.push_back(bestLoss_.empty() ? 1e18 : bestLoss_.back());
+        return;
+    }
     samples_.push_back(mapping::SamplePoint{
         eval.loss, eval.ppa.latencyMs, eval.ppa.powerMw,
         eval.ppa.feasible});

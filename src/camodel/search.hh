@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "accel/ppa.hh"
@@ -24,6 +25,34 @@ namespace unico::camodel {
 /** Evaluation callback: cube mapping -> (ppa, loss). */
 using CubeEvaluator =
     std::function<mapping::MappingEval(const CubeMapping &)>;
+
+/**
+ * Cube-side candidate pre-screen (see mapping::CandidateScreen for
+ * the contract; this is the CubeMapping-typed twin, declared here so
+ * camodel needs no dependency on the surrogate library).
+ */
+class CubeCandidateScreen
+{
+  public:
+    virtual ~CubeCandidateScreen() = default;
+
+    /** Surrogate prediction to skip exact evaluation, or nullopt. */
+    virtual std::optional<mapping::MappingEval>
+    screen(const CubeMapping &m) = 0;
+
+    /** Feed one exact evaluation back as training signal. */
+    virtual void observeExact(const CubeMapping &m,
+                              const mapping::MappingEval &eval) = 0;
+};
+
+/**
+ * Wrap @p inner with learned-model pre-screening; nullptr @p screen
+ * returns @p inner unchanged. Same layering contract as the spatial
+ * mapping::screeningEvaluator: above the cache, exact evals train
+ * the screen, screened-out candidates are surrogate-fidelity.
+ */
+CubeEvaluator screeningEvaluator(CubeCandidateScreen *screen,
+                                 CubeEvaluator inner);
 
 /**
  * Resumable cube-mapping search.

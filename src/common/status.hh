@@ -106,6 +106,11 @@ struct TransportStats
     std::uint64_t workerRespawns = 0;  ///< replacement workers forked
     std::uint64_t workSteals = 0;      ///< requests served off-home
     std::uint64_t inprocFallbacks = 0; ///< circuit-breaker local evals
+    /** Successful request round-trips (one framed request + reply).
+     *  With op coalescing one round-trip carries many mutating ops,
+     *  so opsApplied / requestRoundTrips measures batching leverage. */
+    std::uint64_t requestRoundTrips = 0;
+    std::uint64_t opsApplied = 0; ///< mutating ops acked by workers
 
     /** Total transport faults across exclusive categories. */
     std::uint64_t
@@ -140,6 +145,8 @@ struct TransportStats
         workerRespawns += other.workerRespawns;
         workSteals += other.workSteals;
         inprocFallbacks += other.inprocFallbacks;
+        requestRoundTrips += other.requestRoundTrips;
+        opsApplied += other.opsApplied;
     }
 };
 

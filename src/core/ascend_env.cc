@@ -22,9 +22,10 @@ class AscendRunPolicy final : public LayeredRunPolicy
     AscendRunPolicy(const std::vector<workload::WeightedOp> &layers,
                     const std::vector<camodel::CubeMappingSpace> &spaces,
                     const camodel::CycleAccurateModel &model,
-                    accel::CubeHwConfig hw, accel::EvalCache *cache)
+                    accel::CubeHwConfig hw, accel::EvalCache *cache,
+                    surrogate::SurrogateContext *surrogate)
         : layers_(layers), spaces_(spaces), model_(model), hw_(hw),
-          cache_(cache)
+          cache_(cache), surrogate_(surrogate), screens_(layers.size())
     {
     }
 
@@ -65,10 +66,20 @@ class AscendRunPolicy final : public LayeredRunPolicy
             eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
             return eval;
         };
+        // Screening sits above the evaluator (and thus above the
+        // cache + charge()): screened-out candidates cost no virtual
+        // seconds and never touch the cache. One screen per layer,
+        // trained run-locally on whatever exact rung is active.
+        if (screens_[layer] == nullptr)
+            screens_[layer] = surrogate::makeCubeScreen(
+                surrogate_, op, hw_, model_.queryFingerprint(op, hw_));
         return std::make_unique<
             LayerSearchAdapter<camodel::CubeSearchRun>>(
-            std::make_unique<camodel::CubeSearchRun>(spaces_[layer],
-                                                     evaluator, seed));
+            std::make_unique<camodel::CubeSearchRun>(
+                spaces_[layer],
+                camodel::screeningEvaluator(screens_[layer].get(),
+                                            std::move(evaluator)),
+                seed));
     }
 
     double areaMm2() const override { return model_.areaMm2(hw_); }
@@ -90,6 +101,8 @@ class AscendRunPolicy final : public LayeredRunPolicy
     camodel::CycleAccurateModel degradedModel_;
     accel::CubeHwConfig hw_;
     accel::EvalCache *cache_ = nullptr;
+    surrogate::SurrogateContext *surrogate_ = nullptr;
+    std::vector<std::unique_ptr<camodel::CubeCandidateScreen>> screens_;
     bool degraded_ = false;
 };
 
@@ -118,7 +131,8 @@ AscendEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
     return std::make_unique<LayeredMappingRun>(
         layers_,
         std::make_unique<AscendRunPolicy>(layers_, mapSpaces_, model_,
-                                          space_.decode(h), opt_.cache),
+                                          space_.decode(h), opt_.cache,
+                                          opt_.surrogate),
         seed);
 }
 

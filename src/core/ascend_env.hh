@@ -33,6 +33,10 @@ struct AscendEnvOptions
      *  nullptr disables memoization. Results are bit-identical with
      *  or without it — only wall-clock changes. */
     accel::EvalCache *cache = nullptr;
+    /** Learned surrogate screening context (owned by the caller);
+     *  nullptr or options.enabled == false keeps the exact-only path
+     *  byte-identical to builds without the surrogate. */
+    surrogate::SurrogateContext *surrogate = nullptr;
 };
 
 /** Ascend-like co-search environment. */
@@ -50,6 +54,12 @@ class AscendEnv : public CoSearchEnv
     const accel::EvalCache *evalCache() const override
     {
         return opt_.cache;
+    }
+    surrogate::SurrogateStats surrogateStats() const override
+    {
+        return opt_.surrogate != nullptr
+                   ? opt_.surrogate->snapshot()
+                   : surrogate::SurrogateStats{};
     }
     /** Every SH round must seed each unique layer shape once. */
     int minSeedBudget() const override

@@ -80,6 +80,7 @@ makeSpatial(std::vector<workload::Network> networks,
     env_opt.engine = opt.engine;
     env_opt.maxShapesPerNetwork = opt.maxShapesPerNetwork;
     env_opt.cache = opt.cache;
+    env_opt.surrogate = opt.surrogate;
     return std::make_unique<SpatialEnv>(std::move(networks), env_opt);
 }
 
@@ -91,6 +92,7 @@ makeAscend(std::vector<workload::Network> networks,
     env_opt.areaBudgetMm2 = opt.areaBudgetMm2;
     env_opt.maxShapesPerNetwork = opt.maxShapesPerNetwork;
     env_opt.cache = opt.cache;
+    env_opt.surrogate = opt.surrogate;
     return std::make_unique<AscendEnv>(std::move(networks), env_opt);
 }
 

@@ -54,6 +54,9 @@ struct BackendOptions
     std::size_t maxShapesPerNetwork = 5;
     /** Shared evaluation cache; nullptr disables memoization. */
     accel::EvalCache *cache = nullptr;
+    /** Learned surrogate screening context; nullptr (or a disabled
+     *  context) keeps the exact-only byte-identical path. */
+    surrogate::SurrogateContext *surrogate = nullptr;
 };
 
 /** Constructs a ready-to-search environment for a workload list. */

@@ -760,6 +760,7 @@ CoOptimizer::run()
         result.evaluations += static_cast<std::uint64_t>(rec.budgetSpent);
     if (const accel::EvalCache *cache = env_.evalCache())
         result.cacheStats = cache->stats();
+    result.surrogateStats = env_.surrogateStats();
     // Snapshot at the very end (after any rollback restored
     // result.faults): transport counters live in the env, not in the
     // per-iteration fault ledger, so an interrupted-iteration

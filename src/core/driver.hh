@@ -219,6 +219,11 @@ struct CoSearchResult
      *  part of the records/front CSVs, which stay byte-identical
      *  with the cache on or off. */
     common::CacheStats cacheStats;
+    /** Surrogate-screening counters (disabled/zero without the
+     *  learned fast-path). Diagnostics only, like cacheStats: never
+     *  serialized into checkpoints or the records/front/trace CSVs,
+     *  which stay byte-identical with screening off. */
+    surrogate::SurrogateStats surrogateStats;
     /** True when the run wound down early (shutdown signal or
      *  wall-clock deadline) after draining in-flight work and writing
      *  a resumable checkpoint; partial-trial state is rolled back so

@@ -25,6 +25,7 @@
 #include "accel/ppa.hh"
 #include "common/status.hh"
 #include "mapping/engine.hh"
+#include "surrogate/learned_model.hh"
 
 namespace unico::core {
 
@@ -122,6 +123,19 @@ class CoSearchEnv
      */
     virtual common::TransportStats
     transportStats() const
+    {
+        return {};
+    }
+
+    /**
+     * Surrogate-screening counters of the learned fast-path this
+     * environment evaluates through (all zero / disabled when no
+     * screen is attached). Like evalCache(): diagnostics the driver
+     * snapshots into the result; decorator environments forward to
+     * the wrapped env.
+     */
+    virtual surrogate::SurrogateStats
+    surrogateStats() const
     {
         return {};
     }

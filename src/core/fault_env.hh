@@ -63,6 +63,10 @@ class FaultyEnv : public CoSearchEnv
     {
         return inner_.evalCache();
     }
+    surrogate::SurrogateStats surrogateStats() const override
+    {
+        return inner_.surrogateStats();
+    }
     common::TransportStats transportStats() const override
     {
         return inner_.transportStats();

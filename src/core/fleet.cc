@@ -107,9 +107,16 @@ opsFromJson(const Json &arr)
     return ops;
 }
 
+/** A request ships the run's full op history plus the master's
+ *  `done` watermark: ops [0, done) were already acked (the worker
+ *  replays any it is missing, swallowing faults), ops [done, size)
+ *  are pending and the worker applies them in order, stopping after
+ *  the first non-Ok op. "sync" just applies; "sense" additionally
+ *  computes sensitivity once the history is fully applied. */
 std::string
 makeRequest(const char *op, const accel::HwPoint &h, std::uint64_t seed,
-            const std::vector<WireOp> &ops, double alpha)
+            const std::vector<WireOp> &ops, std::size_t done,
+            double alpha)
 {
     Json req = Json::object();
     req["op"] = Json(op);
@@ -119,6 +126,7 @@ makeRequest(const char *op, const accel::HwPoint &h, std::uint64_t seed,
     req["hw"] = std::move(hw);
     req["seed"] = Json(common::hexU64(seed));
     req["ops"] = opsToJson(ops);
+    req["done"] = Json(done);
     req["alpha"] = Json(common::hexDouble(alpha));
     return req.dump();
 }
@@ -253,40 +261,41 @@ class WorkerServer
         const std::uint64_t seed =
             common::parseHexU64(req.at("seed").asString());
         const std::vector<WireOp> ops = opsFromJson(req.at("ops"));
+        const std::size_t done = std::min(
+            static_cast<std::size_t>(req.at("done").asInt()), ops.size());
 
         ResidentRun &res = materialize(hw, seed, ops);
 
-        // Replay any history the resident is missing, swallowing
+        // Replay any acked history the resident is missing, swallowing
         // faults: each was already raised to the master by whichever
         // worker first applied the op, and purity of the fault
         // streams makes the recurrence bit-identical.
-        const bool mutating = (op == "step" || op == "degrade");
-        const std::size_t tail = mutating ? ops.size() - 1 : ops.size();
-        while (res.done.size() < tail)
+        while (res.done.size() < done)
             res.done.push_back(applyOp(*res.run, ops[res.done.size()]));
 
+        // Apply the pending tail in order, stopping after the first
+        // non-Ok op (the master drops everything it queued beyond a
+        // fault — the unbatched master would never have issued it).
+        // Ops a lost/corrupted response already applied are answered
+        // idempotently from the record instead of re-applied.
         EvalStatus status = EvalStatus::Ok;
         std::string message;
         bool degraded = false;
-        if (mutating) {
-            if (res.done.size() == ops.size()) {
-                // Op already applied (response to the first attempt
-                // was lost/corrupted): answer from the record.
-                const DoneOp &d = res.done.back();
-                status = d.status;
-                message = d.message;
-                degraded = d.degraded;
-            } else {
-                DoneOp d = applyOp(*res.run, ops.back());
-                status = d.status;
-                message = d.message;
-                degraded = d.degraded;
-                res.done.push_back(std::move(d));
-            }
+        std::size_t applied = 0;
+        for (std::size_t i = done; i < ops.size(); ++i) {
+            if (res.done.size() <= i)
+                res.done.push_back(applyOp(*res.run, ops[i]));
+            const DoneOp &d = res.done[i];
+            ++applied;
+            status = d.status;
+            message = d.message;
+            degraded = d.degraded;
+            if (status != EvalStatus::Ok)
+                break;
         }
 
         double sense = 0.0;
-        if (op == "sense") {
+        if (op == "sense" && status == EvalStatus::Ok) {
             const double alpha =
                 common::doubleFromHex(req.at("alpha").asString());
             try {
@@ -303,6 +312,7 @@ class WorkerServer
         resp["status"] = Json(toString(status));
         if (!message.empty())
             resp["message"] = Json(std::move(message));
+        resp["applied"] = Json(applied);
         resp["spent"] = Json(res.run->spent());
         resp["seconds"] =
             Json(common::hexDouble(res.run->chargedSeconds()));
@@ -318,8 +328,7 @@ class WorkerServer
         resp["hist"] = std::move(hist);
         if (op == "sense")
             resp["sense"] = Json(common::hexDouble(sense));
-        if (op == "degrade")
-            resp["degraded"] = Json(degraded);
+        resp["degraded"] = Json(degraded);
     }
 
     /** Find or rebuild the resident run for (hw, seed); evict LRU
@@ -496,6 +505,13 @@ class WorkerPool
         ++stats_.inprocFallbacks;
     }
 
+    void
+    noteOpsApplied(std::uint64_t n)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.opsApplied += n;
+    }
+
     common::TransportStats
     stats() const
     {
@@ -587,10 +603,12 @@ class WorkerPool
         }
     }
 
+    /** Mark a successful round-trip done and free the slot. */
     void
     release(int idx)
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requestRoundTrips;
         slots_[static_cast<std::size_t>(idx)].busy = false;
         available_.notify_all();
     }
@@ -656,6 +674,16 @@ class WorkerPool
  * touch the transport. When the pool's circuit breaker opens, the
  * proxy rebuilds the run in-process from the same history and
  * continues locally — byte-identical either way.
+ *
+ * Op coalescing (cfg.coalesceOps): step() only queues the op and
+ * advances an optimistic eval count; the queued batch ships in ONE
+ * framed request when a state read (bestPpa / bestLossHistory /
+ * chargedSeconds / sensitivity / degradeToAnalytical) needs ground
+ * truth. The supervisor's chunked stepping loop thereby pays one
+ * round-trip per supervised attempt instead of one per chunk. A
+ * fault inside the batch truncates the queued tail (ops_.resize):
+ * the unbatched master would have seen the fault at that op and
+ * never issued the tail, so trajectories stay byte-identical.
  */
 class RemoteRun : public MappingRun
 {
@@ -674,37 +702,44 @@ class RemoteRun : public MappingRun
             return;
         }
         ops_.push_back(WireOp{kOpStep, evals});
-        Json resp;
-        if (roundTrip("step", 0.0, resp)) {
-            applyState(resp);
-            throwIfFault(resp);
-            return;
-        }
-        goLocal(ops_.size() - 1);
-        local_->step(evals); // tail op: let faults propagate as in-process
+        pendingEvals_ += evals;
+        if (!env_.cfg_.coalesceOps)
+            flush();
     }
 
     int
     spent() const override
     {
-        return local_ ? local_->spent() : spent_;
+        // Optimistic while ops are queued: a healthy step advances
+        // spent by exactly its arg, and a faulting batch resets the
+        // mirror to worker truth before the fault surfaces.
+        return local_ ? local_->spent() : spent_ + pendingEvals_;
     }
 
     accel::Ppa
     bestPpa() const override
     {
+        if (local_)
+            return local_->bestPpa();
+        const_cast<RemoteRun *>(this)->flush();
         return local_ ? local_->bestPpa() : ppa_;
     }
 
     const std::vector<double> &
     bestLossHistory() const override
     {
+        if (local_)
+            return local_->bestLossHistory();
+        const_cast<RemoteRun *>(this)->flush();
         return local_ ? local_->bestLossHistory() : hist_;
     }
 
     double
     sensitivity(double alpha) const override
     {
+        if (local_)
+            return local_->sensitivity(alpha);
+        const_cast<RemoteRun *>(this)->flush();
         if (local_)
             return local_->sensitivity(alpha);
         Json resp;
@@ -720,6 +755,9 @@ class RemoteRun : public MappingRun
     double
     chargedSeconds() const override
     {
+        if (local_)
+            return local_->chargedSeconds();
+        const_cast<RemoteRun *>(this)->flush();
         return local_ ? local_->chargedSeconds() : seconds_;
     }
 
@@ -728,18 +766,79 @@ class RemoteRun : public MappingRun
     {
         if (local_)
             return local_->degradeToAnalytical();
+        flush();
+        if (local_)
+            return local_->degradeToAnalytical();
         ops_.push_back(WireOp{kOpDegrade, 0});
         Json resp;
-        if (roundTrip("degrade", 0.0, resp)) {
+        if (roundTrip("sync", 0.0, resp)) {
+            done_ = ops_.size();
+            if (pool_ != nullptr)
+                pool_->noteOpsApplied(1);
             applyState(resp);
             throwIfFault(resp);
             return resp.at("degraded").asBool();
         }
         goLocal(ops_.size() - 1);
+        done_ = ops_.size() - 1;
         return local_->degradeToAnalytical();
     }
 
   private:
+    /**
+     * Resolve every queued op against a worker. On a healthy reply
+     * the whole tail is acked; on an evaluation fault the worker
+     * stopped at the faulting op, we keep exactly the applied prefix
+     * and re-raise the fault here — the first state read after the
+     * queued steps, which in the supervisor is still inside the same
+     * try block that would have caught the unbatched throw. On
+     * transport exhaustion the run goes local and replays the queue
+     * with normal fault propagation.
+     */
+    void
+    flush()
+    {
+        if (local_ || done_ == ops_.size())
+            return;
+        Json resp;
+        if (roundTrip("sync", 0.0, resp)) {
+            const std::size_t applied = std::min(
+                static_cast<std::size_t>(resp.at("applied").asInt()),
+                ops_.size() - done_);
+            done_ += applied;
+            if (pool_ != nullptr)
+                pool_->noteOpsApplied(applied);
+            applyState(resp);
+            const EvalStatus st =
+                statusFromString(resp.at("status").asString());
+            if (st != EvalStatus::Ok) {
+                ops_.resize(done_);
+                pendingEvals_ = 0;
+                throwIfFault(resp);
+            }
+            pendingEvals_ = 0;
+            return;
+        }
+        // Circuit breaker: replay the acked prefix swallowing faults,
+        // then apply the queued tail with in-process propagation.
+        goLocal(done_);
+        while (done_ < ops_.size()) {
+            const WireOp op = ops_[done_];
+            ++done_; // a faulted op still joins the applied history
+            try {
+                if (op.kind == kOpStep)
+                    local_->step(op.arg);
+                else if (op.kind == kOpDegrade)
+                    local_->degradeToAnalytical();
+            } catch (...) {
+                ops_.resize(done_);
+                pendingEvals_ = 0;
+                throw;
+            }
+        }
+        pendingEvals_ = 0;
+    }
+
     bool
     roundTrip(const char *op, double alpha, Json &resp) const
     {
@@ -748,12 +847,14 @@ class RemoteRun : public MappingRun
         // "sense" is non-mutating and is NOT part of the history; the
         // request ships the history so the worker can materialize.
         std::string payload;
-        if (!pool_->call(key_, makeRequest(op, hw_, seed_, ops_, alpha),
+        if (!pool_->call(key_,
+                         makeRequest(op, hw_, seed_, ops_, done_, alpha),
                          payload))
             return false;
         try {
             resp = Json::parse(payload);
-            return resp.has("status") && resp.has("spent");
+            return resp.has("status") && resp.has("spent") &&
+                   resp.has("applied");
         } catch (const std::exception &) {
             // CRC-clean but unparsable reply: a worker bug. Treat as
             // a degraded transport rather than corrupting the run.
@@ -826,6 +927,8 @@ class RemoteRun : public MappingRun
     std::uint64_t seed_;
     common::Fingerprint key_;
     std::vector<WireOp> ops_;
+    std::size_t done_ = 0; ///< acked prefix of ops_; the rest is queued
+    int pendingEvals_ = 0; ///< optimistic spent delta of the queue
 
     // Mirrored state from the last successful response.
     int spent_ = 0;
@@ -920,6 +1023,16 @@ std::optional<accel::HwPoint>
 FleetEnv::expertDefault() const
 {
     return inner_.expertDefault();
+}
+
+surrogate::SurrogateStats
+FleetEnv::surrogateStats() const
+{
+    // Screens are per-run and train wherever the run executes; the
+    // master-side context only sees runs the circuit breaker pulled
+    // in-process, so this is the inner env's view (worker-process
+    // counters die with the workers — diagnostics, not search state).
+    return inner_.surrogateStats();
 }
 
 common::TransportStats

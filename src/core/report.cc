@@ -131,16 +131,32 @@ bool
 writeCacheCsv(const CoSearchResult &result, const std::string &path)
 {
     const common::CacheStats &cs = result.cacheStats;
-    common::TableWriter table({"hits", "misses", "hit_rate",
-                               "insertions", "evictions", "entries",
-                               "bytes", "capacity_bytes", "shards"});
+    // shard_evictions is a |-separated per-shard list so the CSV
+    // stays one row regardless of the stripe count.
+    std::string shard_evictions;
+    for (std::size_t i = 0; i < cs.shardEvictions.size(); ++i) {
+        if (i > 0)
+            shard_evictions += '|';
+        shard_evictions += std::to_string(cs.shardEvictions[i]);
+    }
+    common::TableWriter table(
+        {"hits", "misses", "hit_rate", "insertions", "evictions",
+         "entries", "bytes", "capacity_bytes", "shards",
+         "shard_evictions", "tap_rows", "tap_appends", "tap_duplicates",
+         "tap_drops", "tap_snapshots", "tap_stalls"});
     table.addRow({std::to_string(cs.hits), std::to_string(cs.misses),
                   common::TableWriter::num(cs.hitRate(), 4),
                   std::to_string(cs.insertions),
                   std::to_string(cs.evictions),
                   std::to_string(cs.entries), std::to_string(cs.bytes),
                   std::to_string(cs.capacityBytes),
-                  std::to_string(cs.shards)});
+                  std::to_string(cs.shards), shard_evictions,
+                  std::to_string(cs.tapRows),
+                  std::to_string(cs.tapAppends),
+                  std::to_string(cs.tapDuplicates),
+                  std::to_string(cs.tapDrops),
+                  std::to_string(cs.tapSnapshots),
+                  std::to_string(cs.tapStalls)});
     return table.writeCsv(path);
 }
 
@@ -154,7 +170,8 @@ writeFaultsCsv(const CoSearchResult &result, const std::string &path)
          "degradations", "penalized", "gp_fallbacks", "ckpt_recoveries",
          "worker_crashes", "request_timeouts", "worker_hangs",
          "torn_frames", "corrupt_frames", "worker_respawns",
-         "work_steals", "inproc_fallbacks"});
+         "work_steals", "inproc_fallbacks", "request_round_trips",
+         "ops_applied"});
     table.addRow({std::to_string(f.transient), std::to_string(f.timeout),
                   std::to_string(f.corrupt), std::to_string(f.fatal),
                   std::to_string(f.retries),
@@ -169,7 +186,9 @@ writeFaultsCsv(const CoSearchResult &result, const std::string &path)
                   std::to_string(t.corruptFrames),
                   std::to_string(t.workerRespawns),
                   std::to_string(t.workSteals),
-                  std::to_string(t.inprocFallbacks)});
+                  std::to_string(t.inprocFallbacks),
+                  std::to_string(t.requestRoundTrips),
+                  std::to_string(t.opsApplied)});
     return table.writeCsv(path);
 }
 

@@ -22,9 +22,11 @@ class SpatialRunPolicy final : public LayeredRunPolicy
                      const std::vector<mapping::MappingSpace> &spaces,
                      const costmodel::AnalyticalCostModel &model,
                      accel::SpatialHwConfig hw,
-                     mapping::EngineKind engine, accel::EvalCache *cache)
+                     mapping::EngineKind engine, accel::EvalCache *cache,
+                     surrogate::SurrogateContext *surrogate)
         : layers_(layers), spaces_(spaces), model_(model), hw_(hw),
-          engine_(engine), cache_(cache)
+          engine_(engine), cache_(cache), surrogate_(surrogate),
+          screens_(layers.size())
     {
     }
 
@@ -39,16 +41,26 @@ class SpatialRunPolicy final : public LayeredRunPolicy
             eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
             return eval;
         };
-        // The cache sits below the fault-injection wrappers (they
+        // Layering: screening above caching above the model. The
+        // cache sits below the fault-injection wrappers (they
         // decorate MappingRun, not the evaluator), so only clean
-        // model outputs are ever stored.
+        // model outputs are ever stored; the screen sits above the
+        // cache so screened-out candidates never touch it. One screen
+        // per layer, trained only on this run's exact evals (makes
+        // fleet and threaded runs byte-identical).
+        if (screens_[layer] == nullptr)
+            screens_[layer] = surrogate::makeSpatialScreen(
+                surrogate_, op, hw_, model_.queryFingerprint(op, hw_));
         return std::make_unique<LayerSearchAdapter<mapping::SearchRun>>(
             mapping::startSearch(
                 engine_, spaces_[layer],
-                mapping::cachingEvaluator(
-                    cache_, model_.queryFingerprint(op, hw_),
-                    std::move(evaluator),
-                    costmodel::AnalyticalCostModel::nominalEvalSeconds()),
+                mapping::screeningEvaluator(
+                    screens_[layer].get(),
+                    mapping::cachingEvaluator(
+                        cache_, model_.queryFingerprint(op, hw_),
+                        std::move(evaluator),
+                        costmodel::AnalyticalCostModel::
+                            nominalEvalSeconds())),
                 seed));
     }
 
@@ -67,6 +79,8 @@ class SpatialRunPolicy final : public LayeredRunPolicy
     accel::SpatialHwConfig hw_;
     mapping::EngineKind engine_;
     accel::EvalCache *cache_;
+    surrogate::SurrogateContext *surrogate_;
+    std::vector<std::unique_ptr<mapping::CandidateScreen>> screens_;
 };
 
 } // namespace
@@ -95,7 +109,7 @@ SpatialEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
         layers_,
         std::make_unique<SpatialRunPolicy>(layers_, mapSpaces_, model_,
                                            space_.decode(h), opt_.engine,
-                                           opt_.cache),
+                                           opt_.cache, opt_.surrogate),
         seed);
 }
 

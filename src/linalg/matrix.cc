@@ -100,6 +100,20 @@ dot(const Vector &a, const Vector &b)
     return acc;
 }
 
+Vector
+solveNormalEquations(const Matrix &gram, const Vector &rhs, double ridge)
+{
+    assert(gram.rows() == gram.cols());
+    assert(rhs.size() == gram.rows());
+    assert(ridge >= 0.0);
+    Matrix a = gram;
+    a.addDiagonal(ridge);
+    const Cholesky chol(std::move(a));
+    if (!chol.ok())
+        return Vector(rhs.size(), 0.0);
+    return chol.solve(rhs);
+}
+
 Cholesky::Cholesky(Matrix a) : a_(std::move(a))
 {
     assert(a_.rows() == a_.cols());

@@ -72,6 +72,22 @@ class Matrix
 double dot(const Vector &a, const Vector &b);
 
 /**
+ * Solve the ridge normal equations (G + ridge I) x = r for an
+ * accumulated Gram matrix G = XᵀX and right-hand side r = Xᵀy.
+ *
+ * This is the refit primitive of the online surrogate cost model: the
+ * caller accumulates G and r incrementally (one rank-1 update per
+ * observed sample) and periodically asks for fresh weights. The ridge
+ * term keeps the system well posed for rank-deficient corpora
+ * (duplicated or constant feature columns) and for fewer samples than
+ * features — including the single-sample case. If the jittered
+ * Cholesky still fails, a zero vector is returned so the caller
+ * degrades to predicting the bias alone, deterministically.
+ */
+Vector solveNormalEquations(const Matrix &gram, const Vector &rhs,
+                            double ridge);
+
+/**
  * Cholesky factorization of a symmetric positive-definite matrix.
  *
  * Stores the lower-triangular factor L with A = L Lᵀ and solves

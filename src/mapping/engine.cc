@@ -190,6 +190,22 @@ class GeneticRun : public SearchRun
 } // namespace
 
 MappingEvaluator
+screeningEvaluator(CandidateScreen *screen, MappingEvaluator inner)
+{
+    if (screen == nullptr)
+        return inner;
+    return [screen, inner = std::move(inner)](const Mapping &m) {
+        if (auto predicted = screen->screen(m)) {
+            assert(predicted->fidelity == Fidelity::Surrogate);
+            return *predicted;
+        }
+        const MappingEval eval = inner(m);
+        screen->observeExact(m, eval);
+        return eval;
+    };
+}
+
+MappingEvaluator
 cachingEvaluator(accel::EvalCache *cache, common::Fingerprint context,
                  MappingEvaluator inner, double seconds)
 {

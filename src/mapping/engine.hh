@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "accel/ppa.hh"
@@ -25,15 +26,63 @@
 
 namespace unico::mapping {
 
+/**
+ * Provenance of a MappingEval. Exact evaluations are the sole source
+ * of truth: surrogate-fidelity evals may steer an engine's internal
+ * state but never become the incumbent, enter samples(), improve the
+ * best-loss history, or reach checkpoints / Pareto fronts / CSVs.
+ */
+enum class Fidelity : std::uint8_t {
+    Exact,     ///< produced by the real cost model (cached or not)
+    Surrogate, ///< predicted by the learned screen; advisory only
+};
+
 /** Result of evaluating one mapping candidate. */
 struct MappingEval
 {
     accel::Ppa ppa;     ///< PPA estimate (may be infeasible)
     double loss = 1e18; ///< scalar mapping-search objective
+    Fidelity fidelity = Fidelity::Exact; ///< provenance tag
 };
 
 /** PPA estimation callback: mapping -> evaluation. */
 using MappingEvaluator = std::function<MappingEval(const Mapping &)>;
+
+/**
+ * Candidate pre-screen backed by a learned cost model.
+ *
+ * Declared here as an abstract interface so the mapping library needs
+ * no dependency on the surrogate library that implements it (the
+ * surrogate depends on mapping, not vice versa).
+ */
+class CandidateScreen
+{
+  public:
+    virtual ~CandidateScreen() = default;
+
+    /**
+     * Decide whether @p m should skip exact evaluation. Returns a
+     * surrogate-fidelity prediction to screen the candidate out, or
+     * std::nullopt to admit it to the exact evaluator.
+     */
+    virtual std::optional<MappingEval> screen(const Mapping &m) = 0;
+
+    /** Feed one exact evaluation back as training signal. */
+    virtual void observeExact(const Mapping &m,
+                              const MappingEval &eval) = 0;
+};
+
+/**
+ * Wrap @p inner with learned-model pre-screening.
+ *
+ * Sits *above* cachingEvaluator: a screened-out candidate never
+ * touches the cache or the exact model, and costs (near) zero virtual
+ * seconds. Admitted candidates flow through unchanged and their exact
+ * results train the screen. @p screen == nullptr returns @p inner
+ * unchanged (the byte-identical default-off path).
+ */
+MappingEvaluator screeningEvaluator(CandidateScreen *screen,
+                                    MappingEvaluator inner);
 
 /**
  * Wrap @p inner with evaluation-cache memoization.
@@ -98,6 +147,15 @@ class SearchRun
     void
     record(const Mapping &m, const MappingEval &eval)
     {
+        if (eval.fidelity == Fidelity::Surrogate) {
+            // A screened-out candidate spends budget and may steer
+            // the engine's internal state via the returned eval, but
+            // its predicted numbers are advisory: no sample, no
+            // incumbent update, best-so-far carried forward.
+            bestLoss_.push_back(bestLoss_.empty() ? 1e18
+                                                  : bestLoss_.back());
+            return;
+        }
         samples_.push_back(SamplePoint{eval.loss, eval.ppa.latencyMs,
                                        eval.ppa.powerMw,
                                        eval.ppa.feasible});

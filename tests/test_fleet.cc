@@ -317,6 +317,63 @@ TEST(Fleet, HungWorkerIsKilledAndReplaced)
     EXPECT_GE(stats.inprocFallbacks, 1u);
 }
 
+TEST(Fleet, CoalescingCutsRoundTripsWithoutChangingResults)
+{
+    const DriverConfig cfg = tinyConfig();
+    const CoSearchResult base = runInProcess(sharedEnv(), cfg);
+
+    FleetConfig batched;
+    batched.workers = 2;
+    ASSERT_TRUE(batched.coalesceOps); // coalescing is the default
+    TransportStats on;
+    const CoSearchResult with_batching =
+        runWithFleet(sharedEnv(), cfg, batched, &on);
+    expectIdenticalResults(base, with_batching);
+
+    FleetConfig unbatched = batched;
+    unbatched.coalesceOps = false;
+    TransportStats off;
+    const CoSearchResult without_batching =
+        runWithFleet(sharedEnv(), cfg, unbatched, &off);
+    expectIdenticalResults(base, without_batching);
+
+    // Same mutating-op work either way, but coalescing must pack
+    // several ops per frame while the per-op protocol pays at least
+    // one round-trip each (plus non-mutating sense traffic).
+    EXPECT_EQ(on.opsApplied, off.opsApplied);
+    EXPECT_GT(on.opsApplied, on.requestRoundTrips);
+    EXPECT_LE(off.opsApplied, off.requestRoundTrips);
+    EXPECT_LT(2 * on.requestRoundTrips, off.requestRoundTrips);
+}
+
+TEST(Fleet, CoalescedBatchesSurviveChaosKills)
+{
+    // Worker kills mid-batch: the retried request replays acked
+    // history and re-applies the pending tail idempotently.
+    common::FaultSpec spec;
+    spec.transientRate = 0.04;
+    spec.hangRate = 0.02;
+    spec.seed = 29;
+    FaultyEnv faulty_base(sharedEnv(), common::FaultPlan(spec));
+    FaultyEnv faulty_fleet(sharedEnv(), common::FaultPlan(spec));
+
+    const DriverConfig cfg = tinyConfig();
+    const CoSearchResult base = runInProcess(faulty_base, cfg);
+    ASSERT_GT(base.faults.total(), 0u);
+
+    FleetConfig fc;
+    fc.workers = 3;
+    fc.chaosKills = 4;
+    fc.chaosSeed = 0xbeefULL;
+    TransportStats stats;
+    const CoSearchResult fleet =
+        runWithFleet(faulty_fleet, cfg, fc, &stats);
+
+    expectIdenticalResults(base, fleet);
+    EXPECT_GE(stats.workerCrashes, 1u);
+    EXPECT_GT(stats.opsApplied, stats.requestRoundTrips);
+}
+
 TEST(Fleet, TransportStatsMergeAndTotals)
 {
     TransportStats a;

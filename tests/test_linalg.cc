@@ -14,6 +14,7 @@ using unico::linalg::Cholesky;
 using unico::linalg::Matrix;
 using unico::linalg::Vector;
 using unico::linalg::dot;
+using unico::linalg::solveNormalEquations;
 
 TEST(Matrix, IdentityAndIndexing)
 {
@@ -172,6 +173,101 @@ TEST(Cholesky, RandomSpdSolve)
     const Vector back = a.mul(x);
     for (std::size_t i = 0; i < n; ++i)
         EXPECT_NEAR(back[i], rhs[i], 1e-8);
+}
+
+namespace {
+
+/** Accumulate G = XᵀX and r = Xᵀy row by row, like the surrogate does. */
+void
+accumulate(Matrix &gram, Vector &rhs, const Vector &x, double y)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        rhs[i] += x[i] * y;
+        for (std::size_t j = 0; j < x.size(); ++j)
+            gram(i, j) += x[i] * x[j];
+    }
+}
+
+} // namespace
+
+TEST(NormalEquations, RecoversExactWeightsFromCleanData)
+{
+    // y = 2 x0 - 3 x1 + 0.5, with a bias column appended.
+    unico::common::Rng rng(11);
+    Matrix gram(3, 3, 0.0);
+    Vector rhs(3, 0.0);
+    for (int s = 0; s < 40; ++s) {
+        const Vector x = {rng.gaussian(), rng.gaussian(), 1.0};
+        accumulate(gram, rhs, x, 2.0 * x[0] - 3.0 * x[1] + 0.5);
+    }
+    const Vector w = solveNormalEquations(gram, rhs, 1e-8);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_NEAR(w[0], 2.0, 1e-5);
+    EXPECT_NEAR(w[1], -3.0, 1e-5);
+    EXPECT_NEAR(w[2], 0.5, 1e-5);
+}
+
+TEST(NormalEquations, RankDeficientDuplicatedColumnStaysFinite)
+{
+    // x1 duplicates x0 exactly, so XᵀX is singular; the ridge term
+    // must keep the solve well posed and split the weight between the
+    // two aliased columns instead of blowing up.
+    unico::common::Rng rng(3);
+    Matrix gram(3, 3, 0.0);
+    Vector rhs(3, 0.0);
+    for (int s = 0; s < 25; ++s) {
+        const double v = rng.gaussian();
+        accumulate(gram, rhs, {v, v, 1.0}, 4.0 * v + 1.0);
+    }
+    const Vector w = solveNormalEquations(gram, rhs, 1e-6);
+    for (const double wi : w)
+        ASSERT_TRUE(std::isfinite(wi));
+    // The aliased pair must jointly act like the true coefficient.
+    EXPECT_NEAR(w[0] + w[1], 4.0, 1e-3);
+    EXPECT_NEAR(w[2], 1.0, 1e-3);
+}
+
+TEST(NormalEquations, SingleSampleDoesNotOverfitToInfinity)
+{
+    // One observation, three features: wildly under-determined. The
+    // ridge solution must exist, be finite, and approximately
+    // reproduce the one observed target.
+    Matrix gram(3, 3, 0.0);
+    Vector rhs(3, 0.0);
+    const Vector x = {2.0, -1.0, 1.0};
+    accumulate(gram, rhs, x, 5.0);
+    const Vector w = solveNormalEquations(gram, rhs, 1e-6);
+    for (const double wi : w)
+        ASSERT_TRUE(std::isfinite(wi));
+    EXPECT_NEAR(dot(w, x), 5.0, 1e-3);
+}
+
+TEST(NormalEquations, ZeroSamplesReturnsZeroWeights)
+{
+    const Matrix gram(4, 4, 0.0);
+    const Vector rhs(4, 0.0);
+    const Vector w = solveNormalEquations(gram, rhs, 1e-6);
+    ASSERT_EQ(w.size(), 4u);
+    for (const double wi : w)
+        EXPECT_DOUBLE_EQ(wi, 0.0);
+}
+
+TEST(NormalEquations, DeterministicAcrossRepeatedSolves)
+{
+    unico::common::Rng rng(29);
+    Matrix gram(5, 5, 0.0);
+    Vector rhs(5, 0.0);
+    for (int s = 0; s < 12; ++s) {
+        Vector x(5, 1.0);
+        for (std::size_t i = 0; i + 1 < x.size(); ++i)
+            x[i] = rng.gaussian();
+        accumulate(gram, rhs, x, rng.gaussian());
+    }
+    const Vector a = solveNormalEquations(gram, rhs, 1e-4);
+    const Vector b = solveNormalEquations(gram, rhs, 1e-4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]); // bit-identical, not just close
 }
 
 TEST(Cholesky, SolveLowerForwardSubstitution)

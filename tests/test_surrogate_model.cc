@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests for the learned surrogate fast-path: deterministic feature
+ * extraction, bit-stable ridge refits, the keep = 1.0 byte-identity
+ * contract, screening engagement at small keep fractions, and the
+ * fidelity-tag guard that keeps surrogate predictions out of
+ * incumbents, samples, Pareto fronts and result CSVs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "camodel/cube_mapping.hh"
+#include "common/rng.hh"
+#include "common/shard_cache.hh"
+#include "core/driver.hh"
+#include "core/report.hh"
+#include "core/spatial_env.hh"
+#include "costmodel/analytical.hh"
+#include "surrogate/learned_model.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+using core::CoOptimizer;
+using core::CoSearchResult;
+using core::DriverConfig;
+using core::SpatialEnv;
+using core::SpatialEnvOptions;
+using surrogate::OnlineCostModel;
+using surrogate::SurrogateContext;
+
+namespace {
+
+workload::TensorOp
+convOp()
+{
+    return workload::TensorOp::conv("c", 64, 32, 28, 28, 3, 3);
+}
+
+accel::SpatialHwConfig
+spatialHw()
+{
+    accel::SpatialHwConfig hw;
+    hw.peX = hw.peY = 8;
+    hw.l1Bytes = 16 * 1024;
+    hw.l2Bytes = 512 * 1024;
+    hw.nocBandwidth = 128;
+    return hw;
+}
+
+/** Deterministic synthetic corpus over the spatial feature space. */
+std::vector<linalg::Vector>
+spatialCorpus(int n, std::uint64_t seed)
+{
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    common::Rng rng(seed);
+    std::vector<linalg::Vector> rows;
+    rows.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        rows.push_back(
+            surrogate::extractSpatialFeatures(op, hw, space.random(rng)));
+    return rows;
+}
+
+std::array<double, surrogate::kNumHeads>
+syntheticTargets(const linalg::Vector &x)
+{
+    // Fixed linear functions of a few feature coordinates, so the
+    // ridge solve has an exactly representable optimum.
+    std::array<double, surrogate::kNumHeads> t{};
+    for (int h = 0; h < surrogate::kNumHeads; ++h) {
+        double acc = 0.5 * (h + 1);
+        for (std::size_t j = 0; j < x.size(); ++j)
+            acc += ((j + h) % 3 == 0 ? 0.25 : -0.125) * x[j];
+        t[static_cast<std::size_t>(h)] = acc;
+    }
+    return t;
+}
+
+DriverConfig
+tinyConfig()
+{
+    DriverConfig cfg = DriverConfig::unico();
+    cfg.batchSize = 6;
+    cfg.maxIter = 2;
+    cfg.sh.bMax = 64;
+    cfg.minBudgetPerRound = 4;
+    cfg.workers = 2;
+    cfg.seed = 21;
+    return cfg;
+}
+
+CoSearchResult
+runSpatial(SurrogateContext *ctx)
+{
+    SpatialEnvOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    opt.surrogate = ctx;
+    SpatialEnv env({workload::makeMobileNet()}, opt);
+    CoOptimizer driver(env, tinyConfig());
+    CoSearchResult result = driver.run();
+    result.surrogateStats = env.surrogateStats();
+    return result;
+}
+
+/** Bit-exact equality of every trajectory-visible field. */
+void
+expectIdenticalResults(const CoSearchResult &a, const CoSearchResult &b)
+{
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        const auto &ra = a.records[i];
+        const auto &rb = b.records[i];
+        EXPECT_EQ(ra.hw, rb.hw) << "record " << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ra.ppa.latencyMs),
+                  std::bit_cast<std::uint64_t>(rb.ppa.latencyMs))
+            << "record " << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ra.ppa.powerMw),
+                  std::bit_cast<std::uint64_t>(rb.ppa.powerMw))
+            << "record " << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ra.ppa.areaMm2),
+                  std::bit_cast<std::uint64_t>(rb.ppa.areaMm2))
+            << "record " << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ra.sensitivity),
+                  std::bit_cast<std::uint64_t>(rb.sensitivity))
+            << "record " << i;
+        EXPECT_EQ(ra.budgetSpent, rb.budgetSpent) << "record " << i;
+        EXPECT_EQ(ra.constraintOk, rb.constraintOk) << "record " << i;
+        EXPECT_EQ(ra.fullySearched, rb.fullySearched) << "record " << i;
+    }
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.trace[i].hours),
+                  std::bit_cast<std::uint64_t>(b.trace[i].hours))
+            << "trace " << i;
+        EXPECT_EQ(a.trace[i].front, b.trace[i].front) << "trace " << i;
+    }
+    EXPECT_EQ(a.front.entries().size(), b.front.entries().size());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.totalHours),
+              std::bit_cast<std::uint64_t>(b.totalHours));
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+std::size_t
+csvDataRows(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++rows;
+    return rows > 0 ? rows - 1 : 0; // minus header
+}
+
+} // namespace
+
+TEST(SurrogateModel, SpatialFeaturesDeterministic)
+{
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    common::Rng rng(3);
+    for (int i = 0; i < 16; ++i) {
+        const mapping::Mapping m = space.random(rng);
+        const auto a = surrogate::extractSpatialFeatures(op, hw, m);
+        const auto b = surrogate::extractSpatialFeatures(op, hw, m);
+        ASSERT_EQ(a.size(), surrogate::spatialFeatureDim());
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            ASSERT_TRUE(std::isfinite(a[j])) << "dim " << j;
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(a[j]),
+                      std::bit_cast<std::uint64_t>(b[j]))
+                << "dim " << j;
+        }
+    }
+}
+
+TEST(SurrogateModel, CubeFeaturesDeterministic)
+{
+    const auto op = workload::TensorOp::gemm("g", 256, 256, 256);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(5);
+    for (int i = 0; i < 16; ++i) {
+        const camodel::CubeMapping m = space.random(rng);
+        const auto a = surrogate::extractCubeFeatures(op, hw, m);
+        const auto b = surrogate::extractCubeFeatures(op, hw, m);
+        ASSERT_EQ(a.size(), surrogate::cubeFeatureDim());
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            ASSERT_TRUE(std::isfinite(a[j])) << "dim " << j;
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(a[j]),
+                      std::bit_cast<std::uint64_t>(b[j]))
+                << "dim " << j;
+        }
+    }
+}
+
+TEST(SurrogateModel, RidgeRefitBitStable)
+{
+    // Same corpus, same order => bit-identical weights. This is the
+    // determinism the screening byte-identity contract rests on.
+    const auto corpus = spatialCorpus(48, 11);
+    OnlineCostModel m1(surrogate::spatialFeatureDim(), 1e-3, 8);
+    OnlineCostModel m2(surrogate::spatialFeatureDim(), 1e-3, 8);
+    for (const auto &x : corpus) {
+        const auto t = syntheticTargets(x);
+        m1.observe(x, t);
+        m2.observe(x, t);
+    }
+    ASSERT_TRUE(m1.ready());
+    EXPECT_EQ(m1.observations(), 48u);
+    EXPECT_EQ(m1.refits(), m2.refits());
+    EXPECT_GE(m1.refits(), 6u);
+    for (int h = 0; h < surrogate::kNumHeads; ++h) {
+        const auto &wa = m1.weights(h);
+        const auto &wb = m2.weights(h);
+        ASSERT_EQ(wa.size(), wb.size());
+        for (std::size_t j = 0; j < wa.size(); ++j)
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(wa[j]),
+                      std::bit_cast<std::uint64_t>(wb[j]))
+                << "head " << h << " dim " << j;
+    }
+    // Predictions on unseen points are bit-identical too.
+    for (const auto &x : spatialCorpus(8, 99))
+        for (int h = 0; h < surrogate::kNumHeads; ++h)
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(m1.predict(h, x)),
+                      std::bit_cast<std::uint64_t>(m2.predict(h, x)));
+}
+
+TEST(SurrogateModel, RidgeRecoversLinearTargets)
+{
+    const auto corpus = spatialCorpus(192, 23);
+    OnlineCostModel model(surrogate::spatialFeatureDim(), 1e-6, 16);
+    for (const auto &x : corpus)
+        model.observe(x, syntheticTargets(x));
+    ASSERT_TRUE(model.ready());
+    for (const auto &x : spatialCorpus(16, 7)) {
+        const auto t = syntheticTargets(x);
+        for (int h = 0; h < surrogate::kNumHeads; ++h)
+            EXPECT_NEAR(model.predict(h, x),
+                        t[static_cast<std::size_t>(h)],
+                        1e-3 * (1.0 + std::abs(t[h])))
+                << "head " << h;
+    }
+}
+
+TEST(SurrogateModel, NotReadyPredictsZero)
+{
+    OnlineCostModel model(surrogate::spatialFeatureDim(), 1e-3, 8);
+    EXPECT_FALSE(model.ready());
+    const auto corpus = spatialCorpus(3, 1);
+    EXPECT_EQ(model.predict(surrogate::kHeadLogLoss, corpus[0]), 0.0);
+}
+
+TEST(SurrogateModel, KeepOneIsByteIdentical)
+{
+    // keep = 1.0 admits every candidate: the screen trains and
+    // predicts but never answers, so the search trajectory must be
+    // byte-identical to a run without any surrogate context.
+    const CoSearchResult base = runSpatial(nullptr);
+
+    SurrogateContext ctx;
+    ctx.options.enabled = true;
+    ctx.options.keep = 1.0;
+    const CoSearchResult screened = runSpatial(&ctx);
+
+    expectIdenticalResults(base, screened);
+    const auto stats = screened.surrogateStats;
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_GT(stats.screens, 0u);
+    EXPECT_GT(stats.candidates, 0u);
+    EXPECT_EQ(stats.screenedOut, 0u);
+    EXPECT_EQ(stats.admitted, stats.candidates);
+}
+
+TEST(SurrogateModel, DisabledContextIsByteIdentical)
+{
+    const CoSearchResult base = runSpatial(nullptr);
+    SurrogateContext ctx; // options.enabled defaults to false
+    const CoSearchResult off = runSpatial(&ctx);
+    expectIdenticalResults(base, off);
+    EXPECT_EQ(off.surrogateStats.candidates, 0u);
+}
+
+TEST(SurrogateModel, ScreeningEngagesWithoutLeaking)
+{
+    SurrogateContext ctx;
+    ctx.options.enabled = true;
+    ctx.options.keep = 0.25;
+    common::CorpusTap tap;
+    ctx.tap = &tap;
+    const CoSearchResult result = runSpatial(&ctx);
+
+    const auto stats = result.surrogateStats;
+    EXPECT_GT(stats.screenedOut, 0u);
+    EXPECT_GT(stats.admitted, 0u);
+    EXPECT_GT(stats.observations, 0u);
+    EXPECT_GT(stats.refits, 0u);
+    EXPECT_LT(stats.admitted, stats.candidates);
+    EXPECT_GT(tap.snapshot().size(), 0u);
+
+    // Fidelity guard: every reported record and Pareto entry carries
+    // exact-model numbers (finite, positive, consistent).
+    ASSERT_FALSE(result.records.empty());
+    for (const auto &rec : result.records) {
+        if (!rec.ppa.feasible)
+            continue;
+        EXPECT_TRUE(std::isfinite(rec.ppa.latencyMs));
+        EXPECT_GT(rec.ppa.latencyMs, 0.0);
+        EXPECT_GT(rec.ppa.powerMw, 0.0);
+        EXPECT_GT(rec.ppa.areaMm2, 0.0);
+    }
+    for (const auto &entry : result.front.entries()) {
+        ASSERT_LT(static_cast<std::size_t>(entry.id),
+                  result.records.size());
+        const auto &rec = result.records[entry.id];
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(entry.objectives[0]),
+                  std::bit_cast<std::uint64_t>(rec.ppa.latencyMs));
+    }
+}
+
+TEST(SurrogateModel, SurrogatePredictionsNeverBecomeIncumbent)
+{
+    // A hostile screen that predicts an absurdly good loss for every
+    // screened-out candidate: if surrogate-fidelity evals could leak
+    // into the incumbent / samples / best-loss history, this would
+    // drag the reported best loss to -1e17. Admit only every 4th
+    // candidate so exact evaluations stay sparse.
+    class HostileScreen : public mapping::CandidateScreen
+    {
+      public:
+        std::optional<mapping::MappingEval>
+        screen(const mapping::Mapping &) override
+        {
+            if (++n_ % 4 == 1)
+                return std::nullopt; // admit
+            mapping::MappingEval eval;
+            eval.loss = -1e17;
+            eval.ppa.feasible = true;
+            eval.ppa.latencyMs = 1e-9;
+            eval.ppa.powerMw = 1e-9;
+            eval.ppa.areaMm2 = 1e-9;
+            eval.fidelity = mapping::Fidelity::Surrogate;
+            return eval;
+        }
+        void
+        observeExact(const mapping::Mapping &,
+                     const mapping::MappingEval &) override
+        {
+            ++exact_;
+        }
+        int exact_ = 0;
+
+      private:
+        int n_ = 0;
+    };
+
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    const costmodel::AnalyticalCostModel model;
+    HostileScreen screen;
+    auto exact_eval = [&](const mapping::Mapping &m) {
+        mapping::MappingEval eval;
+        eval.ppa = model.evaluate(op, hw, m);
+        eval.loss = eval.ppa.feasible ? eval.ppa.latencyMs : 1e18;
+        return eval;
+    };
+    auto run = mapping::startSearch(
+        mapping::EngineKind::Annealing, space,
+        mapping::screeningEvaluator(&screen, exact_eval), 13);
+    run->step(120);
+
+    EXPECT_EQ(run->spent(), 120);
+    EXPECT_EQ(run->bestLossHistory().size(), 120u);
+    // Only admitted candidates produce samples / train the screen.
+    EXPECT_EQ(run->samples().size(),
+              static_cast<std::size_t>(screen.exact_));
+    EXPECT_LT(screen.exact_, 120);
+    EXPECT_GT(screen.exact_, 0);
+    // The incumbent is an exact evaluation, not the hostile -1e17.
+    EXPECT_EQ(run->bestEval().fidelity, mapping::Fidelity::Exact);
+    EXPECT_GT(run->bestEval().loss, 0.0);
+    for (double loss : run->bestLossHistory())
+        EXPECT_GT(loss, 0.0);
+    for (const auto &s : run->samples())
+        EXPECT_GT(s.loss, 0.0);
+    // History stays monotone across surrogate-fidelity entries.
+    const auto &hist = run->bestLossHistory();
+    for (std::size_t i = 1; i < hist.size(); ++i)
+        ASSERT_LE(hist[i], hist[i - 1]);
+}
+
+TEST(SurrogateModel, ScreenedCsvRowsMatchExactRecords)
+{
+    SurrogateContext ctx;
+    ctx.options.enabled = true;
+    ctx.options.keep = 0.25;
+
+    SpatialEnvOptions opt;
+    opt.maxShapesPerNetwork = 2;
+    opt.surrogate = &ctx;
+    SpatialEnv env({workload::makeMobileNet()}, opt);
+    CoOptimizer driver(env, tinyConfig());
+    const CoSearchResult result = driver.run();
+
+    const std::string records_csv =
+        testing::TempDir() + "surrogate_records.csv";
+    const std::string front_csv =
+        testing::TempDir() + "surrogate_front.csv";
+    ASSERT_TRUE(core::writeRecordsCsv(result, env, records_csv));
+    ASSERT_TRUE(core::writeFrontCsv(result, env, front_csv));
+    // One CSV row per exact HW record / Pareto entry: screened-out
+    // candidates never gain a row anywhere.
+    EXPECT_EQ(csvDataRows(records_csv), result.records.size());
+    EXPECT_EQ(csvDataRows(front_csv), result.front.entries().size());
+    std::remove(records_csv.c_str());
+    std::remove(front_csv.c_str());
+}

@@ -17,6 +17,7 @@
 #include "camodel/simulator.hh"
 #include "common/rng.hh"
 #include "common/shard_cache.hh"
+#include "common/thread_pool.hh"
 #include "core/backend.hh"
 #include "core/driver.hh"
 #include "costmodel/analytical.hh"
@@ -178,6 +179,182 @@ BM_MshRoundsCached(benchmark::State &state)
     mshRounds(state, &cache);
 }
 BENCHMARK(BM_MshRoundsCached);
+
+/**
+ * Cold-evaluation kernels: one cache-miss query = cache-key
+ * fingerprint + model evaluation, the exact work a mapping engine
+ * pays for every previously unseen candidate. The unprepared
+ * variants replicate the pre-overhaul kernel — re-hashing the query
+ * context fingerprint and re-deriving operand masks / sqrt energy
+ * constants per call, as evaluateCached() historically did, and for
+ * the cube running the per-L0-tile inner pipeline (retained verbatim
+ * as the traced path; trace cap 1 keeps recording cost negligible).
+ * The prepared variants amortize the context through
+ * PreparedSpatialQuery/PreparedCubeQuery and (cube) the hoisted
+ * loop-invariant fast path — the production stack since the layer
+ * policies build one context per layer-run. The ns_per_eval counter
+ * carries both into BENCH_micro.json, where CI guards the ratio.
+ */
+void
+BM_ColdEvalSpatial(benchmark::State &state)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    common::Rng rng(1);
+    std::vector<mapping::Mapping> mappings;
+    for (int i = 0; i < 64; ++i)
+        mappings.push_back(space.random(rng));
+    std::size_t i = 0;
+    std::uint64_t keys = 0;
+    double lat = 0.0;
+    for (auto _ : state) {
+        const auto &m = mappings[i];
+        i = (i + 1) & (mappings.size() - 1); // size is a power of two
+        keys += accel::evalCacheKey(model.queryFingerprint(op, hw),
+                                    m.fingerprint())
+                    .lo;
+        lat += model.evaluate(op, hw, m).latencyMs;
+    }
+    benchmark::DoNotOptimize(keys);
+    benchmark::DoNotOptimize(lat);
+    // iterations * 1e-9 under kIsRate|kInvert reports elapsed
+    // nanoseconds per evaluation.
+    state.counters["ns_per_eval"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ColdEvalSpatial);
+
+void
+BM_ColdEvalSpatialPrepared(benchmark::State &state)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = convOp();
+    const auto hw = spatialHw();
+    const mapping::MappingSpace space(op);
+    common::Rng rng(1);
+    std::vector<mapping::Mapping> mappings;
+    for (int i = 0; i < 64; ++i)
+        mappings.push_back(space.random(rng));
+    const costmodel::PreparedSpatialQuery prep = model.prepare(op, hw);
+    std::size_t i = 0;
+    std::uint64_t keys = 0;
+    double lat = 0.0;
+    for (auto _ : state) {
+        const auto &m = mappings[i];
+        i = (i + 1) & (mappings.size() - 1); // size is a power of two
+        keys += prep.cacheKey(m).lo;
+        lat += model.evaluate(prep, m).latencyMs;
+    }
+    benchmark::DoNotOptimize(keys);
+    benchmark::DoNotOptimize(lat);
+    // iterations * 1e-9 under kIsRate|kInvert reports elapsed
+    // nanoseconds per evaluation.
+    state.counters["ns_per_eval"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ColdEvalSpatialPrepared);
+
+void
+BM_ColdEvalCube(benchmark::State &state)
+{
+    // Pre-overhaul reference: traceLimit = 1 selects the historical
+    // per-L0-tile inner pipeline (kept verbatim for trace users and
+    // bit-identity checks); the event cap makes recording free after
+    // the first event, so this times the old kernel's add sequence.
+    camodel::CubeTech tech;
+    tech.traceLimit = 1;
+    const camodel::CycleAccurateModel model(tech);
+    const auto op = workload::TensorOp::gemm("g", 512, 512, 512);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(2);
+    std::vector<camodel::CubeMapping> mappings;
+    for (int i = 0; i < 16; ++i)
+        mappings.push_back(space.random(rng));
+    std::size_t i = 0;
+    std::uint64_t keys = 0;
+    double lat = 0.0;
+    for (auto _ : state) {
+        const auto &m = mappings[i];
+        i = (i + 1) & (mappings.size() - 1); // size is a power of two
+        keys += accel::evalCacheKey(model.queryFingerprint(op, hw),
+                                    m.fingerprint())
+                    .lo;
+        lat += model.evaluate(op, hw, m).latencyMs;
+    }
+    benchmark::DoNotOptimize(keys);
+    benchmark::DoNotOptimize(lat);
+    // iterations * 1e-9 under kIsRate|kInvert reports elapsed
+    // nanoseconds per evaluation.
+    state.counters["ns_per_eval"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ColdEvalCube);
+
+void
+BM_ColdEvalCubePrepared(benchmark::State &state)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 512, 512, 512);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(2);
+    std::vector<camodel::CubeMapping> mappings;
+    for (int i = 0; i < 16; ++i)
+        mappings.push_back(space.random(rng));
+    const camodel::PreparedCubeQuery prep = model.prepare(op, hw);
+    std::size_t i = 0;
+    std::uint64_t keys = 0;
+    double lat = 0.0;
+    for (auto _ : state) {
+        const auto &m = mappings[i];
+        i = (i + 1) & (mappings.size() - 1); // size is a power of two
+        keys += prep.cacheKey(m).lo;
+        lat += model.evaluate(prep, m).latencyMs;
+    }
+    benchmark::DoNotOptimize(keys);
+    benchmark::DoNotOptimize(lat);
+    // iterations * 1e-9 under kIsRate|kInvert reports elapsed
+    // nanoseconds per evaluation.
+    state.counters["ns_per_eval"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ColdEvalCubePrepared);
+
+/**
+ * Batched cold evaluation: a 16-candidate block through
+ * evaluateBatch() on a persistent pool (arg = threads; 0 = serial),
+ * under one prepared context. Reported per block; wall-clock scales
+ * with the pool while results stay byte-identical. The cube model is
+ * the case that matters: its per-candidate cost (~10 us) dwarfs the
+ * pool's dispatch overhead, which is also why the spatial engines
+ * only batch when blocks are large and a pool is explicitly given.
+ */
+void
+BM_ColdEvalCubeBatch(benchmark::State &state)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 512, 512, 512);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(2);
+    std::vector<camodel::CubeMapping> mappings;
+    for (int i = 0; i < 16; ++i)
+        mappings.push_back(space.random(rng));
+    const camodel::PreparedCubeQuery prep = model.prepare(op, hw);
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    common::ThreadPool pool(threads == 0 ? 1 : threads);
+    common::ThreadPool *p = threads == 0 ? nullptr : &pool;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluateBatch(prep, mappings, p));
+}
+BENCHMARK(BM_ColdEvalCubeBatch)->Arg(0)->Arg(4);
 
 void
 BM_MappingMutate(benchmark::State &state)

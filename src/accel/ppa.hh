@@ -78,6 +78,21 @@ struct CachedEval
  */
 using EvalCache = common::ShardedLruCache<CachedEval>;
 
+/**
+ * Canonical evaluation-cache key: a prepared query-context prefix
+ * (model kind + tech + op + hw) combined with one mapping
+ * fingerprint. Every producer (both cost models, the caching
+ * evaluator decorators, prepared query contexts) must build keys
+ * through this single helper so entries written by one path are hits
+ * for every other.
+ */
+inline common::Fingerprint
+evalCacheKey(const common::Fingerprint &context,
+             const common::Fingerprint &mapping_fp)
+{
+    return common::combine(context, mapping_fp);
+}
+
 } // namespace unico::accel
 
 #endif // UNICO_ACCEL_PPA_HH

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/math.hh"
+#include "common/thread_pool.hh"
+
 namespace unico::camodel {
 
 using accel::CubeHwConfig;
@@ -22,11 +25,7 @@ toString(SimEvent::Kind kind)
 
 namespace {
 
-inline std::int64_t
-ceilDiv(std::int64_t a, std::int64_t b)
-{
-    return (a + b - 1) / b;
-}
+using common::ceilDiv;
 
 /** Cycles to move @p bytes through an L0 bank group port array; fewer
  *  bank groups serialize accesses and add conflict stalls. */
@@ -56,24 +55,22 @@ CycleAccurateModel::areaMm2(const CubeHwConfig &hw) const
 }
 
 Ppa
-CycleAccurateModel::evaluate(const workload::TensorOp &op,
-                             const CubeHwConfig &hw, const CubeMapping &m,
+CycleAccurateModel::evaluate(const PreparedCubeQuery &prep,
+                             const CubeMapping &m,
                              SimStats *stats_out) const
 {
-    const GemmShape g = GemmShape::fromOp(op);
+    const GemmShape &g = prep.g;
     SimStats st;
 
     // ---- Buffer feasibility ----------------------------------------
     const double a0_bytes = 2.0 * static_cast<double>(m.m0 * m.k0);
     const double b0_bytes = 2.0 * static_cast<double>(m.k0 * m.n0);
     const double c0_bytes = 4.0 * static_cast<double>(m.m0 * m.n0);
-    if (a0_bytes * (m.doubleBufferA ? 2.0 : 1.0) >
-        static_cast<double>(hw.l0aBytes))
+    if (a0_bytes * (m.doubleBufferA ? 2.0 : 1.0) > prep.l0aLimit)
         return Ppa::infeasible();
-    if (b0_bytes * (m.doubleBufferB ? 2.0 : 1.0) >
-        static_cast<double>(hw.l0bBytes))
+    if (b0_bytes * (m.doubleBufferB ? 2.0 : 1.0) > prep.l0bLimit)
         return Ppa::infeasible();
-    if (c0_bytes > static_cast<double>(hw.l0cBytes))
+    if (c0_bytes > prep.l0cLimit)
         return Ppa::infeasible();
 
     const double a1_bytes = 2.0 * static_cast<double>(m.m1 * m.k1);
@@ -83,26 +80,26 @@ CycleAccurateModel::evaluate(const workload::TensorOp &op,
     // through L1 on its way out.
     const double l1_need = 2.0 * (a1_bytes + b1_bytes) +
                            (m.fuseVector ? 0.0 : out1_bytes);
-    if (l1_need > static_cast<double>(hw.l1Bytes))
+    if (l1_need > prep.l1Limit)
         return Ppa::infeasible();
 
     // Vector epilogue works on (m0 x n1) slabs in UB.
     const double ub_slab = 2.0 * static_cast<double>(m.m0 * m.n1);
-    if (ub_slab * 2.0 > static_cast<double>(hw.ubBytes))
+    if (ub_slab * 2.0 > prep.ubLimit)
         return Ppa::infeasible();
 
     // ---- Static per-tile costs ----------------------------------------
     const double cube_issues =
-        static_cast<double>(ceilDiv(m.m0, hw.cubeM)) *
-        static_cast<double>(ceilDiv(m.n0, hw.cubeN)) *
-        static_cast<double>(ceilDiv(m.k0, hw.cubeK));
+        static_cast<double>(ceilDiv(m.m0, prep.cubeM)) *
+        static_cast<double>(ceilDiv(m.n0, prep.cubeN)) *
+        static_cast<double>(ceilDiv(m.k0, prep.cubeK));
     const double cube_cycles = cube_issues + tech_.cubePipelineDepth;
     const double load_a0 =
-        l0MoveCycles(a0_bytes, hw.l0aBanks, tech_.l0PortBytesPerCycle);
+        l0MoveCycles(a0_bytes, prep.l0aBanks, tech_.l0PortBytesPerCycle);
     const double load_b0 =
-        l0MoveCycles(b0_bytes, hw.l0bBanks, tech_.l0PortBytesPerCycle);
+        l0MoveCycles(b0_bytes, prep.l0bBanks, tech_.l0PortBytesPerCycle);
     const double drain_c0 =
-        l0MoveCycles(c0_bytes, hw.l0cBanks, tech_.l0PortBytesPerCycle);
+        l0MoveCycles(c0_bytes, prep.l0cBanks, tech_.l0PortBytesPerCycle);
 
     // Instruction-cache model: the fused pipeline's loop body spills
     // out of a small I-cache and pays a refill per L1 tile.
@@ -110,15 +107,11 @@ CycleAccurateModel::evaluate(const workload::TensorOp &op,
                               + (m.doubleBufferA ? 2048.0 : 0.0)
                               + (m.doubleBufferB ? 2048.0 : 0.0);
     const double icache_miss_bytes =
-        std::max(0.0, prog_bytes - static_cast<double>(hw.icacheBytes));
+        std::max(0.0, prog_bytes - prep.icacheLimit);
     const double icache_stall = icache_miss_bytes / 32.0;
 
-    // Parameter-buffer model: per-channel constants that do not fit
-    // the PB are re-fetched per L1 tile.
-    const double param_bytes = 4.0 * static_cast<double>(g.m);
-    const double pb_miss_bytes =
-        std::max(0.0, param_bytes - static_cast<double>(hw.pbBytes));
-    const double pb_stall = pb_miss_bytes / tech_.dramBytesPerCycle;
+    // Parameter-buffer stall: fully candidate-invariant, precomputed.
+    const double pb_stall = prep.pbStall;
 
     // ---- Tile loop ------------------------------------------------------
     const std::int64_t tm1 = ceilDiv(g.m, m.m1);
@@ -144,77 +137,143 @@ CycleAccurateModel::evaluate(const workload::TensorOp &op,
     double cycles = 0.0;
     std::int64_t simulated_l1 = 0;
     const bool tracing = tech_.traceLimit > 0;
-    auto emit = [&](SimEvent::Kind kind, double start, double end,
-                    std::int64_t tile) {
-        if (tracing && st.trace.size() < tech_.traceLimit)
-            st.trace.push_back(SimEvent{kind, start, end, tile});
-    };
-    for (std::int64_t t1 = 0; t1 < sim_l1_tiles; ++t1) {
-        ++simulated_l1;
-        // DRAM -> L1 fill of the A and B tiles (double buffered at L1:
-        // overlapped with the previous tile's compute, so only the
-        // non-overlapped residue shows up).
+    if (tracing) {
+        // Trace mode keeps the historical per-tile double loop
+        // verbatim: events carry per-tile timestamps that the hoisted
+        // path below does not materialize.
+        auto emit = [&](SimEvent::Kind kind, double start, double end,
+                        std::int64_t tile) {
+            if (st.trace.size() < tech_.traceLimit)
+                st.trace.push_back(SimEvent{kind, start, end, tile});
+        };
+        for (std::int64_t t1 = 0; t1 < sim_l1_tiles; ++t1) {
+            ++simulated_l1;
+            // DRAM -> L1 fill of the A and B tiles (double buffered at
+            // L1: overlapped with the previous tile's compute, so only
+            // the non-overlapped residue shows up).
+            const double fill_cycles =
+                (a1_bytes + b1_bytes) / tech_.dramBytesPerCycle;
+            emit(SimEvent::Kind::L1Fill, cycles, cycles + fill_cycles, t1);
+
+            // Inner L0 pipeline.
+            double inner = 0.0;
+            double pending_load = load_a0 + load_b0; // first tile preload
+            for (std::int64_t i0 = 0; i0 < l0_per_l1; ++i0) {
+                const double load =
+                    (m.doubleBufferA ? 0.0 : load_a0) +
+                    (m.doubleBufferB ? 0.0 : load_b0);
+                const double overlapped =
+                    (m.doubleBufferA ? load_a0 : 0.0) +
+                    (m.doubleBufferB ? load_b0 : 0.0);
+                const double t0 = cycles + inner;
+                emit(SimEvent::Kind::L0Load, t0,
+                     t0 + load_a0 + load_b0, t1);
+                emit(SimEvent::Kind::CubeExec, t0 + load,
+                     t0 + load + cube_cycles, t1);
+                // Ping-pong lets the next load run under the cube; the
+                // tile costs max(cube, overlapped load) plus any
+                // serialized (single-buffered) load.
+                inner += load + std::max(cube_cycles, overlapped);
+                st.cubeBusyCycles += cube_cycles;
+                st.dmaBusyCycles += load_a0 + load_b0;
+                ++st.l0Tiles;
+            }
+            inner += pending_load;
+
+            // Accumulator drain + vector epilogue for the (m1 x n1)
+            // block once the K loop completes (modeled at L1-tile
+            // granularity).
+            const bool last_k =
+                ((t1 + 1) % std::max<std::int64_t>(tk1, 1)) == 0;
+            double epilogue = 0.0;
+            if (last_k) {
+                const double drains = static_cast<double>(tm0 * tn0);
+                const double vec_cycles =
+                    static_cast<double>(m.m1) * static_cast<double>(m.n1) /
+                    tech_.vecElemsPerCycle;
+                const double writeback =
+                    out1_bytes / tech_.dramBytesPerCycle;
+                if (m.fuseVector) {
+                    // Vector work overlaps the drain stream.
+                    epilogue = drains * drain_c0 +
+                               std::max(vec_cycles, writeback);
+                } else {
+                    epilogue = drains * drain_c0 + vec_cycles + writeback;
+                }
+                st.vecBusyCycles += vec_cycles;
+            }
+
+            const double overhead = icache_stall + pb_stall;
+            // L1 double buffering: DRAM fill overlaps inner compute.
+            if (epilogue > 0.0) {
+                const double epi_start =
+                    cycles + std::max(inner, fill_cycles);
+                emit(SimEvent::Kind::Epilogue, epi_start,
+                     epi_start + epilogue, t1);
+            }
+            cycles += std::max(inner, fill_cycles) + epilogue + overhead;
+            st.dramBytes +=
+                a1_bytes + b1_bytes + (last_k ? out1_bytes : 0.0);
+        }
+    } else {
+        // Fast path: every quantity inside the historical t1 loop is
+        // loop-invariant, so the inner L0 pipeline runs once instead
+        // of once per L1 tile — O(l1_tiles * l0_per_l1) becomes
+        // O(l1_tiles + l0_per_l1). Expression trees and accumulation
+        // order are preserved so the result is bit-identical:
+        //  - `inner` repeats the exact i0 add sequence the old loop
+        //    recomputed (identically) for every t1;
+        //  - the per-step cycle/dram addends were already evaluated
+        //    independently of the accumulators, so precomputing them
+        //    rounds identically;
+        //  - cubeBusyCycles is integer-valued (ceilDiv products plus
+        //    the pipeline depth), so block-summing is exact;
+        //  - dmaBusyCycles may differ in ulps from the historical
+        //    running sum; it feeds no PPA term (diagnostics only).
         const double fill_cycles =
             (a1_bytes + b1_bytes) / tech_.dramBytesPerCycle;
-        emit(SimEvent::Kind::L1Fill, cycles, cycles + fill_cycles, t1);
-
-        // Inner L0 pipeline.
+        const double load = (m.doubleBufferA ? 0.0 : load_a0) +
+                            (m.doubleBufferB ? 0.0 : load_b0);
+        const double overlapped = (m.doubleBufferA ? load_a0 : 0.0) +
+                                  (m.doubleBufferB ? load_b0 : 0.0);
         double inner = 0.0;
-        double pending_load = load_a0 + load_b0; // first tile preload
+        double block_cube = 0.0;
+        double block_dma = 0.0;
         for (std::int64_t i0 = 0; i0 < l0_per_l1; ++i0) {
-            const double load =
-                (m.doubleBufferA ? 0.0 : load_a0) +
-                (m.doubleBufferB ? 0.0 : load_b0);
-            const double overlapped =
-                (m.doubleBufferA ? load_a0 : 0.0) +
-                (m.doubleBufferB ? load_b0 : 0.0);
-            const double t0 = cycles + inner;
-            emit(SimEvent::Kind::L0Load, t0,
-                 t0 + load_a0 + load_b0, t1);
-            emit(SimEvent::Kind::CubeExec, t0 + load,
-                 t0 + load + cube_cycles, t1);
-            // Ping-pong lets the next load run under the cube; the
-            // tile costs max(cube, overlapped load) plus any
-            // serialized (single-buffered) load.
             inner += load + std::max(cube_cycles, overlapped);
-            st.cubeBusyCycles += cube_cycles;
-            st.dmaBusyCycles += load_a0 + load_b0;
-            ++st.l0Tiles;
+            block_cube += cube_cycles;
+            block_dma += load_a0 + load_b0;
         }
-        inner += pending_load;
+        inner += load_a0 + load_b0; // first tile preload
 
-        // Accumulator drain + vector epilogue for the (m1 x n1) block
-        // once the K loop completes (modeled at L1-tile granularity).
-        const bool last_k = ((t1 + 1) % std::max<std::int64_t>(tk1, 1)) ==
-                            0;
-        double epilogue = 0.0;
-        if (last_k) {
-            const double drains = static_cast<double>(tm0 * tn0);
-            const double vec_cycles =
-                static_cast<double>(m.m1) * static_cast<double>(m.n1) /
-                tech_.vecElemsPerCycle;
-            const double writeback =
-                out1_bytes / tech_.dramBytesPerCycle;
-            if (m.fuseVector) {
-                // Vector work overlaps the drain stream.
-                epilogue = drains * drain_c0 +
-                           std::max(vec_cycles, writeback);
-            } else {
-                epilogue = drains * drain_c0 + vec_cycles + writeback;
-            }
-            st.vecBusyCycles += vec_cycles;
-        }
-
+        const double drains = static_cast<double>(tm0 * tn0);
+        const double vec_cycles = static_cast<double>(m.m1) *
+                                  static_cast<double>(m.n1) /
+                                  tech_.vecElemsPerCycle;
+        const double writeback = out1_bytes / tech_.dramBytesPerCycle;
+        const double epilogue =
+            m.fuseVector
+                ? drains * drain_c0 + std::max(vec_cycles, writeback)
+                : drains * drain_c0 + vec_cycles + writeback;
         const double overhead = icache_stall + pb_stall;
-        // L1 double buffering: DRAM fill overlaps inner compute.
-        if (epilogue > 0.0) {
-            const double epi_start =
-                cycles + std::max(inner, fill_cycles);
-            emit(SimEvent::Kind::Epilogue, epi_start,
-                 epi_start + epilogue, t1);
+        const double step_cycles =
+            std::max(inner, fill_cycles) + 0.0 + overhead;
+        const double step_cycles_k =
+            std::max(inner, fill_cycles) + epilogue + overhead;
+        const double step_dram = a1_bytes + b1_bytes + 0.0;
+        const double step_dram_k = a1_bytes + b1_bytes + out1_bytes;
+        const std::int64_t k_mod = std::max<std::int64_t>(tk1, 1);
+        for (std::int64_t t1 = 0; t1 < sim_l1_tiles; ++t1) {
+            ++simulated_l1;
+            const bool last_k = ((t1 + 1) % k_mod) == 0;
+            st.cubeBusyCycles += block_cube;
+            st.dmaBusyCycles += block_dma;
+            st.l0Tiles += l0_per_l1;
+            if (last_k)
+                st.vecBusyCycles += vec_cycles;
+            cycles += last_k ? step_cycles_k : step_cycles;
+            st.dramBytes += last_k ? step_dram_k : step_dram;
         }
-        cycles += std::max(inner, fill_cycles) + epilogue + overhead;
-        st.dramBytes += a1_bytes + b1_bytes + (last_k ? out1_bytes : 0.0);
     }
     st.l1Tiles = simulated_l1;
 
@@ -231,72 +290,114 @@ CycleAccurateModel::evaluate(const workload::TensorOp &op,
     st.cycles = cycles;
 
     // ---- Energy ----------------------------------------------------------
-    const double macs = static_cast<double>(op.macs());
-    const double useful = static_cast<double>(g.m) *
-                          static_cast<double>(g.n) *
-                          static_cast<double>(g.k);
     // Padding waste: cube issues operate on full cube blocks.
     const double issued_macs =
         st.cubeBusyCycles > 0.0
             ? (st.cubeBusyCycles - tech_.cubePipelineDepth *
                    static_cast<double>(st.l0Tiles)) *
-                  static_cast<double>(hw.cubeMacs())
-            : useful;
-    const double work_macs = std::max(issued_macs, macs);
+                  prep.cubeMacs
+            : prep.useful;
+    const double work_macs = std::max(issued_macs, prep.macs);
     const double e_mac = work_macs * tech_.macPj;
 
+    // The sqrt-scaled SRAM access energies arrive precomputed in the
+    // prepared context (they depend only on buffer capacities).
+    // Per cube issue: M*K reads from L0A, K*N reads from L0B and
+    // M*N fp32 (double-width) accumulator read+writes on L0C.
+    const double e_l0a = work_macs / static_cast<double>(prep.cubeN) *
+                         prep.pjL0a;
+    const double e_l0b = work_macs / static_cast<double>(prep.cubeM) *
+                         prep.pjL0b;
+    const double e_l0c = work_macs / static_cast<double>(prep.cubeK) *
+                         4.0 * prep.pjL0c;
+    const double l1_accesses = st.dramBytes; // fill + drain, 16-bit
+    const double e_l1 = l1_accesses * prep.pjL1;
+    const double e_ub = st.vecBusyCycles * tech_.vecElemsPerCycle * 2.0 *
+                        prep.pjUb;
+    const double e_dram = (st.dramBytes / 2.0) * tech_.dramPj;
+    // Clock-tree / periphery burn: every cycle costs a fraction of
+    // the cube's peak dynamic energy whether or not useful work
+    // retires. Oversized cubes idling on DMA stalls pay for it.
+    const double e_idle = prep.idlePjPerCycle * cycles;
+    const double energy_pj =
+        e_mac + e_l0a + e_l0b + e_l0c + e_l1 + e_ub + e_dram + e_idle;
+
+    const double latency_ns = cycles / tech_.clockGhz;
+    const double dynamic_mw = energy_pj / std::max(latency_ns, 1.0);
+
+    Ppa ppa;
+    ppa.latencyMs = cycles / (tech_.clockGhz * 1e6);
+    ppa.powerMw = dynamic_mw + prep.staticMw;
+    ppa.areaMm2 = prep.areaMm2;
+    ppa.energyMj = energy_pj * 1e-9;
+    ppa.feasible = true;
+    if (stats_out)
+        *stats_out = st;
+    return ppa;
+}
+
+PreparedCubeQuery
+CycleAccurateModel::makeContext(const workload::TensorOp &op,
+                                const CubeHwConfig &hw) const
+{
+    PreparedCubeQuery q;
+    q.g = GemmShape::fromOp(op);
+    q.l0aLimit = static_cast<double>(hw.l0aBytes);
+    q.l0bLimit = static_cast<double>(hw.l0bBytes);
+    q.l0cLimit = static_cast<double>(hw.l0cBytes);
+    q.l1Limit = static_cast<double>(hw.l1Bytes);
+    q.ubLimit = static_cast<double>(hw.ubBytes);
+    q.cubeM = hw.cubeM;
+    q.cubeN = hw.cubeN;
+    q.cubeK = hw.cubeK;
+    q.l0aBanks = hw.l0aBanks;
+    q.l0bBanks = hw.l0bBanks;
+    q.l0cBanks = hw.l0cBanks;
+    q.icacheLimit = static_cast<double>(hw.icacheBytes);
+    // Expression trees below replicate the historical evaluate() body
+    // exactly so the hoisted terms are bit-identical to the seed.
+    const double param_bytes = 4.0 * static_cast<double>(q.g.m);
+    const double pb_miss_bytes =
+        std::max(0.0, param_bytes - static_cast<double>(hw.pbBytes));
+    q.pbStall = pb_miss_bytes / tech_.dramBytesPerCycle;
+    q.cubeMacs = static_cast<double>(hw.cubeMacs());
+    q.macs = static_cast<double>(op.macs());
+    q.useful = static_cast<double>(q.g.m) * static_cast<double>(q.g.n) *
+               static_cast<double>(q.g.k);
     // SRAM access energy scales with sqrt(capacity); the 64 KiB
     // (L0) / 1 MiB (L1) / 256 KiB (UB) reference sizes anchor the
     // per-access constants.
     auto sram_pj = [](double base_pj, double bytes, double ref_bytes) {
         return base_pj * std::sqrt(std::max(bytes, 1024.0) / ref_bytes);
     };
-    const double pj_l0a =
-        sram_pj(tech_.l0Pj, static_cast<double>(hw.l0aBytes), 65536.0);
-    const double pj_l0b =
-        sram_pj(tech_.l0Pj, static_cast<double>(hw.l0bBytes), 65536.0);
-    const double pj_l0c =
-        sram_pj(tech_.l0Pj, static_cast<double>(hw.l0cBytes), 65536.0);
-    // Per cube issue: M*K reads from L0A, K*N reads from L0B and
-    // M*N fp32 (double-width) accumulator read+writes on L0C.
-    const double e_l0a = work_macs / static_cast<double>(hw.cubeN) *
-                         pj_l0a;
-    const double e_l0b = work_macs / static_cast<double>(hw.cubeM) *
-                         pj_l0b;
-    const double e_l0c = work_macs / static_cast<double>(hw.cubeK) *
-                         4.0 * pj_l0c;
-    const double pj_l1 =
+    q.pjL0a = sram_pj(tech_.l0Pj, static_cast<double>(hw.l0aBytes), 65536.0);
+    q.pjL0b = sram_pj(tech_.l0Pj, static_cast<double>(hw.l0bBytes), 65536.0);
+    q.pjL0c = sram_pj(tech_.l0Pj, static_cast<double>(hw.l0cBytes), 65536.0);
+    q.pjL1 =
         sram_pj(tech_.l1Pj, static_cast<double>(hw.l1Bytes), 1048576.0);
-    const double l1_accesses = st.dramBytes; // fill + drain, 16-bit
-    const double e_l1 = l1_accesses * pj_l1;
-    const double pj_ub =
-        sram_pj(tech_.ubPj, static_cast<double>(hw.ubBytes), 262144.0);
-    const double e_ub = st.vecBusyCycles * tech_.vecElemsPerCycle * 2.0 *
-                        pj_ub;
-    const double e_dram = (st.dramBytes / 2.0) * tech_.dramPj;
-    // Clock-tree / periphery burn: every cycle costs a fraction of
-    // the cube's peak dynamic energy whether or not useful work
-    // retires. Oversized cubes idling on DMA stalls pay for it.
-    const double e_idle = tech_.idleFraction *
-                          static_cast<double>(hw.cubeMacs()) *
-                          tech_.macPj * cycles;
-    const double energy_pj =
-        e_mac + e_l0a + e_l0b + e_l0c + e_l1 + e_ub + e_dram + e_idle;
+    q.pjUb = sram_pj(tech_.ubPj, static_cast<double>(hw.ubBytes), 262144.0);
+    q.idlePjPerCycle =
+        tech_.idleFraction * q.cubeMacs * tech_.macPj;
+    q.areaMm2 = areaMm2(hw);
+    q.staticMw = tech_.staticMwPerMm2 * q.areaMm2;
+    return q;
+}
 
-    const double area = areaMm2(hw);
-    const double latency_ns = cycles / tech_.clockGhz;
-    const double dynamic_mw = energy_pj / std::max(latency_ns, 1.0);
-    const double static_mw = tech_.staticMwPerMm2 * area;
+PreparedCubeQuery
+CycleAccurateModel::prepare(const workload::TensorOp &op,
+                            const CubeHwConfig &hw) const
+{
+    PreparedCubeQuery q = makeContext(op, hw);
+    q.context = queryFingerprint(op, hw);
+    return q;
+}
 
-    Ppa ppa;
-    ppa.latencyMs = cycles / (tech_.clockGhz * 1e6);
-    ppa.powerMw = dynamic_mw + static_mw;
-    ppa.areaMm2 = area;
-    ppa.energyMj = energy_pj * 1e-9;
-    ppa.feasible = true;
-    if (stats_out)
-        *stats_out = st;
-    return ppa;
+Ppa
+CycleAccurateModel::evaluate(const workload::TensorOp &op,
+                             const CubeHwConfig &hw, const CubeMapping &m,
+                             SimStats *stats_out) const
+{
+    return evaluate(makeContext(op, hw), m, stats_out);
 }
 
 double
@@ -355,7 +456,7 @@ CycleAccurateModel::evaluateCached(const workload::TensorOp &op,
                                    double fixed_seconds) const
 {
     const common::Fingerprint key =
-        common::combine(queryFingerprint(op, hw), m.fingerprint());
+        accel::evalCacheKey(queryFingerprint(op, hw), m.fingerprint());
     if (const auto hit = cache.get(key)) {
         if (seconds_out)
             *seconds_out = hit->seconds;
@@ -373,6 +474,53 @@ CycleAccurateModel::evaluateCached(const workload::TensorOp &op,
     if (seconds_out)
         *seconds_out = seconds;
     return ppa;
+}
+
+accel::Ppa
+CycleAccurateModel::evaluateCached(const PreparedCubeQuery &prep,
+                                   const CubeMapping &m,
+                                   accel::EvalCache &cache,
+                                   double *seconds_out,
+                                   double fixed_seconds) const
+{
+    const common::Fingerprint key = prep.cacheKey(m);
+    if (const auto hit = cache.get(key)) {
+        if (seconds_out)
+            *seconds_out = hit->seconds;
+        return hit->ppa;
+    }
+    SimStats stats;
+    const accel::Ppa ppa = evaluate(prep, m, &stats);
+    const double seconds =
+        fixed_seconds >= 0.0 ? fixed_seconds : nominalEvalSeconds(stats);
+    accel::CachedEval entry;
+    entry.ppa = ppa;
+    entry.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+    entry.seconds = seconds;
+    cache.put(key, entry);
+    if (seconds_out)
+        *seconds_out = seconds;
+    return ppa;
+}
+
+std::vector<accel::Ppa>
+CycleAccurateModel::evaluateBatch(const PreparedCubeQuery &prep,
+                                  const std::vector<CubeMapping> &ms,
+                                  common::ThreadPool *pool) const
+{
+    std::vector<accel::Ppa> out(ms.size());
+    if (pool == nullptr || ms.size() <= 1) {
+        for (std::size_t i = 0; i < ms.size(); ++i)
+            out[i] = evaluate(prep, ms[i]);
+        return out;
+    }
+    common::ThreadPool::Batch batch(*pool);
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        batch.submit([this, &prep, &ms, &out, i] {
+            out[i] = evaluate(prep, ms[i]);
+        });
+    batch.wait();
+    return out;
 }
 
 CycleAccurateModel

@@ -22,6 +22,10 @@
 #include "camodel/cube_mapping.hh"
 #include "workload/tensor_op.hh"
 
+namespace unico::common {
+class ThreadPool;
+} // namespace unico::common
+
 namespace unico::camodel {
 
 /** One timeline event of the tile pipeline (trace mode). */
@@ -92,6 +96,60 @@ struct CubeTech
     std::size_t traceLimit = 0;
 };
 
+/**
+ * Candidate-invariant context of one (tech, operator, hardware)
+ * query, built once per layer-run by CycleAccurateModel::prepare()
+ * and amortized over every mapping candidate of that layer. It
+ * precomputes the GemmShape, buffer byte limits, the parameter-buffer
+ * stall (fully mapping-independent), the five sqrt-bearing SRAM
+ * access energies, idle/area/static-power constants, and the query
+ * fingerprint prefix that evaluateCached() previously re-hashed per
+ * call.
+ *
+ * Self-contained by value (no references into the TensorOp or
+ * CubeHwConfig it came from), but only meaningful with the model
+ * whose prepare() built it: the model's remaining tech constants are
+ * read at evaluation time, and the fingerprint prefix encodes that
+ * tech. Fields are filled by the model; treat them as read-only.
+ */
+struct PreparedCubeQuery
+{
+    GemmShape g{};
+    double l0aLimit = 0.0;
+    double l0bLimit = 0.0;
+    double l0cLimit = 0.0;
+    double l1Limit = 0.0;
+    double ubLimit = 0.0;
+    std::int64_t cubeM = 1;
+    std::int64_t cubeN = 1;
+    std::int64_t cubeK = 1;
+    std::int64_t l0aBanks = 1;
+    std::int64_t l0bBanks = 1;
+    std::int64_t l0cBanks = 1;
+    double icacheLimit = 0.0;    ///< hw.icacheBytes as double
+    double pbStall = 0.0;        ///< parameter-buffer stall (invariant)
+    double cubeMacs = 1.0;       ///< hw.cubeMacs() as double
+    double macs = 0.0;           ///< op.macs()
+    double useful = 0.0;         ///< g.m * g.n * g.k
+    double pjL0a = 0.0;          ///< sqrt-scaled L0A access energy
+    double pjL0b = 0.0;
+    double pjL0c = 0.0;
+    double pjL1 = 0.0;
+    double pjUb = 0.0;
+    double idlePjPerCycle = 0.0; ///< idleFraction * cubeMacs * macPj
+    double areaMm2 = 0.0;        ///< mapping-independent core area
+    double staticMw = 0.0;       ///< leakage at that area
+    /** (model kind, tech, op, hw) fingerprint prefix. */
+    common::Fingerprint context{};
+
+    /** Evaluation-cache key for one mapping under this context. */
+    common::Fingerprint
+    cacheKey(const CubeMapping &m) const
+    {
+        return accel::evalCacheKey(context, m.fingerprint());
+    }
+};
+
 /** Cycle-level PPA estimation engine for the Ascend-like core. */
 class CycleAccurateModel
 {
@@ -133,6 +191,44 @@ class CycleAccurateModel
                               double fixed_seconds = -1.0) const;
 
     /**
+     * Build the candidate-invariant query context for (op, hw),
+     * including the cache-key fingerprint prefix. Build once per
+     * layer-run; use only with this model (the context embeds this
+     * model's tech constants and fingerprint).
+     */
+    PreparedCubeQuery prepare(const workload::TensorOp &op,
+                              const accel::CubeHwConfig &hw) const;
+
+    /**
+     * evaluate() through a prepared context — bit-identical PPA and
+     * counters to evaluate(op, hw, m) for the (op, hw) the context
+     * was built from, without the per-call setup (fingerprints,
+     * sqrt energy constants, area).
+     */
+    accel::Ppa evaluate(const PreparedCubeQuery &prep, const CubeMapping &m,
+                        SimStats *stats = nullptr) const;
+
+    /** evaluateCached() through a prepared context; entries are
+     *  shared with the unprepared path. */
+    accel::Ppa evaluateCached(const PreparedCubeQuery &prep,
+                              const CubeMapping &m, accel::EvalCache &cache,
+                              double *seconds_out,
+                              double fixed_seconds = -1.0) const;
+
+    /**
+     * Evaluate a block of candidates under one prepared context,
+     * index-aligned with @p ms. Each evaluation is a pure function of
+     * (context, mapping), so with a non-null @p pool the results are
+     * byte-identical to the serial path regardless of schedule.
+     * Per-candidate SimStats are not exposed; use evaluate() when the
+     * counters (or trace) matter.
+     */
+    std::vector<accel::Ppa>
+    evaluateBatch(const PreparedCubeQuery &prep,
+                  const std::vector<CubeMapping> &ms,
+                  common::ThreadPool *pool = nullptr) const;
+
+    /**
      * Stable fingerprint of one (model kind, tech constants, op, hw)
      * query context; combined with a mapping fingerprint it forms the
      * evaluation-cache key. Distinct tech constants (e.g. the
@@ -168,6 +264,11 @@ class CycleAccurateModel
 
   private:
     static common::Fingerprint techFingerprint(const CubeTech &tech);
+
+    /** prepare() without the fingerprint prefix (used by the
+     *  unprepared evaluate() wrapper, which never touches the cache). */
+    PreparedCubeQuery makeContext(const workload::TensorOp &op,
+                                  const accel::CubeHwConfig &hw) const;
 
     CubeTech tech_;
     common::Fingerprint techFp_;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small shared integer math helpers.
+ *
+ * Both evaluation kernels (costmodel/analytical, camodel/simulator)
+ * used to carry their own copy of ceilDiv; the copies have to stay
+ * bit-identical because ceiling divisions feed tile counts and tile
+ * counts feed the golden-pinned PPA numbers. One definition keeps
+ * them from drifting.
+ */
+
+#ifndef UNICO_COMMON_MATH_HH
+#define UNICO_COMMON_MATH_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace unico::common {
+
+/**
+ * Integer ceiling division. @p b must be positive; @p a must be
+ * non-negative (design spaces and mapping repair guarantee both at
+ * every call site). ceilDiv(0, b) == 0. Written as div+mod rather
+ * than (a + b - 1) / b so a near INT64_MAX cannot overflow; the two
+ * forms agree everywhere the sum form is defined, so golden-pinned
+ * tile counts are unchanged.
+ */
+inline std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return a / b + (a % b != 0 ? 1 : 0);
+}
+
+/**
+ * ceilDiv computed in double, for hot paths whose consumers want a
+ * double anyway: FP division pipelines where 64-bit integer division
+ * does not. Exact — equal to double(ceilDiv(a, b)) — for 0 <= a <
+ * 2^52, b >= 1: when b does not divide a the true quotient k + r/b
+ * (1 <= r < b) is at distance r/b >= 1/b from the integer k, while
+ * half an ulp of the rounded quotient is < 2^-52 * a / b <= r/b, so
+ * rounding can never cross the integer and ceil() is unaffected.
+ */
+inline double
+ceilDivDouble(std::int64_t a, std::int64_t b)
+{
+    return std::ceil(static_cast<double>(a) / static_cast<double>(b));
+}
+
+} // namespace unico::common
+
+#endif // UNICO_COMMON_MATH_HH

@@ -128,7 +128,8 @@ class FingerprintBuilder
     }
 
   private:
-    /** splitmix64 finalizer: full-avalanche 64-bit mix. */
+    /** splitmix64 finalizer (see mix64 below; duplicated here only
+     *  because the free function is declared after this class). */
     static std::uint64_t
     mix(std::uint64_t z)
     {
@@ -144,15 +145,33 @@ class FingerprintBuilder
     std::uint64_t b_ = 0x84222325cbf29ce4ULL;
 };
 
+/** splitmix64 finalizer: full-avalanche 64-bit mix (shared by
+ *  FingerprintBuilder and combine()). */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** Canonical, order-sensitive combination of two fingerprints. Every
  *  cache key is built as combine(query context, mapping fingerprint),
- *  so decorator-level and model-level caching share entries. */
+ *  so decorator-level and model-level caching share entries. One
+ *  combine runs per evaluation, warm or cold, so this is hot-path
+ *  cost: both inputs are already finalized full-avalanche hashes, so
+ *  one extra splitmix64 round per word suffices — each output word
+ *  is a bijection of the corresponding @p b word for fixed @p a, so
+ *  two keys under one context collide only if the mapping
+ *  fingerprints collide in both words. Keys never leave the process
+ *  (the eval cache and corpus tap are in-memory), so the scheme can
+ *  evolve without a compatibility shim. */
 inline Fingerprint
 combine(const Fingerprint &a, const Fingerprint &b)
 {
-    FingerprintBuilder fb;
-    fb.add(a).add(b);
-    return fb.fingerprint();
+    return Fingerprint{mix64(a.hi + (b.hi ^ 0x6a09e667f3bcc908ULL)),
+                       mix64(a.lo ^ (b.lo + 0xbb67ae8584caa73bULL))};
 }
 
 /** Aggregated cache counters (snapshot across all shards). */

@@ -84,6 +84,44 @@ ThreadPool::workerLoop()
 }
 
 void
+ThreadPool::Batch::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    pool_.submit([this, job = std::move(job)] {
+        std::exception_ptr failure;
+        try {
+            job();
+        } catch (...) {
+            failure = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (failure)
+            failures_.push_back(std::move(failure));
+        if (--pending_ == 0)
+            done_.notify_all();
+    });
+}
+
+void
+ThreadPool::Batch::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::vector<std::exception_ptr>
+ThreadPool::Batch::drainFailures()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::exception_ptr> out;
+    out.swap(failures_);
+    return out;
+}
+
+void
 runParallel(const std::vector<std::function<void()>> &jobs,
             std::size_t threads, const CancelToken *cancel)
 {
@@ -104,21 +142,29 @@ runParallel(const std::vector<std::function<void()>> &jobs,
         return;
     }
     ThreadPool pool(threads);
+    runParallel(jobs, pool, cancel);
+}
+
+void
+runParallel(const std::vector<std::function<void()>> &jobs,
+            ThreadPool &pool, const CancelToken *cancel)
+{
+    ThreadPool::Batch batch(pool);
     for (const auto &job : jobs) {
         if (cancel == nullptr) {
-            pool.submit(job);
+            batch.submit(job);
         } else {
             // The skip decision happens when the job is *dequeued*:
             // a cancellation during the batch drains the queue
             // without starting new work.
-            pool.submit([&job, cancel] {
+            batch.submit([&job, cancel] {
                 if (!cancel->cancelled())
                     job();
             });
         }
     }
-    pool.waitIdle();
-    const auto failures = pool.drainFailures();
+    batch.wait();
+    const auto failures = batch.drainFailures();
     if (!failures.empty())
         std::rethrow_exception(failures.front());
 }

@@ -16,6 +16,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,6 +47,50 @@ class ThreadPool
 
     ~ThreadPool();
 
+    /**
+     * One logical batch of jobs on a shared, long-lived pool.
+     *
+     * waitIdle()/drainFailures() on the pool itself are global: two
+     * callers sharing one pool would steal each other's completions
+     * and exceptions. A Batch carries its own pending counter and
+     * failure list, so any number of concurrent batches can run on
+     * the same pool without interference. The destructor waits for
+     * the batch, so captured references outlive every job.
+     *
+     * Do not wait() on a batch from *inside* a job running on the
+     * same pool: the worker would block waiting for work only it
+     * could execute. Nested fan-out needs a second pool.
+     */
+    class Batch
+    {
+      public:
+        explicit Batch(ThreadPool &pool) : pool_(pool) {}
+
+        Batch(const Batch &) = delete;
+        Batch &operator=(const Batch &) = delete;
+
+        ~Batch() { wait(); }
+
+        /** Enqueue a job attributed to this batch. */
+        void submit(std::function<void()> job);
+
+        /** Block until every job submitted to this batch finished. */
+        void wait();
+
+        /**
+         * Exceptions captured from this batch's failed jobs, in
+         * completion order; clears the internal list.
+         */
+        std::vector<std::exception_ptr> drainFailures();
+
+      private:
+        ThreadPool &pool_;
+        std::mutex mutex_;
+        std::condition_variable done_;
+        std::vector<std::exception_ptr> failures_;
+        std::size_t pending_ = 0;
+    };
+
     /** Enqueue a job for asynchronous execution. */
     void submit(std::function<void()> job);
 
@@ -75,6 +120,44 @@ class ThreadPool
 };
 
 /**
+ * Fork-safe lazy pool handle: worker threads are created in the
+ * process that first calls get(), not when the handle is
+ * constructed. A handle created before a fork point (e.g. before the
+ * evaluation fleet's zygote) is therefore safe to share through
+ * configuration structs: a process forked while the handle is still
+ * dormant inherits no threads, no held locks and no queue, and each
+ * process that evaluates builds its own private pool on first use.
+ * Do not fork while a get() call may be in flight on another thread.
+ */
+class LazyThreadPool
+{
+  public:
+    /** @param threads worker count; 0 selects hardware concurrency. */
+    explicit LazyThreadPool(std::size_t threads = 0) : threads_(threads) {}
+
+    LazyThreadPool(const LazyThreadPool &) = delete;
+    LazyThreadPool &operator=(const LazyThreadPool &) = delete;
+
+    /** The pool, constructed on first call (thread-safe). */
+    ThreadPool &
+    get()
+    {
+        std::call_once(once_, [this] {
+            pool_ = std::make_unique<ThreadPool>(threads_);
+        });
+        return *pool_;
+    }
+
+    /** Configured worker count (0 = hardware concurrency). */
+    std::size_t configuredThreads() const { return threads_; }
+
+  private:
+    std::size_t threads_;
+    std::once_flag once_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+/**
  * Run @p jobs on a transient pool of @p threads workers and wait.
  * With threads <= 1 the jobs run inline (deterministic order), which
  * is also the default on single-core hosts.
@@ -92,6 +175,19 @@ class ThreadPool
 void runParallel(const std::vector<std::function<void()>> &jobs,
                  std::size_t threads,
                  const CancelToken *cancel = nullptr);
+
+/**
+ * Like runParallel(jobs, threads, cancel) but on a caller-owned
+ * persistent pool: no per-invocation thread construction/teardown.
+ * Semantics are otherwise identical — every job runs (or is skipped
+ * at dequeue time after cancellation), the call returns only once
+ * the batch drained, and the first captured exception is rethrown.
+ * Safe to call concurrently from several threads on one pool (each
+ * call is an independent ThreadPool::Batch); never from inside a job
+ * of the same pool.
+ */
+void runParallel(const std::vector<std::function<void()>> &jobs,
+                 ThreadPool &pool, const CancelToken *cancel = nullptr);
 
 /**
  * Like runParallel(), but never throws due to a job: returns one

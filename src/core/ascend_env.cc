@@ -25,7 +25,8 @@ class AscendRunPolicy final : public LayeredRunPolicy
                     accel::CubeHwConfig hw, accel::EvalCache *cache,
                     surrogate::SurrogateContext *surrogate)
         : layers_(layers), spaces_(spaces), model_(model), hw_(hw),
-          cache_(cache), surrogate_(surrogate), screens_(layers.size())
+          cache_(cache), surrogate_(surrogate), screens_(layers.size()),
+          preps_(layers.size()), degradedPreps_(layers.size())
     {
     }
 
@@ -33,15 +34,28 @@ class AscendRunPolicy final : public LayeredRunPolicy
     startLayer(std::size_t layer, std::uint64_t seed) override
     {
         const workload::TensorOp &op = layers_[layer].op;
-        auto evaluator = [this, &op](const camodel::CubeMapping &m) {
+        // Candidate-invariant query contexts, one per rung (the
+        // degraded rung's coarser tech yields a distinct context
+        // fingerprint, so the rungs never share cache entries).
+        // Built lazily per layer and amortized over every candidate;
+        // the degraded rung's context is only built once a run
+        // actually degrades.
+        if (preps_[layer] == nullptr)
+            preps_[layer] = std::make_unique<camodel::PreparedCubeQuery>(
+                model_.prepare(op, hw_));
+        auto evaluator = [this, layer, &op](const camodel::CubeMapping &m) {
             // Degradation ladder: the cycle-level model is the
             // default; after repeated faults the supervisor drops
             // this run onto the coarse (analytical-fidelity) rung
-            // which charges analytical-scale virtual cost. The
-            // degraded model has a distinct tech fingerprint, so the
-            // rungs never share cache entries.
+            // which charges analytical-scale virtual cost.
             const camodel::CycleAccurateModel &engine =
                 degraded_ ? degradedModel_ : model_;
+            if (degraded_ && degradedPreps_[layer] == nullptr)
+                degradedPreps_[layer] =
+                    std::make_unique<camodel::PreparedCubeQuery>(
+                        degradedModel_.prepare(op, hw_));
+            const camodel::PreparedCubeQuery &prep =
+                degraded_ ? *degradedPreps_[layer] : *preps_[layer];
             const double fixed_seconds =
                 degraded_ ? camodel::CycleAccurateModel::
                                 nominalDegradedEvalSeconds()
@@ -51,12 +65,12 @@ class AscendRunPolicy final : public LayeredRunPolicy
                 // Below the fault layer: FaultyRun decorates the
                 // MappingRun, so only clean results reach here.
                 double seconds = 0.0;
-                ppa = engine.evaluateCached(op, hw_, m, *cache_,
-                                            &seconds, fixed_seconds);
+                ppa = engine.evaluateCached(prep, m, *cache_, &seconds,
+                                            fixed_seconds);
                 charge(seconds);
             } else {
                 camodel::SimStats stats;
-                ppa = engine.evaluate(op, hw_, m, &stats);
+                ppa = engine.evaluate(prep, m, &stats);
                 charge(fixed_seconds >= 0.0
                            ? fixed_seconds
                            : model_.nominalEvalSeconds(stats));
@@ -72,7 +86,7 @@ class AscendRunPolicy final : public LayeredRunPolicy
         // trained run-locally on whatever exact rung is active.
         if (screens_[layer] == nullptr)
             screens_[layer] = surrogate::makeCubeScreen(
-                surrogate_, op, hw_, model_.queryFingerprint(op, hw_));
+                surrogate_, op, hw_, preps_[layer]->context);
         return std::make_unique<
             LayerSearchAdapter<camodel::CubeSearchRun>>(
             std::make_unique<camodel::CubeSearchRun>(
@@ -103,6 +117,8 @@ class AscendRunPolicy final : public LayeredRunPolicy
     accel::EvalCache *cache_ = nullptr;
     surrogate::SurrogateContext *surrogate_ = nullptr;
     std::vector<std::unique_ptr<camodel::CubeCandidateScreen>> screens_;
+    std::vector<std::unique_ptr<camodel::PreparedCubeQuery>> preps_;
+    std::vector<std::unique_ptr<camodel::PreparedCubeQuery>> degradedPreps_;
     bool degraded_ = false;
 };
 

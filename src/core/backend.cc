@@ -81,6 +81,7 @@ makeSpatial(std::vector<workload::Network> networks,
     env_opt.maxShapesPerNetwork = opt.maxShapesPerNetwork;
     env_opt.cache = opt.cache;
     env_opt.surrogate = opt.surrogate;
+    env_opt.evalPool = opt.evalPool;
     return std::make_unique<SpatialEnv>(std::move(networks), env_opt);
 }
 

@@ -262,6 +262,14 @@ CoOptimizer::run()
     // Everything below — loop boundaries, SH rounds, thread-pool
     // queue, evaluation chunks — polls this single token.
     common::CancelToken run_token;
+    // Persistent round-dispatch pool: one set of workers for every SH
+    // round of the whole run, instead of a fresh pool per grow_to()
+    // call. realThreads <= 1 keeps the historical inline execution.
+    // Constructed here — after the evaluation fleet (if any) forked
+    // its zygote from a single-threaded process.
+    std::unique_ptr<common::ThreadPool> round_pool;
+    if (cfg_.realThreads > 1)
+        round_pool = std::make_unique<common::ThreadPool>(cfg_.realThreads);
     std::unique_ptr<common::Watchdog> watchdog;
     if (cfg_.wallDeadlineSeconds > 0.0 ||
         cfg_.evalWallDeadlineSeconds > 0.0)
@@ -553,7 +561,10 @@ CoOptimizer::run()
                     task_seconds[i] = seconds;
                 });
             }
-            common::runParallel(jobs, cfg_.realThreads, &run_token);
+            if (round_pool != nullptr)
+                common::runParallel(jobs, *round_pool, &run_token);
+            else
+                common::runParallel(jobs, cfg_.realThreads, &run_token);
             for (const auto &fs : job_faults)
                 result.faults.merge(fs);
             clock.chargeParallel(task_seconds);

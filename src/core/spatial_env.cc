@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/thread_pool.hh"
 #include "core/layered_run.hh"
 
 namespace unico::core {
@@ -23,10 +24,12 @@ class SpatialRunPolicy final : public LayeredRunPolicy
                      const costmodel::AnalyticalCostModel &model,
                      accel::SpatialHwConfig hw,
                      mapping::EngineKind engine, accel::EvalCache *cache,
-                     surrogate::SurrogateContext *surrogate)
+                     surrogate::SurrogateContext *surrogate,
+                     common::LazyThreadPool *evalPool)
         : layers_(layers), spaces_(spaces), model_(model), hw_(hw),
           engine_(engine), cache_(cache), surrogate_(surrogate),
-          screens_(layers.size())
+          evalPool_(evalPool), screens_(layers.size()),
+          preps_(layers.size())
     {
     }
 
@@ -34,8 +37,16 @@ class SpatialRunPolicy final : public LayeredRunPolicy
     startLayer(std::size_t layer, std::uint64_t seed) override
     {
         const workload::TensorOp &op = layers_[layer].op;
-        auto evaluator = [this, &op](const mapping::Mapping &m) {
-            const accel::Ppa ppa = model_.evaluate(op, hw_, m);
+        // Candidate-invariant query context, built once per layer and
+        // amortized over every mapping candidate (and reused when
+        // successive halving re-steps this layer).
+        if (preps_[layer] == nullptr)
+            preps_[layer] =
+                std::make_unique<costmodel::PreparedSpatialQuery>(
+                    model_.prepare(op, hw_));
+        const costmodel::PreparedSpatialQuery &prep = *preps_[layer];
+        auto evaluator = [this, &prep](const mapping::Mapping &m) {
+            const accel::Ppa ppa = model_.evaluate(prep, m);
             mapping::MappingEval eval;
             eval.ppa = ppa;
             eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
@@ -50,18 +61,29 @@ class SpatialRunPolicy final : public LayeredRunPolicy
         // fleet and threaded runs byte-identical).
         if (screens_[layer] == nullptr)
             screens_[layer] = surrogate::makeSpatialScreen(
-                surrogate_, op, hw_, model_.queryFingerprint(op, hw_));
+                surrogate_, op, hw_, prep.context);
+        const double seconds =
+            costmodel::AnalyticalCostModel::nominalEvalSeconds();
+        mapping::MappingEvaluator cached = mapping::cachingEvaluator(
+            cache_, prep.context, evaluator, seconds);
+        // Batched twin of the same stack: misses of one block fan
+        // across the shared pool, byte-identical to the serial path.
+        // With a screen active the batch serializes (the screen
+        // trains on each exact result in order).
+        mapping::BatchMappingEvaluator batch;
+        if (evalPool_ != nullptr)
+            batch = mapping::screeningBatchEvaluator(
+                screens_[layer].get(), cached,
+                mapping::cachingBatchEvaluator(
+                    cache_, prep.context,
+                    mapping::parallelBatch(evaluator, &evalPool_->get()),
+                    seconds));
         return std::make_unique<LayerSearchAdapter<mapping::SearchRun>>(
             mapping::startSearch(
                 engine_, spaces_[layer],
-                mapping::screeningEvaluator(
-                    screens_[layer].get(),
-                    mapping::cachingEvaluator(
-                        cache_, model_.queryFingerprint(op, hw_),
-                        std::move(evaluator),
-                        costmodel::AnalyticalCostModel::
-                            nominalEvalSeconds())),
-                seed));
+                mapping::screeningEvaluator(screens_[layer].get(),
+                                            std::move(cached)),
+                seed, std::move(batch)));
     }
 
     double
@@ -80,7 +102,9 @@ class SpatialRunPolicy final : public LayeredRunPolicy
     mapping::EngineKind engine_;
     accel::EvalCache *cache_;
     surrogate::SurrogateContext *surrogate_;
+    common::LazyThreadPool *evalPool_;
     std::vector<std::unique_ptr<mapping::CandidateScreen>> screens_;
+    std::vector<std::unique_ptr<costmodel::PreparedSpatialQuery>> preps_;
 };
 
 } // namespace
@@ -109,7 +133,8 @@ SpatialEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
         layers_,
         std::make_unique<SpatialRunPolicy>(layers_, mapSpaces_, model_,
                                            space_.decode(h), opt_.engine,
-                                           opt_.cache, opt_.surrogate),
+                                           opt_.cache, opt_.surrogate,
+                                           opt_.evalPool),
         seed);
 }
 

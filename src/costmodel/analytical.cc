@@ -5,6 +5,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/math.hh"
+#include "common/thread_pool.hh"
+
 namespace unico::costmodel {
 
 using accel::Dataflow;
@@ -55,15 +58,13 @@ operandDims(const TensorOp &op)
 
 /** Bytes of the input-activation tile for given tile extents. */
 double
-inputTileBytes(const TensorOp &op, const Tile &t)
+inputTileBytes(const PreparedSpatialQuery &q, const Tile &t)
 {
-    const double channels =
-        op.kind == OpKind::DepthwiseConv2D
-            ? static_cast<double>(t[DimK])
-            : static_cast<double>(t[DimC]);
-    const double ih = static_cast<double>((t[DimY] - 1) * op.strideY +
+    const double channels = q.depthwise ? static_cast<double>(t[DimK])
+                                        : static_cast<double>(t[DimC]);
+    const double ih = static_cast<double>((t[DimY] - 1) * q.strideY +
                                           t[DimR]);
-    const double iw = static_cast<double>((t[DimX] - 1) * op.strideX +
+    const double iw = static_cast<double>((t[DimX] - 1) * q.strideX +
                                           t[DimS]);
     return 2.0 * static_cast<double>(t[DimN]) * channels * ih * iw;
 }
@@ -86,11 +87,7 @@ outputTileBytes(const Tile &t)
            static_cast<double>(t[DimX]);
 }
 
-inline std::int64_t
-ceilDiv(std::int64_t a, std::int64_t b)
-{
-    return (a + b - 1) / b;
-}
+using common::ceilDiv;
 
 /** SRAM access energy (pJ per 16-bit access) as a function of size. */
 double
@@ -116,10 +113,10 @@ AnalyticalCostModel::areaMm2(const SpatialHwConfig &hw) const
 }
 
 Ppa
-AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
+AnalyticalCostModel::evaluate(const PreparedSpatialQuery &prep,
                               const Mapping &m) const
 {
-    const Tile extents{op.n, op.k, op.c, op.y, op.x, op.r, op.s};
+    const Tile &extents = prep.extents;
 
     // --- Structural validity -------------------------------------------
     for (int d = 0; d < kNumDims; ++d) {
@@ -130,26 +127,25 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
     if (m.spatialX == m.spatialY)
         return Ppa::infeasible();
 
-    const OperandDims od = operandDims(op);
-    const bool ws = hw.dataflow == Dataflow::WeightStationary;
+    const bool ws = prep.weightStationary;
 
     // --- L1 capacity -----------------------------------------------------
     // The stationary operand is single-buffered; streamed operands are
     // double-buffered to overlap NoC transfers with compute.
-    const double in1 = inputTileBytes(op, m.l1Tile);
+    const double in1 = inputTileBytes(prep, m.l1Tile);
     const double w1 = weightTileBytes(m.l1Tile);
     const double out1 = outputTileBytes(m.l1Tile);
     const double l1_need = ws ? (w1 + 2.0 * (in1 + out1))
                               : (out1 + 2.0 * (in1 + w1));
-    if (l1_need > static_cast<double>(hw.l1Bytes))
+    if (l1_need > prep.l1Limit)
         return Ppa::infeasible();
 
     // --- L2 capacity -----------------------------------------------------
-    const double in2 = inputTileBytes(op, m.l2Tile);
+    const double in2 = inputTileBytes(prep, m.l2Tile);
     const double w2 = weightTileBytes(m.l2Tile);
     const double out2 = outputTileBytes(m.l2Tile);
     const double l2_need = out2 + 1.5 * (in2 + w2); // partial dbl-buffer
-    if (l2_need > static_cast<double>(hw.l2Bytes))
+    if (l2_need > prep.l2Limit)
         return Ppa::infeasible();
 
     // --- Wave structure inside one L2 tile -------------------------------
@@ -157,24 +153,28 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
     // spatially unrolled dims each wave covers l1Tile * peN elements.
     Tile cov = m.l1Tile;
     cov[m.spatialX] = std::min<std::int64_t>(
-        cov[m.spatialX] * hw.peX, m.l2Tile[m.spatialX]);
+        cov[m.spatialX] * prep.peX, m.l2Tile[m.spatialX]);
     cov[m.spatialY] = std::min<std::int64_t>(
-        cov[m.spatialY] * hw.peY, m.l2Tile[m.spatialY]);
+        cov[m.spatialY] * prep.peY, m.l2Tile[m.spatialY]);
 
+    // Wave and tile counts are consumed as doubles only, so divide
+    // in double (common::ceilDivDouble, exact for these magnitudes):
+    // FP division pipelines where 64-bit integer division does not,
+    // and this loop runs once per cold evaluation.
     double waves = 1.0;
-    Tile wave_count{};
+    std::array<double, kNumDims> wave_count{};
     for (int d = 0; d < kNumDims; ++d) {
-        wave_count[d] = ceilDiv(m.l2Tile[d], cov[d]);
-        waves *= static_cast<double>(wave_count[d]);
+        wave_count[d] = common::ceilDivDouble(m.l2Tile[d], cov[d]);
+        waves *= wave_count[d];
     }
 
     // Average spatial utilization of the PE array.
-    const double cap_x = static_cast<double>(wave_count[m.spatialX]) *
+    const double cap_x = wave_count[m.spatialX] *
                          static_cast<double>(m.l1Tile[m.spatialX]) *
-                         static_cast<double>(hw.peX);
-    const double cap_y = static_cast<double>(wave_count[m.spatialY]) *
+                         static_cast<double>(prep.peX);
+    const double cap_y = wave_count[m.spatialY] *
                          static_cast<double>(m.l1Tile[m.spatialY]) *
-                         static_cast<double>(hw.peY);
+                         static_cast<double>(prep.peY);
     // Note: under-utilization (cov not dividing the tile) is already
     // penalized through ceil() in wave_count — partially filled waves
     // still cost a full wave of latency.
@@ -198,23 +198,23 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
                           double tile_bytes) {
         double copies = 1.0;
         if (dims[m.spatialX])
-            copies *= static_cast<double>(hw.peX);
+            copies *= static_cast<double>(prep.peX);
         if (dims[m.spatialY])
-            copies *= static_cast<double>(hw.peY);
+            copies *= static_cast<double>(prep.peY);
         return tile_bytes * copies;
     };
-    double noc_in = wave_bytes(od.input, in1);
-    double noc_w = wave_bytes(od.weight, w1);
-    double noc_out = wave_bytes(od.output, out1);
+    double noc_in = wave_bytes(prep.inputDims, in1);
+    double noc_w = wave_bytes(prep.weightDims, w1);
+    double noc_out = wave_bytes(prep.outputDims, out1);
 
     // Stationarity: the stationary operand is refreshed only when a
     // wave changes its indices; amortize by the number of consecutive
     // waves that reuse it.
     double stationary_reuse = 1.0;
     for (int d = 0; d < kNumDims; ++d) {
-        const auto &dims = ws ? od.weight : od.output;
+        const auto &dims = ws ? prep.weightDims : prep.outputDims;
         if (!dims[d])
-            stationary_reuse *= static_cast<double>(wave_count[d]);
+            stationary_reuse *= wave_count[d];
     }
     if (ws)
         noc_w /= std::max(stationary_reuse, 1.0);
@@ -222,8 +222,7 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
         noc_out /= std::max(stationary_reuse, 1.0);
 
     const double noc_bytes_per_wave = noc_in + noc_w + noc_out;
-    const double noc_cycles =
-        noc_bytes_per_wave / static_cast<double>(hw.nocBandwidth);
+    const double noc_cycles = noc_bytes_per_wave / prep.nocBandwidth;
 
     // Double buffering overlaps NoC with compute; a wave costs the
     // max of the two plus a small issue overhead.
@@ -233,11 +232,11 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
                                 noc_cycles; // initial fill
 
     // --- DRAM traffic across L2 tiles --------------------------------
-    Tile t_count{};
+    std::array<double, kNumDims> t_count{};
     double l2_tiles = 1.0;
     for (int d = 0; d < kNumDims; ++d) {
-        t_count[d] = ceilDiv(extents[d], m.l2Tile[d]);
-        l2_tiles *= static_cast<double>(t_count[d]);
+        t_count[d] = common::ceilDivDouble(extents[d], m.l2Tile[d]);
+        l2_tiles *= t_count[d];
     }
 
     // Loop-order reuse model: an operand tile is refetched once per
@@ -253,9 +252,9 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
             f *= static_cast<double>(t_count[m.order[pos]]);
         return f;
     };
-    const double in_fetch = fetches(od.input);
-    const double w_fetch = fetches(od.weight);
-    const double out_fetch = fetches(od.output);
+    const double in_fetch = fetches(prep.inputDims);
+    const double w_fetch = fetches(prep.weightDims);
+    const double out_fetch = fetches(prep.outputDims);
 
     // Reduction splits force output spill + reload (read and write).
     double reduction_tiles = 1.0;
@@ -265,47 +264,129 @@ AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
 
     const double dram_bytes = in_fetch * in2 + w_fetch * w2 +
                               out_fetch * out2 * out_traffic_factor;
-    const double dram_cycles = dram_bytes / tech_.dramBytesPerCycle;
+    const double dram_cycles = dram_bytes / prep.dramBytesPerCycle;
 
     // --- Latency -------------------------------------------------------
     const double total_inner = l2_tiles * inner_cycles;
     const double cycles = std::max(total_inner, dram_cycles) +
                           dram_cycles * 0.02 + 100.0;
-    const double latency_ms = cycles / (tech_.clockGhz * 1e6);
+    const double latency_ms = cycles / (prep.clockGhz * 1e6);
 
     // --- Energy ----------------------------------------------------------
-    const double macs = static_cast<double>(op.macs());
-    const double l1_kb = static_cast<double>(hw.l1Bytes) / 1024.0;
-    const double l2_kb = static_cast<double>(hw.l2Bytes) / 1024.0;
-    const double e_mac = macs * tech_.macPj;
-    // Per-MAC operand reads/writes that miss the register file hit L1.
-    const double l1_accesses = 3.0 * macs * (1.0 - tech_.registerReuse);
-    const double e_l1 = l1_accesses *
-                        sramAccessPj(tech_.l1BasePj, tech_.l1SlopePj, l1_kb);
+    // The MAC and register-miss L1 terms are mapping-independent and
+    // arrive precomputed; the traffic-driven terms are per-candidate.
     const double noc_bytes_total = l2_tiles * waves * noc_bytes_per_wave;
-    const double avg_hops =
-        0.25 * static_cast<double>(hw.peX + hw.peY) + 1.0;
-    const double e_noc = noc_bytes_total * tech_.nocPjPerByteHop * avg_hops;
+    const double e_noc =
+        noc_bytes_total * prep.nocPjPerByteHop * prep.avgHops;
     const double l2_accesses = (noc_bytes_total + dram_bytes) / 2.0;
-    const double e_l2 = l2_accesses *
-                        sramAccessPj(tech_.l2BasePj, tech_.l2SlopePj, l2_kb);
-    const double e_dram = (dram_bytes / 2.0) * tech_.dramPj;
-    const double energy_pj = e_mac + e_l1 + e_noc + e_l2 + e_dram;
+    const double e_l2 = l2_accesses * prep.l2AccessPj;
+    const double e_dram = (dram_bytes / 2.0) * prep.dramPj;
+    const double energy_pj = prep.eMac + prep.eL1 + e_noc + e_l2 + e_dram;
 
     // --- Power and area -------------------------------------------------
-    const double area = areaMm2(hw);
-    const double latency_ns = cycles / tech_.clockGhz;
+    const double latency_ns = cycles / prep.clockGhz;
     // pJ / ns == mW.
     const double dynamic_mw = energy_pj / std::max(latency_ns, 1.0);
-    const double static_mw = tech_.staticMwPerMm2 * area;
 
     Ppa ppa;
     ppa.latencyMs = latency_ms;
-    ppa.powerMw = dynamic_mw + static_mw;
-    ppa.areaMm2 = area;
+    ppa.powerMw = dynamic_mw + prep.staticMw;
+    ppa.areaMm2 = prep.areaMm2;
     ppa.energyMj = energy_pj * 1e-9; // 1 mJ == 1e9 pJ
     ppa.feasible = true;
     return ppa;
+}
+
+PreparedSpatialQuery
+AnalyticalCostModel::makeContext(const TensorOp &op,
+                                 const SpatialHwConfig &hw) const
+{
+    PreparedSpatialQuery q;
+    q.extents = Tile{op.n, op.k, op.c, op.y, op.x, op.r, op.s};
+    const OperandDims od = operandDims(op);
+    q.inputDims = od.input;
+    q.weightDims = od.weight;
+    q.outputDims = od.output;
+    q.depthwise = op.kind == OpKind::DepthwiseConv2D;
+    q.strideX = op.strideX;
+    q.strideY = op.strideY;
+    q.weightStationary = hw.dataflow == Dataflow::WeightStationary;
+    q.peX = hw.peX;
+    q.peY = hw.peY;
+    q.l1Limit = static_cast<double>(hw.l1Bytes);
+    q.l2Limit = static_cast<double>(hw.l2Bytes);
+    q.nocBandwidth = static_cast<double>(hw.nocBandwidth);
+    q.dramBytesPerCycle = tech_.dramBytesPerCycle;
+    q.clockGhz = tech_.clockGhz;
+    q.nocPjPerByteHop = tech_.nocPjPerByteHop;
+    q.dramPj = tech_.dramPj;
+    q.macs = static_cast<double>(op.macs());
+    // Expression trees below replicate the historical evaluate() body
+    // exactly so the hoisted terms are bit-identical to the seed.
+    const double l1_kb = static_cast<double>(hw.l1Bytes) / 1024.0;
+    const double l2_kb = static_cast<double>(hw.l2Bytes) / 1024.0;
+    q.eMac = q.macs * tech_.macPj;
+    const double l1_accesses = 3.0 * q.macs * (1.0 - tech_.registerReuse);
+    q.eL1 = l1_accesses *
+            sramAccessPj(tech_.l1BasePj, tech_.l1SlopePj, l1_kb);
+    q.l2AccessPj = sramAccessPj(tech_.l2BasePj, tech_.l2SlopePj, l2_kb);
+    q.avgHops = 0.25 * static_cast<double>(hw.peX + hw.peY) + 1.0;
+    q.areaMm2 = areaMm2(hw);
+    q.staticMw = tech_.staticMwPerMm2 * q.areaMm2;
+    return q;
+}
+
+PreparedSpatialQuery
+AnalyticalCostModel::prepare(const TensorOp &op,
+                             const SpatialHwConfig &hw) const
+{
+    PreparedSpatialQuery q = makeContext(op, hw);
+    q.context = queryFingerprint(op, hw);
+    return q;
+}
+
+Ppa
+AnalyticalCostModel::evaluate(const TensorOp &op, const SpatialHwConfig &hw,
+                              const Mapping &m) const
+{
+    return evaluate(makeContext(op, hw), m);
+}
+
+Ppa
+AnalyticalCostModel::evaluateCached(const PreparedSpatialQuery &prep,
+                                    const mapping::Mapping &m,
+                                    accel::EvalCache &cache) const
+{
+    const common::Fingerprint key = prep.cacheKey(m);
+    if (const auto hit = cache.get(key))
+        return hit->ppa;
+    const Ppa ppa = evaluate(prep, m);
+    accel::CachedEval entry;
+    entry.ppa = ppa;
+    entry.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+    entry.seconds = nominalEvalSeconds();
+    cache.put(key, entry);
+    return ppa;
+}
+
+std::vector<Ppa>
+AnalyticalCostModel::evaluateBatch(const PreparedSpatialQuery &prep,
+                                   const std::vector<mapping::Mapping> &ms,
+                                   common::ThreadPool *pool) const
+{
+    std::vector<Ppa> out(ms.size());
+    if (pool == nullptr || ms.size() <= 1) {
+        for (std::size_t i = 0; i < ms.size(); ++i)
+            out[i] = evaluate(prep, ms[i]);
+        return out;
+    }
+    common::ThreadPool::Batch batch(*pool);
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        batch.submit([this, &prep, &ms, &out, i] {
+            out[i] = evaluate(prep, ms[i]);
+        });
+    batch.wait();
+    return out;
 }
 
 common::Fingerprint
@@ -348,7 +429,7 @@ AnalyticalCostModel::evaluateCached(const workload::TensorOp &op,
                                     accel::EvalCache &cache) const
 {
     const common::Fingerprint key =
-        common::combine(queryFingerprint(op, hw), m.fingerprint());
+        accel::evalCacheKey(queryFingerprint(op, hw), m.fingerprint());
     if (const auto hit = cache.get(key))
         return hit->ppa;
     const Ppa ppa = evaluate(op, hw, m);

@@ -19,10 +19,18 @@
 #ifndef UNICO_COSTMODEL_ANALYTICAL_HH
 #define UNICO_COSTMODEL_ANALYTICAL_HH
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
 #include "accel/ppa.hh"
 #include "accel/spatial.hh"
 #include "mapping/mapping.hh"
 #include "workload/tensor_op.hh"
+
+namespace unico::common {
+class ThreadPool;
+} // namespace unico::common
 
 namespace unico::costmodel {
 
@@ -44,6 +52,57 @@ struct TechParams
     double staticMwPerMm2 = 6.0; ///< leakage per mm^2
     double registerReuse = 0.45; ///< fraction of MAC operand reads
                                  ///< that hit the PE register file
+};
+
+/**
+ * Candidate-invariant context of one (tech, operator, hardware)
+ * query, built once per layer-run by AnalyticalCostModel::prepare()
+ * and then amortized over thousands of mapping evaluations. It
+ * precomputes everything evaluate() needs that does not depend on
+ * the mapping: operand-dim masks, byte capacity limits, the
+ * sqrt-bearing SRAM access energies, fully invariant energy terms,
+ * hardware area/static power, and the query fingerprint prefix that
+ * evaluateCached() previously re-hashed on every call.
+ *
+ * The struct is self-contained by value — it holds no references to
+ * the TensorOp/SpatialHwConfig it was built from, so it may outlive
+ * both. Fields are filled by the model; treat them as read-only.
+ */
+struct PreparedSpatialQuery
+{
+    std::array<std::int64_t, mapping::kNumDims> extents{};
+    std::array<bool, mapping::kNumDims> inputDims{};
+    std::array<bool, mapping::kNumDims> weightDims{};
+    std::array<bool, mapping::kNumDims> outputDims{};
+    bool depthwise = false;
+    std::int64_t strideX = 1;
+    std::int64_t strideY = 1;
+    bool weightStationary = false;
+    std::int64_t peX = 1;
+    std::int64_t peY = 1;
+    double l1Limit = 0.0;        ///< hw.l1Bytes as double
+    double l2Limit = 0.0;        ///< hw.l2Bytes as double
+    double nocBandwidth = 1.0;   ///< bytes per cycle
+    double dramBytesPerCycle = 1.0;
+    double clockGhz = 1.0;
+    double nocPjPerByteHop = 0.0;
+    double dramPj = 0.0;
+    double macs = 0.0;           ///< op.macs()
+    double eMac = 0.0;           ///< macs * macPj
+    double eL1 = 0.0;            ///< register-miss L1 energy (invariant)
+    double l2AccessPj = 0.0;     ///< sramAccessPj at the L2 size
+    double avgHops = 0.0;        ///< average NoC hop count
+    double areaMm2 = 0.0;        ///< mapping-independent area
+    double staticMw = 0.0;       ///< leakage at that area
+    /** (model kind, tech, op, hw) fingerprint prefix. */
+    common::Fingerprint context{};
+
+    /** Evaluation-cache key for one mapping under this context. */
+    common::Fingerprint
+    cacheKey(const mapping::Mapping &m) const
+    {
+        return accel::evalCacheKey(context, m.fingerprint());
+    }
 };
 
 /** Analytical PPA estimation engine for the spatial template. */
@@ -78,6 +137,41 @@ class AnalyticalCostModel
                               accel::EvalCache &cache) const;
 
     /**
+     * Build the candidate-invariant query context for (op, hw),
+     * including the cache-key fingerprint prefix. Build once per
+     * layer-run, then evaluate every candidate through it.
+     */
+    PreparedSpatialQuery prepare(const workload::TensorOp &op,
+                                 const accel::SpatialHwConfig &hw) const;
+
+    /**
+     * evaluate() through a prepared context. Bit-identical to
+     * evaluate(op, hw, m) for the (op, hw) the context was built
+     * from — pinned by tests — just without the per-call setup.
+     */
+    accel::Ppa evaluate(const PreparedSpatialQuery &prep,
+                        const mapping::Mapping &m) const;
+
+    /** evaluateCached() through a prepared context (no re-hashing of
+     *  the query prefix; the stored entries are shared with the
+     *  unprepared path). */
+    accel::Ppa evaluateCached(const PreparedSpatialQuery &prep,
+                              const mapping::Mapping &m,
+                              accel::EvalCache &cache) const;
+
+    /**
+     * Evaluate a block of candidates under one prepared context.
+     * Results are index-aligned with @p ms. With a non-null @p pool
+     * the evaluations fan out across its workers; each evaluation is
+     * a pure function of (context, mapping), so the result vector is
+     * byte-identical to the serial path regardless of schedule.
+     */
+    std::vector<accel::Ppa>
+    evaluateBatch(const PreparedSpatialQuery &prep,
+                  const std::vector<mapping::Mapping> &ms,
+                  common::ThreadPool *pool = nullptr) const;
+
+    /**
      * Stable fingerprint of one (model kind, tech constants, op, hw)
      * query context; combined with a mapping fingerprint it forms the
      * evaluation-cache key.
@@ -97,6 +191,11 @@ class AnalyticalCostModel
 
   private:
     static common::Fingerprint techFingerprint(const TechParams &tech);
+
+    /** prepare() without the fingerprint prefix (used by the
+     *  unprepared evaluate() wrapper, which never touches the cache). */
+    PreparedSpatialQuery makeContext(const workload::TensorOp &op,
+                                     const accel::SpatialHwConfig &hw) const;
 
     TechParams tech_;
     common::Fingerprint techFp_;

@@ -24,6 +24,10 @@
 #include "common/rng.hh"
 #include "mapping/mapping.hh"
 
+namespace unico::common {
+class ThreadPool;
+} // namespace unico::common
+
 namespace unico::mapping {
 
 /**
@@ -47,6 +51,16 @@ struct MappingEval
 
 /** PPA estimation callback: mapping -> evaluation. */
 using MappingEvaluator = std::function<MappingEval(const Mapping &)>;
+
+/**
+ * Batched PPA estimation: one candidate block in, index-aligned
+ * evaluations out. The determinism contract every implementation must
+ * honor: the returned vector is byte-identical to calling the
+ * equivalent single-candidate evaluator on each element in index
+ * order, regardless of how the work is scheduled internally.
+ */
+using BatchMappingEvaluator =
+    std::function<std::vector<MappingEval>(const std::vector<Mapping> &)>;
 
 /**
  * Candidate pre-screen backed by a learned cost model.
@@ -102,6 +116,44 @@ MappingEvaluator cachingEvaluator(accel::EvalCache *cache,
                                   common::Fingerprint context,
                                   MappingEvaluator inner,
                                   double seconds = 0.0);
+
+/** Trivial batch adapter: @p inner called per element in index order. */
+BatchMappingEvaluator serialBatch(MappingEvaluator inner);
+
+/**
+ * Fan one candidate block across @p pool (nullptr degrades to
+ * serialBatch). @p inner must be a pure function of the mapping —
+ * the raw cost-model evaluator, not a stateful decorator — so the
+ * index-aligned result vector is byte-identical to serial execution
+ * for any schedule.
+ */
+BatchMappingEvaluator parallelBatch(MappingEvaluator inner,
+                                    common::ThreadPool *pool);
+
+/**
+ * Batched counterpart of cachingEvaluator: probes the whole block
+ * first, forwards only the misses to @p inner as one (smaller) block,
+ * then stores and merges index-aligned. Entries are shared with the
+ * single-candidate decorator. nullptr @p cache returns @p inner
+ * unchanged.
+ */
+BatchMappingEvaluator cachingBatchEvaluator(accel::EvalCache *cache,
+                                            common::Fingerprint context,
+                                            BatchMappingEvaluator inner,
+                                            double seconds = 0.0);
+
+/**
+ * Batched counterpart of screeningEvaluator. An active screen is
+ * stateful (each exact result trains it before the next candidate is
+ * screened), so with @p screen non-null the block is processed
+ * strictly serially through @p one — the evaluator sitting *below*
+ * the screen, i.e. the cached exact path — preserving byte-identity
+ * with the unbatched decorator stack. With @p screen == nullptr the
+ * pass-through @p batch is returned and candidates may fan out.
+ */
+BatchMappingEvaluator screeningBatchEvaluator(CandidateScreen *screen,
+                                              MappingEvaluator one,
+                                              BatchMappingEvaluator batch);
 
 /** One raw evaluated sample, retained for the robustness metric. */
 struct SamplePoint
@@ -190,11 +242,20 @@ const char *toString(EngineKind kind);
  * @param space mapping space of the target operator
  * @param evaluator PPA estimation callback
  * @param seed deterministic seed for this run
+ * @param batch optional batched evaluator. When set, the phases whose
+ *        candidate generation does not depend on evaluation results —
+ *        the Random engine's sampling, the Annealing engine's
+ *        exploration prologue and the Genetic engine's population
+ *        seeding — generate their candidate block up front and
+ *        evaluate it through @p batch; results are recorded in index
+ *        order, so the trajectory is byte-identical to the serial
+ *        path. Sequentially dependent phases ignore it.
  */
 std::unique_ptr<SearchRun> startSearch(EngineKind kind,
                                        const MappingSpace &space,
                                        MappingEvaluator evaluator,
-                                       std::uint64_t seed);
+                                       std::uint64_t seed,
+                                       BatchMappingEvaluator batch = nullptr);
 
 } // namespace unico::mapping
 

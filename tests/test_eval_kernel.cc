@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Bit-identity tests for the cold-evaluation kernel: prepared query
+ * contexts must reproduce the direct evaluate() path exactly, the
+ * cube simulator's loop-invariant fast path must match the traced
+ * reference (which still runs the historical per-L0-tile loop), the
+ * batch decorators must be byte-identical to serial per-element
+ * evaluation in index order, and the shared ceilDiv helper must
+ * handle its edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "accel/ascend.hh"
+#include "accel/ppa.hh"
+#include "accel/spatial.hh"
+#include "camodel/cube_mapping.hh"
+#include "camodel/search.hh"
+#include "camodel/simulator.hh"
+#include "common/math.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "costmodel/analytical.hh"
+#include "mapping/engine.hh"
+#include "mapping/mapping.hh"
+#include "workload/model_zoo.hh"
+
+using namespace unico;
+
+namespace {
+
+/** Exact bit equality, distinguishing -0.0/0.0 and NaN payloads. */
+void
+expectSameBits(double a, double b, const char *what)
+{
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a),
+              std::bit_cast<std::uint64_t>(b))
+        << what << ": " << a << " vs " << b;
+}
+
+void
+expectSamePpa(const accel::Ppa &a, const accel::Ppa &b)
+{
+    expectSameBits(a.latencyMs, b.latencyMs, "latencyMs");
+    expectSameBits(a.powerMw, b.powerMw, "powerMw");
+    expectSameBits(a.areaMm2, b.areaMm2, "areaMm2");
+    expectSameBits(a.energyMj, b.energyMj, "energyMj");
+    EXPECT_EQ(a.feasible, b.feasible);
+}
+
+std::vector<workload::TensorOp>
+zooOps()
+{
+    std::vector<workload::TensorOp> ops;
+    for (const char *name : {"mobilenet", "resnet", "bert"})
+        for (const auto &wop : workload::makeNetwork(name).dominantOps(2))
+            ops.push_back(wop.op);
+    return ops;
+}
+
+} // namespace
+
+/* ---------------------- prepared contexts ----------------------- */
+
+TEST(PreparedSpatialQuery, BitIdenticalToDirectEvaluate)
+{
+    const costmodel::AnalyticalCostModel model;
+    const accel::SpatialDesignSpace ds(accel::Scenario::Edge);
+    common::Rng rng(7);
+    for (const auto &op : zooOps()) {
+        const mapping::MappingSpace space(op);
+        for (int trial = 0; trial < 8; ++trial) {
+            const auto hw = ds.decode(ds.space().randomPoint(rng));
+            const costmodel::PreparedSpatialQuery prep =
+                model.prepare(op, hw);
+            EXPECT_EQ(prep.context, model.queryFingerprint(op, hw));
+            for (int i = 0; i < 16; ++i) {
+                const mapping::Mapping m = space.random(rng);
+                expectSamePpa(model.evaluate(op, hw, m),
+                              model.evaluate(prep, m));
+                EXPECT_EQ(prep.cacheKey(m),
+                          accel::evalCacheKey(prep.context,
+                                              m.fingerprint()));
+            }
+        }
+    }
+}
+
+TEST(PreparedCubeQuery, BitIdenticalToDirectEvaluate)
+{
+    const camodel::CycleAccurateModel model;
+    const accel::AscendDesignSpace ds;
+    common::Rng rng(11);
+    const auto op = workload::TensorOp::gemm("g", 384, 512, 256);
+    const camodel::CubeMappingSpace space(op);
+    for (int trial = 0; trial < 6; ++trial) {
+        const auto hw = ds.decode(ds.space().randomPoint(rng));
+        const camodel::PreparedCubeQuery prep = model.prepare(op, hw);
+        EXPECT_EQ(prep.context, model.queryFingerprint(op, hw));
+        for (int i = 0; i < 6; ++i) {
+            const camodel::CubeMapping m = space.random(rng);
+            expectSamePpa(model.evaluate(op, hw, m),
+                          model.evaluate(prep, m));
+        }
+    }
+}
+
+/* ----------------- cube fast path vs traced path ---------------- */
+
+/**
+ * The traced path (traceLimit > 0) keeps the historical per-L0-tile
+ * double loop; the untraced fast path hoists the loop-invariant
+ * inner pipeline. Both must produce the same PPA and the same
+ * counters for the counters that feed it.
+ */
+TEST(CubeFastPath, TracedMatchesUntracedExactly)
+{
+    camodel::CubeTech traced_tech;
+    traced_tech.traceLimit = 4;
+    const camodel::CycleAccurateModel fast;   // default: traceLimit 0
+    const camodel::CycleAccurateModel traced(traced_tech);
+    const accel::AscendDesignSpace ds;
+    common::Rng rng(13);
+    for (const auto &op :
+         {workload::TensorOp::gemm("a", 512, 512, 512),
+          workload::TensorOp::gemm("b", 96, 1024, 64),
+          workload::TensorOp::gemm("c", 17, 33, 129)}) {
+        const camodel::CubeMappingSpace space(op);
+        for (int trial = 0; trial < 4; ++trial) {
+            const auto hw = ds.decode(ds.space().randomPoint(rng));
+            for (int i = 0; i < 4; ++i) {
+                const camodel::CubeMapping m = space.random(rng);
+                camodel::SimStats sf, st;
+                const accel::Ppa pf = fast.evaluate(op, hw, m, &sf);
+                const accel::Ppa pt = traced.evaluate(op, hw, m, &st);
+                expectSamePpa(pf, pt);
+                expectSameBits(sf.cycles, st.cycles, "cycles");
+                expectSameBits(sf.cubeBusyCycles, st.cubeBusyCycles,
+                               "cubeBusyCycles");
+                expectSameBits(sf.vecBusyCycles, st.vecBusyCycles,
+                               "vecBusyCycles");
+                expectSameBits(sf.dramBytes, st.dramBytes, "dramBytes");
+                EXPECT_EQ(sf.l0Tiles, st.l0Tiles);
+                EXPECT_EQ(sf.l1Tiles, st.l1Tiles);
+                EXPECT_EQ(sf.extrapolated, st.extrapolated);
+            }
+        }
+    }
+}
+
+/* --------------------- batched evaluation ----------------------- */
+
+TEST(EvaluateBatch, SpatialMatchesSerialUnderPool)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = zooOps().front();
+    const accel::SpatialDesignSpace ds(accel::Scenario::Edge);
+    common::Rng rng(17);
+    const auto hw = ds.decode(ds.space().randomPoint(rng));
+    const mapping::MappingSpace space(op);
+    std::vector<mapping::Mapping> ms;
+    for (int i = 0; i < 64; ++i)
+        ms.push_back(space.random(rng));
+    const auto prep = model.prepare(op, hw);
+    const auto serial = model.evaluateBatch(prep, ms);
+    ASSERT_EQ(serial.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSamePpa(serial[i], model.evaluate(prep, ms[i]));
+    common::ThreadPool pool(3);
+    const auto pooled = model.evaluateBatch(prep, ms, &pool);
+    ASSERT_EQ(pooled.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSamePpa(serial[i], pooled[i]);
+}
+
+TEST(EvaluateBatch, CubeMatchesSerialUnderPool)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 256, 256, 256);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(19);
+    std::vector<camodel::CubeMapping> ms;
+    for (int i = 0; i < 12; ++i)
+        ms.push_back(space.random(rng));
+    const auto prep = model.prepare(op, hw);
+    const auto serial = model.evaluateBatch(prep, ms);
+    ASSERT_EQ(serial.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSamePpa(serial[i], model.evaluate(prep, ms[i]));
+    common::ThreadPool pool(4);
+    const auto pooled = model.evaluateBatch(prep, ms, &pool);
+    ASSERT_EQ(pooled.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSamePpa(serial[i], pooled[i]);
+}
+
+/* ------------------- engine batch decorators -------------------- */
+
+namespace {
+
+mapping::MappingEvaluator
+spatialEvaluator(const costmodel::AnalyticalCostModel &model,
+                 const costmodel::PreparedSpatialQuery &prep)
+{
+    return [&model, &prep](const mapping::Mapping &m) {
+        const accel::Ppa ppa = model.evaluate(prep, m);
+        mapping::MappingEval eval;
+        eval.ppa = ppa;
+        eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+        return eval;
+    };
+}
+
+void
+expectSameEval(const mapping::MappingEval &a,
+               const mapping::MappingEval &b)
+{
+    expectSamePpa(a.ppa, b.ppa);
+    expectSameBits(a.loss, b.loss, "loss");
+    EXPECT_EQ(a.fidelity, b.fidelity);
+}
+
+} // namespace
+
+TEST(BatchDecorators, SerialAndParallelBatchMatchPerElement)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = zooOps().front();
+    const accel::SpatialDesignSpace ds(accel::Scenario::Edge);
+    common::Rng rng(23);
+    const auto hw = ds.decode(ds.space().randomPoint(rng));
+    const auto prep = model.prepare(op, hw);
+    const mapping::MappingSpace space(op);
+    std::vector<mapping::Mapping> ms;
+    for (int i = 0; i < 40; ++i)
+        ms.push_back(space.random(rng));
+    const auto one = spatialEvaluator(model, prep);
+    const auto serial = mapping::serialBatch(one)(ms);
+    ASSERT_EQ(serial.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(serial[i], one(ms[i]));
+    common::ThreadPool pool(3);
+    const auto pooled = mapping::parallelBatch(one, &pool)(ms);
+    ASSERT_EQ(pooled.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(serial[i], pooled[i]);
+    // Null pool degrades to the serial path.
+    const auto nopool = mapping::parallelBatch(one, nullptr)(ms);
+    ASSERT_EQ(nopool.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(serial[i], nopool[i]);
+}
+
+TEST(BatchDecorators, CachingBatchMergesHitsAndMisses)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = zooOps().front();
+    const accel::SpatialDesignSpace ds(accel::Scenario::Edge);
+    common::Rng rng(29);
+    const auto hw = ds.decode(ds.space().randomPoint(rng));
+    const auto prep = model.prepare(op, hw);
+    const mapping::MappingSpace space(op);
+    std::vector<mapping::Mapping> ms;
+    for (int i = 0; i < 32; ++i)
+        ms.push_back(space.random(rng));
+    // Duplicate a few candidates inside the block: same-block
+    // duplicates must come back identical too.
+    ms.push_back(ms[0]);
+    ms.push_back(ms[5]);
+    const auto one = spatialEvaluator(model, prep);
+
+    accel::EvalCache cache(1 << 20);
+    const double sec =
+        costmodel::AnalyticalCostModel::nominalEvalSeconds();
+    // Warm half of the block through the serial caching path.
+    const auto warm =
+        mapping::cachingEvaluator(&cache, prep.context, one, sec);
+    for (std::size_t i = 0; i < ms.size(); i += 2)
+        (void)warm(ms[i]);
+
+    const auto batch = mapping::cachingBatchEvaluator(
+        &cache, prep.context,
+        mapping::serialBatch(one), sec);
+    const auto got = batch(ms);
+    ASSERT_EQ(got.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(got[i], one(ms[i]));
+
+    // Every candidate is now cached: a second pass is all hits and
+    // still identical.
+    const auto again = batch(ms);
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(again[i], one(ms[i]));
+}
+
+TEST(BatchDecorators, NullScreenForwardsToBatch)
+{
+    const costmodel::AnalyticalCostModel model;
+    const auto op = zooOps().front();
+    const accel::SpatialDesignSpace ds(accel::Scenario::Edge);
+    common::Rng rng(31);
+    const auto hw = ds.decode(ds.space().randomPoint(rng));
+    const auto prep = model.prepare(op, hw);
+    const mapping::MappingSpace space(op);
+    std::vector<mapping::Mapping> ms;
+    for (int i = 0; i < 8; ++i)
+        ms.push_back(space.random(rng));
+    const auto one = spatialEvaluator(model, prep);
+    const auto wrapped = mapping::screeningBatchEvaluator(
+        nullptr, one, mapping::serialBatch(one));
+    const auto got = wrapped(ms);
+    ASSERT_EQ(got.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(got[i], one(ms[i]));
+}
+
+TEST(BatchDecorators, CubeSerialBatchMatchesPerElement)
+{
+    const camodel::CycleAccurateModel model;
+    const auto op = workload::TensorOp::gemm("g", 128, 256, 128);
+    const auto hw = accel::CubeHwConfig::expertDefault();
+    const auto prep = model.prepare(op, hw);
+    const camodel::CubeMappingSpace space(op);
+    common::Rng rng(37);
+    std::vector<camodel::CubeMapping> ms;
+    for (int i = 0; i < 8; ++i)
+        ms.push_back(space.random(rng));
+    camodel::CubeEvaluator one =
+        [&model, &prep](const camodel::CubeMapping &m) {
+            const accel::Ppa ppa = model.evaluate(prep, m);
+            mapping::MappingEval eval;
+            eval.ppa = ppa;
+            eval.loss = ppa.feasible ? ppa.latencyMs : 1e12;
+            return eval;
+        };
+    const auto got = camodel::serialBatch(one)(ms);
+    ASSERT_EQ(got.size(), ms.size());
+    for (std::size_t i = 0; i < ms.size(); ++i)
+        expectSameEval(got[i], one(ms[i]));
+}
+
+/* ------------------------- ceilDiv ------------------------------ */
+
+TEST(CeilDiv, EdgeCases)
+{
+    using common::ceilDiv;
+    EXPECT_EQ(ceilDiv(0, 1), 0);
+    EXPECT_EQ(ceilDiv(0, 7), 0);
+    EXPECT_EQ(ceilDiv(1, 1), 1);
+    EXPECT_EQ(ceilDiv(1, 7), 1);
+    EXPECT_EQ(ceilDiv(6, 7), 1);
+    EXPECT_EQ(ceilDiv(7, 7), 1);
+    EXPECT_EQ(ceilDiv(8, 7), 2);
+    EXPECT_EQ(ceilDiv(13, 7), 2);
+    EXPECT_EQ(ceilDiv(14, 7), 2);
+    EXPECT_EQ(ceilDiv(15, 7), 3);
+    const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+    EXPECT_EQ(ceilDiv(big, 1), big);
+    EXPECT_EQ(ceilDiv(big, big), 1);
+    EXPECT_EQ(ceilDiv(big - 1, big), 1);
+    // (a + b - 1) / b naively overflows for a near INT64_MAX; the
+    // shared helper must not.
+    EXPECT_EQ(ceilDiv(big, 2), big / 2 + 1);
+}

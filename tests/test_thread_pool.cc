@@ -151,3 +151,89 @@ TEST(RunParallelCaptured, PerJobOutcomes)
         EXPECT_TRUE(outcomes[3].ok());
     }
 }
+
+TEST(ThreadPoolBatch, IndependentBatchesOnOnePool)
+{
+    ThreadPool pool(3);
+    std::atomic<int> a{0}, b{0};
+    ThreadPool::Batch first(pool);
+    ThreadPool::Batch second(pool);
+    for (int i = 0; i < 25; ++i) {
+        first.submit([&a] { ++a; });
+        second.submit([&b] { ++b; });
+    }
+    first.wait();
+    EXPECT_EQ(a.load(), 25);
+    second.wait();
+    EXPECT_EQ(b.load(), 25);
+    EXPECT_TRUE(first.drainFailures().empty());
+    EXPECT_TRUE(second.drainFailures().empty());
+}
+
+TEST(ThreadPoolBatch, FailuresStayWithTheirBatch)
+{
+    ThreadPool pool(2);
+    ThreadPool::Batch bad(pool);
+    ThreadPool::Batch good(pool);
+    bad.submit([] { throw std::runtime_error("batch-local"); });
+    good.submit([] {});
+    bad.wait();
+    good.wait();
+    EXPECT_EQ(bad.drainFailures().size(), 1u);
+    EXPECT_TRUE(good.drainFailures().empty());
+    // The global capture channel is untouched by batch failures.
+    EXPECT_TRUE(pool.drainFailures().empty());
+}
+
+TEST(RunParallel, PersistentPoolMatchesTransient)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::atomic<int>> cells(32);
+        std::vector<std::function<void()>> jobs;
+        for (int i = 0; i < 32; ++i)
+            jobs.push_back([&cells, i] { cells[i] = i + 1; });
+        runParallel(jobs, pool);
+        for (int i = 0; i < 32; ++i)
+            EXPECT_EQ(cells[i].load(), i + 1);
+    }
+}
+
+TEST(RunParallel, PersistentPoolRethrowsFirstFailure)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back([&counter, i] {
+            if (i == 2)
+                throw EvalFault(EvalStatus::Transient, "inj");
+            ++counter;
+        });
+    EXPECT_THROW(runParallel(jobs, pool), EvalFault);
+    EXPECT_EQ(counter.load(), 5);
+    // Pool stays usable.
+    counter = 0;
+    std::vector<std::function<void()>> ok;
+    for (int i = 0; i < 6; ++i)
+        ok.push_back([&counter] { ++counter; });
+    runParallel(ok, pool);
+    EXPECT_EQ(counter.load(), 6);
+}
+
+TEST(LazyThreadPool, MaterializesOnceOnFirstUse)
+{
+    unico::common::LazyThreadPool lazy(3);
+    EXPECT_EQ(lazy.configuredThreads(), 3u);
+    ThreadPool &first = lazy.get();
+    EXPECT_EQ(first.size(), 3u);
+    ThreadPool &again = lazy.get();
+    EXPECT_EQ(&first, &again); // one pool per process, ever
+
+    std::atomic<int> counter{0};
+    ThreadPool::Batch batch(lazy.get());
+    for (int i = 0; i < 10; ++i)
+        batch.submit([&counter] { ++counter; });
+    batch.wait();
+    EXPECT_EQ(counter.load(), 10);
+}

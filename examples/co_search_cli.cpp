@@ -21,7 +21,9 @@
  *                 [--checkpoint-every N] [--checkpoint-keep K] \
  *                 [--wall-deadline SEC] [--eval-wall-deadline SEC] \
  *                 [--workers N] [--worker-eval-deadline SEC] \
- *                 [--worker-chaos-kills K] [--worker-chaos-seed S]
+ *                 [--worker-chaos-kills K] [--worker-chaos-seed S] \
+ *                 [--fleet-listen HOST:PORT] [--fleet-port-file FILE] \
+ *                 [--fleet-connect HOST:PORT]
  *
  * Evaluation fleet: --workers N forks N evaluation worker processes
  * (master/worker over CRC-framed socketpairs, Sec. 3.5's cluster
@@ -31,6 +33,18 @@
  * byte-identical to the in-process run for any worker count, even
  * under --worker-chaos-kills, which SIGKILLs live workers mid-search
  * at seeded points to prove exactly that.
+ *
+ * Multi-host fleet: --fleet-listen HOST:PORT (with --workers N)
+ * switches the master from forked workers to a TCP listener that
+ * adopts N remote workers as they dial in (":0" picks a free port;
+ * --fleet-port-file writes the resolved port for scripts). On another
+ * host — or through the chaos_proxy binary — start workers with the
+ * SAME workload/backend/scenario flags plus --fleet-connect
+ * HOST:PORT: the handshake refuses a worker whose stack identity
+ * (backend, scenario, workload digest) differs, and a worker that
+ * loses its connection reconnects with jittered exponential backoff
+ * and resumes exactly-once via op-history replay. Results stay
+ * byte-identical to the in-process run through all of it.
  *
  * Fault tolerance: the --*-rate flags wrap the environment in a
  * deterministic fault injector (per-evaluation crash/hang/corrupt
@@ -115,6 +129,8 @@ usage(const char *prog)
            "  [--wall-deadline SEC] [--eval-wall-deadline SEC]\n"
            "  [--workers N] [--worker-eval-deadline SEC]"
            " [--worker-chaos-kills K] [--worker-chaos-seed S]\n"
+           "  [--fleet-listen HOST:PORT] [--fleet-port-file FILE]"
+           " [--fleet-connect HOST:PORT]\n"
            "backends: ";
     for (const auto &name : core::backendNames())
         std::cerr << name << " ";
@@ -250,6 +266,33 @@ main(int argc, char **argv)
         std::cout << "fault injection: "
                   << faulty_env.plan().describe() << "\n";
 
+    // Remote worker mode: this process serves evaluations for a
+    // master elsewhere instead of searching itself. It must be built
+    // with the SAME workload/backend/scenario flags — the handshake
+    // verifies the stack identity and refuses a mismatch, because a
+    // worker on the wrong workload would silently diverge the search.
+    const std::string fleet_connect =
+        args.getString("fleet-connect", "");
+    if (!fleet_connect.empty()) {
+        core::FleetWorkerOptions wopts;
+        wopts.connectAddr = fleet_connect;
+        wopts.connectDeadlineSeconds =
+            args.getDouble("fleet-connect-deadline", 10.0);
+        wopts.maxReconnectAttempts = static_cast<int>(
+            args.getInt("fleet-reconnect-attempts", 10));
+        wopts.reconnectMaxSeconds =
+            args.getDouble("fleet-reconnect-max", 2.0);
+        std::cout << "fleet worker: dialing " << fleet_connect << "\n";
+        const int rc = core::runFleetWorkerClient(base_env, wopts);
+        if (rc == 1)
+            std::cerr << "error: master at " << fleet_connect
+                      << " unreachable\n";
+        else if (rc == 2)
+            std::cerr << "error: master refused this worker's stack "
+                         "identity (wrong workload/backend/scenario)\n";
+        return rc;
+    }
+
     // Optional evaluation fleet: fork worker processes NOW, while the
     // process is still single-threaded (the zygote must precede the
     // driver's thread pool). Results are byte-identical to the
@@ -268,6 +311,11 @@ main(int argc, char **argv)
         return usage(args.program().c_str());
     }
     const auto fleet_workers = static_cast<std::size_t>(workers_arg);
+    const std::string fleet_listen = args.getString("fleet-listen", "");
+    if (!fleet_listen.empty() && fleet_workers == 0) {
+        std::cerr << "error: --fleet-listen requires --workers N\n";
+        return usage(args.program().c_str());
+    }
     if (fleet_workers > 0) {
         core::FleetConfig fleet_cfg;
         fleet_cfg.workers = fleet_workers;
@@ -275,10 +323,23 @@ main(int argc, char **argv)
         fleet_cfg.chaosKills = static_cast<int>(worker_kills);
         fleet_cfg.chaosSeed = static_cast<std::uint64_t>(
             args.getInt("worker-chaos-seed", 0x5eed));
+        fleet_cfg.listenAddr = fleet_listen;
+        fleet_cfg.connectWaitSeconds =
+            args.getDouble("fleet-connect-wait", 30.0);
+        fleet_cfg.reconnectWaitSeconds =
+            args.getDouble("fleet-reconnect-wait", 5.0);
+        // Written by the transport the moment the bind resolves —
+        // BEFORE the constructor below blocks waiting for workers,
+        // who need the port to dial in.
+        fleet_cfg.listenPortFile =
+            args.getString("fleet-port-file", "");
         fleet_env =
             std::make_unique<core::FleetEnv>(base_env, fleet_cfg);
         std::cout << "evaluation fleet: " << fleet_env->liveWorkers()
                   << "/" << fleet_workers << " workers";
+        if (!fleet_listen.empty())
+            std::cout << " (tcp port " << fleet_env->listenPort()
+                      << ")";
         if (fleet_cfg.chaosKills > 0)
             std::cout << " (chaos: " << fleet_cfg.chaosKills
                       << " kills, seed " << fleet_cfg.chaosSeed << ")";

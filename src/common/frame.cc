@@ -113,10 +113,24 @@ FrameStatus
 readFrame(int fd, std::string &payload, double deadline_seconds,
           std::size_t max_payload)
 {
+    // Convert to ONE absolute deadline up front: header and payload
+    // reads share the budget, so a peer dribbling bytes cannot reset
+    // the clock between transfers (the slow-loris hole).
+    return readFrameUntil(fd, payload,
+                          deadline_seconds > 0.0
+                              ? monotonicNow() + deadline_seconds
+                              : 0.0,
+                          max_payload);
+}
+
+FrameStatus
+readFrameUntil(int fd, std::string &payload, double deadline_monotonic,
+               std::size_t max_payload)
+{
     unsigned char hdr[kFrameHeaderSize];
     std::size_t got = 0;
     IoStatus st =
-        readFullDeadline(fd, hdr, sizeof(hdr), deadline_seconds, &got);
+        readFullUntil(fd, hdr, sizeof(hdr), deadline_monotonic, &got);
     if (st == IoStatus::Eof)
         // EOF on a frame boundary is how a peer says goodbye; EOF
         // with header bytes already consumed is a torn message.
@@ -134,8 +148,8 @@ readFrame(int fd, std::string &payload, double deadline_seconds,
 
     payload.resize(length);
     if (length > 0) {
-        st = readFullDeadline(fd, payload.data(), length,
-                              deadline_seconds, &got);
+        st = readFullUntil(fd, payload.data(), length,
+                           deadline_monotonic, &got);
         if (st == IoStatus::Eof)
             return FrameStatus::Torn; // died mid-payload
         if (st == IoStatus::Timeout)
@@ -152,6 +166,14 @@ IoStatus
 writeFrame(int fd, const std::string &payload)
 {
     return writeFull(fd, encodeFrame(payload));
+}
+
+IoStatus
+writeFrameUntil(int fd, const std::string &payload,
+                double deadline_monotonic)
+{
+    return writeFullUntil(fd, encodeFrame(payload),
+                          deadline_monotonic);
 }
 
 } // namespace unico::common

@@ -71,17 +71,33 @@ FrameStatus decodeFrame(const std::string &bytes, std::size_t &offset,
                         std::size_t max_payload = kFrameMaxPayload);
 
 /**
- * Read one complete frame from @p fd, EINTR-safe, bounded by
- * @p deadline_seconds across the whole frame (<= 0 waits forever).
- * EOF before the first header byte is a clean Eof; EOF anywhere
- * inside a frame is Torn.
+ * Read one complete frame from @p fd, EINTR-safe, bounded by ONE
+ * @p deadline_seconds budget across the whole frame — header and
+ * payload share the same clock, so a slow-loris peer dribbling one
+ * byte per wait cannot stretch a frame past the deadline (<= 0 waits
+ * forever). EOF before the first header byte is a clean Eof; EOF
+ * anywhere inside a frame is Torn.
  */
 FrameStatus readFrame(int fd, std::string &payload,
                       double deadline_seconds = 0.0,
                       std::size_t max_payload = kFrameMaxPayload);
 
+/**
+ * readFrame against an *absolute* monotonicNow()-based deadline
+ * (<= 0 waits forever), so a request round-trip can hand the frame
+ * read whatever budget remains after the write.
+ */
+FrameStatus readFrameUntil(int fd, std::string &payload,
+                           double deadline_monotonic,
+                           std::size_t max_payload = kFrameMaxPayload);
+
 /** Write one frame; Eof reports a dead peer (EPIPE). */
 IoStatus writeFrame(int fd, const std::string &payload);
+
+/** writeFrame against an absolute monotonicNow()-based deadline
+ *  (<= 0 waits forever); Timeout means the peer stopped draining. */
+IoStatus writeFrameUntil(int fd, const std::string &payload,
+                         double deadline_monotonic);
 
 } // namespace unico::common
 

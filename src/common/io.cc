@@ -29,6 +29,12 @@ toString(IoStatus status)
 
 // The evaluation fleet is POSIX-only; the helpers exist on Windows so
 // common code links, but always report failure.
+double
+monotonicNow()
+{
+    return 0.0;
+}
+
 IoStatus
 readFull(int, void *, std::size_t, std::size_t *got)
 {
@@ -44,7 +50,19 @@ writeFull(int, const void *, std::size_t)
 }
 
 IoStatus
+writeFull(int, const std::string &)
+{
+    return IoStatus::Error;
+}
+
+IoStatus
 waitReadable(int, double)
+{
+    return IoStatus::Error;
+}
+
+IoStatus
+waitWritable(int, double)
 {
     return IoStatus::Error;
 }
@@ -55,6 +73,32 @@ readFullDeadline(int, void *, std::size_t, double, std::size_t *got)
     if (got)
         *got = 0;
     return IoStatus::Error;
+}
+
+IoStatus
+readFullUntil(int, void *, std::size_t, double, std::size_t *got)
+{
+    if (got)
+        *got = 0;
+    return IoStatus::Error;
+}
+
+IoStatus
+writeFullUntil(int, const void *, std::size_t, double)
+{
+    return IoStatus::Error;
+}
+
+IoStatus
+writeFullUntil(int, const std::string &, double)
+{
+    return IoStatus::Error;
+}
+
+bool
+setNonblocking(int, bool)
+{
+    return false;
 }
 
 bool
@@ -71,17 +115,16 @@ makeSocketPair(int[2])
 
 #else
 
-namespace {
-
-/** Monotonic now in seconds (immune to wall-clock steps). */
 double
-monotonicSeconds()
+monotonicNow()
 {
     struct timespec ts;
     clock_gettime(CLOCK_MONOTONIC, &ts);
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;
 }
+
+namespace {
 
 /** One read(2)/recv(2) attempt; callers loop. */
 ssize_t
@@ -90,14 +133,104 @@ readOnce(int fd, void *buf, std::size_t len)
     return ::read(fd, buf, len);
 }
 
+/** One poll(2) wait for @p events against an absolute deadline
+ *  (<= 0 waits forever); the building block of both public waits. */
+IoStatus
+waitUntil(int fd, short events, double deadline_monotonic)
+{
+    const bool bounded = deadline_monotonic > 0.0;
+    for (;;) {
+        int timeout_ms = -1;
+        if (bounded) {
+            const double left = deadline_monotonic - monotonicNow();
+            if (left <= 0.0)
+                return IoStatus::Timeout;
+            timeout_ms = static_cast<int>(left * 1000.0) + 1;
+        }
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = events;
+        const int r = ::poll(&pfd, 1, timeout_ms);
+        if (r > 0)
+            return IoStatus::Ok; // ready or HUP; the transfer resolves it
+        if (r == 0)
+            return IoStatus::Timeout;
+        if (errno == EINTR)
+            continue;
+        return IoStatus::Error;
+    }
+}
+
 } // namespace
 
 IoStatus
 readFull(int fd, void *buf, std::size_t len, std::size_t *got)
 {
+    // Unbounded read = absolute-deadline read with no deadline.
+    return readFullUntil(fd, buf, len, 0.0, got);
+}
+
+IoStatus
+writeFull(int fd, const void *buf, std::size_t len)
+{
+    return writeFullUntil(fd, buf, len, 0.0);
+}
+
+IoStatus
+writeFull(int fd, const std::string &bytes)
+{
+    return writeFullUntil(fd, bytes.data(), bytes.size(), 0.0);
+}
+
+IoStatus
+waitReadable(int fd, double deadline_seconds)
+{
+    return waitUntil(fd, POLLIN,
+                     deadline_seconds > 0.0
+                         ? monotonicNow() + deadline_seconds
+                         : 0.0);
+}
+
+IoStatus
+waitWritable(int fd, double deadline_seconds)
+{
+    return waitUntil(fd, POLLOUT,
+                     deadline_seconds > 0.0
+                         ? monotonicNow() + deadline_seconds
+                         : 0.0);
+}
+
+IoStatus
+readFullDeadline(int fd, void *buf, std::size_t len,
+                 double deadline_seconds, std::size_t *got)
+{
+    return readFullUntil(fd, buf, len,
+                         deadline_seconds > 0.0
+                             ? monotonicNow() + deadline_seconds
+                             : 0.0,
+                         got);
+}
+
+IoStatus
+readFullUntil(int fd, void *buf, std::size_t len,
+              double deadline_monotonic, std::size_t *got)
+{
+    const bool bounded = deadline_monotonic > 0.0;
     std::size_t off = 0;
     char *p = static_cast<char *>(buf);
     while (off < len) {
+        if (bounded) {
+            // Wait-first so the deadline binds even on BLOCKING fds
+            // (a bare read would sleep past it); on a readable fd the
+            // poll returns immediately.
+            const IoStatus ready =
+                waitUntil(fd, POLLIN, deadline_monotonic);
+            if (ready != IoStatus::Ok) {
+                if (got)
+                    *got = off;
+                return ready;
+            }
+        }
         const ssize_t n = readOnce(fd, p + off, len - off);
         if (n > 0) {
             off += static_cast<std::size_t>(n);
@@ -110,9 +243,24 @@ readFull(int fd, void *buf, std::size_t len, std::size_t *got)
         }
         if (errno == EINTR)
             continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            const IoStatus ready =
+                waitUntil(fd, POLLIN, deadline_monotonic);
+            if (ready != IoStatus::Ok) {
+                if (got)
+                    *got = off;
+                return ready;
+            }
+            continue;
+        }
         if (got)
             *got = off;
         return IoStatus::Error;
+    }
+    if (bounded && monotonicNow() > deadline_monotonic && len == 0) {
+        // Degenerate zero-length transfer past its deadline still
+        // reports Timeout so callers never mistake it for progress.
+        return IoStatus::Timeout;
     }
     if (got)
         *got = off;
@@ -120,11 +268,22 @@ readFull(int fd, void *buf, std::size_t len, std::size_t *got)
 }
 
 IoStatus
-writeFull(int fd, const void *buf, std::size_t len)
+writeFullUntil(int fd, const void *buf, std::size_t len,
+               double deadline_monotonic)
 {
+    const bool bounded = deadline_monotonic > 0.0;
     std::size_t off = 0;
     const char *p = static_cast<const char *>(buf);
     while (off < len) {
+        if (bounded) {
+            // Wait-first: bounds the stall on blocking fds too (a
+            // fully nonblocking fd would surface it as EAGAIN below,
+            // but fleet channels must not depend on fd flags).
+            const IoStatus ready =
+                waitUntil(fd, POLLOUT, deadline_monotonic);
+            if (ready != IoStatus::Ok)
+                return ready;
+        }
         // Try send(MSG_NOSIGNAL) first so writes to a dead socket peer
         // raise EPIPE instead of SIGPIPE; fall back to write(2) for
         // plain pipes/files (send fails with ENOTSOCK there).
@@ -137,87 +296,35 @@ writeFull(int fd, const void *buf, std::size_t len)
         }
         if (errno == EINTR)
             continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            const IoStatus ready =
+                waitUntil(fd, POLLOUT, deadline_monotonic);
+            if (ready != IoStatus::Ok)
+                return ready;
+            continue;
+        }
         return errno == EPIPE ? IoStatus::Eof : IoStatus::Error;
     }
     return IoStatus::Ok;
 }
 
 IoStatus
-writeFull(int fd, const std::string &bytes)
+writeFullUntil(int fd, const std::string &bytes,
+               double deadline_monotonic)
 {
-    return writeFull(fd, bytes.data(), bytes.size());
+    return writeFullUntil(fd, bytes.data(), bytes.size(),
+                          deadline_monotonic);
 }
 
-IoStatus
-waitReadable(int fd, double deadline_seconds)
+bool
+setNonblocking(int fd, bool enable)
 {
-    const bool bounded = deadline_seconds > 0.0;
-    const double deadline =
-        bounded ? monotonicSeconds() + deadline_seconds : 0.0;
-    for (;;) {
-        int timeout_ms = -1;
-        if (bounded) {
-            const double left = deadline - monotonicSeconds();
-            if (left <= 0.0)
-                return IoStatus::Timeout;
-            timeout_ms = static_cast<int>(left * 1000.0) + 1;
-        }
-        struct pollfd pfd = {};
-        pfd.fd = fd;
-        pfd.events = POLLIN;
-        const int r = ::poll(&pfd, 1, timeout_ms);
-        if (r > 0)
-            return IoStatus::Ok; // readable or HUP; read resolves it
-        if (r == 0)
-            return IoStatus::Timeout;
-        if (errno == EINTR)
-            continue;
-        return IoStatus::Error;
-    }
-}
-
-IoStatus
-readFullDeadline(int fd, void *buf, std::size_t len,
-                 double deadline_seconds, std::size_t *got)
-{
-    const bool bounded = deadline_seconds > 0.0;
-    const double deadline =
-        bounded ? monotonicSeconds() + deadline_seconds : 0.0;
-    std::size_t off = 0;
-    char *p = static_cast<char *>(buf);
-    while (off < len) {
-        const double left =
-            bounded ? deadline - monotonicSeconds() : 0.0;
-        if (bounded && left <= 0.0) {
-            if (got)
-                *got = off;
-            return IoStatus::Timeout;
-        }
-        const IoStatus ready = waitReadable(fd, bounded ? left : 0.0);
-        if (ready != IoStatus::Ok) {
-            if (got)
-                *got = off;
-            return ready;
-        }
-        const ssize_t n = readOnce(fd, p + off, len - off);
-        if (n > 0) {
-            off += static_cast<std::size_t>(n);
-            continue;
-        }
-        if (n == 0) {
-            if (got)
-                *got = off;
-            return IoStatus::Eof;
-        }
-        if (errno == EINTR || errno == EAGAIN)
-            continue;
-        if (got)
-            *got = off;
-        return IoStatus::Error;
-    }
-    if (got)
-        *got = off;
-    return IoStatus::Ok;
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags < 0)
+        return false;
+    const int next =
+        enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, next) == 0;
 }
 
 bool

@@ -30,9 +30,16 @@ enum class IoStatus {
 /** Human-readable status name. */
 const char *toString(IoStatus status);
 
+/** Monotonic clock in seconds (immune to wall-clock steps). The
+ *  absolute-deadline transfer helpers below measure against it, so
+ *  callers composing several transfers under one budget share the
+ *  same time base. */
+double monotonicNow();
+
 /**
- * Read exactly @p len bytes into @p buf, retrying short reads and
- * EINTR. Returns Ok, or Eof if the peer closed first (@p got, when
+ * Read exactly @p len bytes into @p buf, retrying short reads,
+ * EINTR, and (on non-blocking descriptors) EAGAIN via a readiness
+ * wait. Returns Ok, or Eof if the peer closed first (@p got, when
  * non-null, receives the bytes read before EOF — distinguishing a
  * clean close at a message boundary from a torn transfer), or Error.
  */
@@ -40,8 +47,9 @@ IoStatus readFull(int fd, void *buf, std::size_t len,
                   std::size_t *got = nullptr);
 
 /**
- * Write exactly @p len bytes from @p buf, retrying short writes and
- * EINTR. On sockets the transfer suppresses SIGPIPE (MSG_NOSIGNAL)
+ * Write exactly @p len bytes from @p buf, retrying short writes,
+ * EINTR, and (on non-blocking descriptors) EAGAIN via a readiness
+ * wait. On sockets the transfer suppresses SIGPIPE (MSG_NOSIGNAL)
  * so a dead peer surfaces as Error/EPIPE instead of killing the
  * process. Returns Eof on EPIPE, Error otherwise.
  */
@@ -59,6 +67,13 @@ IoStatus writeFull(int fd, const std::string &bytes);
 IoStatus waitReadable(int fd, double deadline_seconds);
 
 /**
+ * Wait until @p fd accepts more output without blocking.
+ * @p deadline_seconds <= 0 waits forever. Same contract as
+ * waitReadable, for the send direction.
+ */
+IoStatus waitWritable(int fd, double deadline_seconds);
+
+/**
  * Like readFull, but bounded by one deadline across the whole
  * transfer (<= 0 waits forever). Returns Timeout if it expires
  * mid-message; @p got reports partial progress for torn-transfer
@@ -67,6 +82,30 @@ IoStatus waitReadable(int fd, double deadline_seconds);
 IoStatus readFullDeadline(int fd, void *buf, std::size_t len,
                           double deadline_seconds,
                           std::size_t *got = nullptr);
+
+/**
+ * readFull bounded by an *absolute* monotonicNow()-based deadline
+ * (<= 0 waits forever). Several transfers passed the same value
+ * share one budget — this is what lets a frame read enforce a single
+ * deadline across header and payload instead of restarting the clock
+ * per readFull call (the slow-loris hole).
+ */
+IoStatus readFullUntil(int fd, void *buf, std::size_t len,
+                       double deadline_monotonic,
+                       std::size_t *got = nullptr);
+
+/** writeFull bounded by an absolute monotonicNow()-based deadline
+ *  (<= 0 waits forever). A peer that stops reading surfaces as
+ *  Timeout instead of wedging the caller in write(2). */
+IoStatus writeFullUntil(int fd, const void *buf, std::size_t len,
+                        double deadline_monotonic);
+
+/** writeFullUntil over a string's bytes. */
+IoStatus writeFullUntil(int fd, const std::string &bytes,
+                        double deadline_monotonic);
+
+/** Set (or clear) O_NONBLOCK. Returns false on error. */
+bool setNonblocking(int fd, bool enable = true);
 
 /** Set (or clear) the close-on-exec flag. Returns false on error. */
 bool setCloexec(int fd, bool enable = true);

@@ -68,6 +68,10 @@ enum class TransportFault {
     TornFrame,      ///< stream ended mid-frame (short read)
     CorruptFrame,   ///< CRC-64 mismatch or malformed frame header
     WorkerHang,     ///< deadline expired with the worker still alive
+    ConnectionLost, ///< established network channel dropped mid-use
+    ConnectFailure, ///< could not (re)establish a network channel
+    StaleFrame,     ///< CRC-valid reply for an earlier request
+                    ///< (duplicate/reordered delivery), discarded
 };
 
 /** Human-readable transport-fault name. */
@@ -80,6 +84,9 @@ toString(TransportFault fault)
       case TransportFault::TornFrame: return "torn-frame";
       case TransportFault::CorruptFrame: return "corrupt-frame";
       case TransportFault::WorkerHang: return "worker-hang";
+      case TransportFault::ConnectionLost: return "connection-lost";
+      case TransportFault::ConnectFailure: return "connect-failure";
+      case TransportFault::StaleFrame: return "stale-frame";
     }
     return "?";
 }
@@ -103,7 +110,18 @@ struct TransportStats
      *  hung worker, vs. one whose death the deadline surfaced). Not
      *  part of total(). */
     std::uint64_t workerHangs = 0;
+    /** Network fault categories (multi-host transport). A lost
+     *  connection is a distinct event from a worker crash: the
+     *  process may be healthy on the far host and reconnect. */
+    std::uint64_t connectionsLost = 0;
+    std::uint64_t connectFailures = 0;
+    /** CRC-valid frames whose request nonce did not match the
+     *  in-flight request (duplicated or reordered delivery). They are
+     *  skipped, not retried, so they are not part of total(). */
+    std::uint64_t staleFrames = 0;
     std::uint64_t workerRespawns = 0;  ///< replacement workers forked
+    std::uint64_t reconnects = 0;      ///< remote channels re-adopted
+    std::uint64_t heartbeats = 0;      ///< ping ops answered
     std::uint64_t workSteals = 0;      ///< requests served off-home
     std::uint64_t inprocFallbacks = 0; ///< circuit-breaker local evals
     /** Successful request round-trips (one framed request + reply).
@@ -117,7 +135,7 @@ struct TransportStats
     total() const
     {
         return workerCrashes + requestTimeouts + tornFrames +
-               corruptFrames;
+               corruptFrames + connectionsLost + connectFailures;
     }
 
     /** Bump the counter of one observed fault. */
@@ -130,6 +148,9 @@ struct TransportStats
           case TransportFault::TornFrame: ++tornFrames; break;
           case TransportFault::CorruptFrame: ++corruptFrames; break;
           case TransportFault::WorkerHang: ++workerHangs; break;
+          case TransportFault::ConnectionLost: ++connectionsLost; break;
+          case TransportFault::ConnectFailure: ++connectFailures; break;
+          case TransportFault::StaleFrame: ++staleFrames; break;
         }
     }
 
@@ -142,7 +163,12 @@ struct TransportStats
         tornFrames += other.tornFrames;
         corruptFrames += other.corruptFrames;
         workerHangs += other.workerHangs;
+        connectionsLost += other.connectionsLost;
+        connectFailures += other.connectFailures;
+        staleFrames += other.staleFrames;
         workerRespawns += other.workerRespawns;
+        reconnects += other.reconnects;
+        heartbeats += other.heartbeats;
         workSteals += other.workSteals;
         inprocFallbacks += other.inprocFallbacks;
         requestRoundTrips += other.requestRoundTrips;

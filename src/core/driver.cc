@@ -58,6 +58,15 @@ toString(const FaultStats &stats)
             << " respawns=" << stats.transport.workerRespawns
             << " steals=" << stats.transport.workSteals
             << " local_fallbacks=" << stats.transport.inprocFallbacks;
+        if (stats.transport.connectionsLost > 0 ||
+            stats.transport.connectFailures > 0 ||
+            stats.transport.staleFrames > 0 ||
+            stats.transport.reconnects > 0) {
+            oss << " conn_lost=" << stats.transport.connectionsLost
+                << " conn_fail=" << stats.transport.connectFailures
+                << " stale=" << stats.transport.staleFrames
+                << " reconnects=" << stats.transport.reconnects;
+        }
     }
     return oss.str();
 }

@@ -6,12 +6,17 @@
 #endif
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -19,6 +24,9 @@
 #include "common/json.hh"
 #include "common/shard_cache.hh"
 #include "common/subprocess.hh"
+#include "core/fleet_transport.hh"
+#include "net/socket.hh"
+#include "net/tcp_transport.hh"
 
 namespace unico::core {
 
@@ -112,11 +120,14 @@ opsFromJson(const Json &arr)
  *  replays any it is missing, swallowing faults), ops [done, size)
  *  are pending and the worker applies them in order, stopping after
  *  the first non-Ok op. "sync" just applies; "sense" additionally
- *  computes sensitivity once the history is fully applied. */
+ *  computes sensitivity once the history is fully applied. The
+ *  `req` nonce is echoed in the response so the master can discard
+ *  duplicated/reordered replies from an earlier exchange on the
+ *  same channel (networks deliver those; socketpairs never did). */
 std::string
 makeRequest(const char *op, const accel::HwPoint &h, std::uint64_t seed,
             const std::vector<WireOp> &ops, std::size_t done,
-            double alpha)
+            double alpha, std::uint64_t nonce)
 {
     Json req = Json::object();
     req["op"] = Json(op);
@@ -128,10 +139,38 @@ makeRequest(const char *op, const accel::HwPoint &h, std::uint64_t seed,
     req["ops"] = opsToJson(ops);
     req["done"] = Json(done);
     req["alpha"] = Json(common::hexDouble(alpha));
+    req["req"] = Json(common::hexU64(nonce));
     return req.dump();
 }
 
 } // namespace
+
+std::uint64_t
+rendezvousScore(std::uint64_t hi, std::uint64_t lo, std::size_t slot)
+{
+    // Highest-random-weight: a pure function of (key, slot), so the
+    // per-key ranking of slots is stable across processes and runs,
+    // and removing a slot only moves the keys whose argmax it was.
+    return mix64(hi ^ mix64(lo ^ (slot + 1)));
+}
+
+int
+rendezvousHome(std::uint64_t hi, std::uint64_t lo,
+               const std::vector<bool> &alive)
+{
+    int home = -1;
+    std::uint64_t best = 0;
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+        if (!alive[i])
+            continue;
+        const std::uint64_t score = rendezvousScore(hi, lo, i);
+        if (home < 0 || score > best) {
+            home = static_cast<int>(i);
+            best = score;
+        }
+    }
+    return home;
+}
 
 #if !defined(_WIN32)
 
@@ -199,7 +238,19 @@ isPrefix(const std::vector<DoneOp> &done, const std::vector<WireOp> &ops)
     return true;
 }
 
-/** Serves framed evaluation requests inside one worker process. */
+/** How one pass over a request stream ended. */
+enum class ServeExit {
+    PeerClosed,   ///< clean EOF / dead peer: channel is gone
+    StreamBroken, ///< torn or corrupt request stream: unusable
+    Bye,          ///< master said goodbye: shut down for good
+};
+
+/**
+ * Serves framed evaluation requests inside one worker process. The
+ * server outlives individual channels: a remote worker that loses
+ * its connection keeps this object (resident runs and all) and
+ * serves the next channel after reconnecting.
+ */
 class WorkerServer
 {
   public:
@@ -207,17 +258,40 @@ class WorkerServer
         : fd_(fd), env_(env), cfg_(cfg)
     {}
 
+    /** Point the server at a (re)connected channel. */
+    void setFd(int fd) { fd_ = fd; }
+
+    /** Zygote workers: serve until the stream ends, then die. */
     [[noreturn]] void
     serve()
+    {
+        switch (serveLoop()) {
+          case ServeExit::PeerClosed:
+          case ServeExit::Bye:
+            ::_exit(0); // master closed our socket: clean drain
+          case ServeExit::StreamBroken:
+            ::_exit(3); // request stream torn/corrupt: unusable
+        }
+        ::_exit(3);
+    }
+
+    /** Serve requests until the current channel ends. Remote worker
+     *  clients call this per connection and reconnect on
+     *  PeerClosed/StreamBroken; Bye means shut down. */
+    ServeExit
+    serveLoop()
     {
         for (;;) {
             std::string payload;
             const auto st = common::readFrame(fd_, payload);
             if (st == common::FrameStatus::Eof)
-                ::_exit(0); // master closed our socket: clean drain
+                return ServeExit::PeerClosed;
             if (st != common::FrameStatus::Ok)
-                ::_exit(3); // request stream torn/corrupt: unusable
+                return ServeExit::StreamBroken;
+            bye_ = false;
             const std::string reply = handle(payload);
+            if (bye_)
+                return ServeExit::Bye; // no reply; master is leaving
             std::string frame = common::encodeFrame(reply);
             ++responses_;
             if (cfg_.chaosCorruptEvery > 0 &&
@@ -229,7 +303,7 @@ class WorkerServer
                 frame[common::kFrameHeaderSize] ^= 0x01;
             }
             if (common::writeFull(fd_, frame) != common::IoStatus::Ok)
-                ::_exit(0); // master went away mid-reply
+                return ServeExit::PeerClosed; // master went away
         }
     }
 
@@ -239,7 +313,12 @@ class WorkerServer
     {
         Json resp = Json::object();
         try {
-            handleParsed(Json::parse(payload), resp);
+            const Json req = Json::parse(payload);
+            // Echo the request nonce first so even a failure reply
+            // passes the master's duplicate/reorder filter.
+            if (req.isObject() && req.has("req"))
+                resp["req"] = Json(req.at("req").asString());
+            handleParsed(req, resp);
         } catch (const std::exception &e) {
             // Malformed request or createRun failure: report fatal;
             // the master surfaces it as an evaluation fault.
@@ -253,6 +332,17 @@ class WorkerServer
     handleParsed(const Json &req, Json &resp)
     {
         const std::string op = req.at("op").asString();
+        if (op == "ping") {
+            // Heartbeat: prove the channel and this process are live
+            // without touching any run state.
+            resp["status"] = Json(toString(EvalStatus::Ok));
+            resp["pong"] = Json(true);
+            return;
+        }
+        if (op == "bye") {
+            bye_ = true;
+            return;
+        }
         accel::HwPoint hw;
         const Json &hwArr = req.at("hw");
         hw.reserve(hwArr.size());
@@ -370,10 +460,136 @@ class WorkerServer
     int fd_;
     const CoSearchEnv &env_;
     FleetConfig cfg_;
+    bool bye_ = false;
     std::uint64_t responses_ = 0;
     std::uint64_t clock_ = 0;
     std::map<std::pair<std::uint64_t, std::uint64_t>, ResidentRun>
         runs_;
+};
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/** PR 6 topology: workers forked on demand by the single-threaded
+ *  zygote, one AF_UNIX socketpair each. spawn() is not thread-safe,
+ *  so this transport carries its own mutex — the pool deliberately
+ *  calls open() outside its lock. */
+class ZygoteTransport : public FleetTransport
+{
+  public:
+    ZygoteTransport(const CoSearchEnv &inner, const FleetConfig &cfg)
+    {
+        factory_ = std::make_unique<common::WorkerFactory>(
+            [&inner, cfg](int fd) {
+                WorkerServer server(fd, inner, cfg);
+                server.serve();
+            });
+    }
+
+    bool
+    ok() const override
+    {
+        return factory_ && factory_->ok();
+    }
+
+    bool
+    open(WorkerChannel &out, double /*wait_seconds*/) override
+    {
+        std::lock_guard<std::mutex> lock(spawnMutex_);
+        if (!ok())
+            return false;
+        common::WorkerHandle h;
+        if (!factory_->spawn(h))
+            return false;
+        // Nonblocking on the master side so request deadlines bind on
+        // the write path too (the io helpers poll on EAGAIN).
+        common::setNonblocking(h.fd);
+        out = WorkerChannel{};
+        out.fd = h.fd;
+        out.pid = h.pid;
+        return true;
+    }
+
+    void
+    close(WorkerChannel &ch) override
+    {
+        if (ch.fd >= 0)
+            ::close(ch.fd); // worker _exit(0)s on the EOF
+        ch.fd = -1;
+    }
+
+    bool retryableOpenFailure() const override { return false; }
+    const char *name() const override { return "zygote"; }
+
+  private:
+    std::mutex spawnMutex_;
+    std::unique_ptr<common::WorkerFactory> factory_;
+};
+
+/** Multi-host topology: a TCP listener adopts remote workers as they
+ *  dial in and handshake. open() waits on the ready queue — a
+ *  reconnect after a partition is just the next adoption, carrying
+ *  the worker's session id and bumped epoch. */
+class TcpTransport : public FleetTransport
+{
+  public:
+    TcpTransport(const CoSearchEnv &inner, const FleetConfig &cfg)
+    {
+        net::HelloIdentity id;
+        id.backend = inner.backendName();
+        id.scenario = inner.scenarioName();
+        id.workloadDigest = common::hexU64(inner.workloadDigest());
+        listener_ = std::make_unique<net::TcpFleetListener>(
+            cfg.listenAddr, std::move(id));
+        ok_ = listener_->start(&error_);
+        if (ok_ && !cfg.listenPortFile.empty()) {
+            // Must land before the pool starts waiting for workers:
+            // with ":0" the workers learn the port from this file.
+            std::ofstream out(cfg.listenPortFile, std::ios::trunc);
+            out << listener_->port() << "\n";
+        }
+    }
+
+    bool ok() const override { return ok_; }
+
+    bool
+    open(WorkerChannel &out, double wait_seconds) override
+    {
+        net::TcpChannel ch;
+        if (!listener_->awaitChannel(wait_seconds, ch))
+            return false;
+        out = WorkerChannel{};
+        out.fd = ch.fd;
+        out.session = ch.session;
+        out.epoch = ch.epoch;
+        out.remote = true;
+        return true;
+    }
+
+    void
+    close(WorkerChannel &ch) override
+    {
+        if (ch.fd >= 0)
+            ::close(ch.fd);
+        ch.fd = -1;
+    }
+
+    bool retryableOpenFailure() const override { return true; }
+    const char *name() const override { return "tcp"; }
+
+    int
+    listenPort() const override
+    {
+        return listener_ ? listener_->port() : -1;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    std::unique_ptr<net::TcpFleetListener> listener_;
+    bool ok_ = false;
+    std::string error_;
 };
 
 } // namespace
@@ -385,10 +601,11 @@ class WorkerServer
 namespace detail {
 
 /**
- * Owns the worker processes and the transport supervisor. All
- * public methods are thread-safe; frame I/O happens outside the
- * pool lock so slow evaluations on one worker never block requests
- * to the others.
+ * Owns the worker channels and the transport supervisor. All
+ * public methods are thread-safe; frame I/O and channel opens happen
+ * outside the pool lock so a slow evaluation — or a seconds-long
+ * TCP reconnect wait — on one slot never blocks requests to the
+ * others.
  */
 class WorkerPool
 {
@@ -398,20 +615,27 @@ class WorkerPool
     {
         // The zygote must fork before the driver goes multithreaded;
         // FleetEnv's constructor contract guarantees we are called
-        // single-threaded here.
-        factory_ = std::make_unique<common::WorkerFactory>(
-            [&inner, cfg](int fd) {
-                WorkerServer server(fd, inner, cfg);
-                server.serve();
-            });
+        // single-threaded here. (The TCP listener starts a thread,
+        // which is why the transport choice happens first.)
+        if (!cfg_.listenAddr.empty())
+            transport_ = std::make_unique<TcpTransport>(inner, cfg_);
+        else
+            transport_ = std::make_unique<ZygoteTransport>(inner, cfg_);
         slots_.resize(std::max<std::size_t>(1, cfg_.workers));
         for (auto &slot : slots_) {
-            common::WorkerHandle h;
-            if (factory_->ok() && factory_->spawn(h)) {
-                slot.pid = h.pid;
-                slot.fd = h.fd;
-                slot.alive = true;
+            if (!transport_->ok())
+                break;
+            WorkerChannel ch;
+            if (!transport_->open(ch, cfg_.connectWaitSeconds))
+                continue;
+            if (ch.remote && !validateRemote(ch)) {
+                transport_->close(ch);
+                continue;
             }
+            slot.ch = ch;
+            slot.alive = true;
+            if (ch.remote)
+                ++stats_.heartbeats;
         }
         if (cfg_.chaosKills > 0) {
             std::uint64_t z = cfg_.chaosSeed;
@@ -428,29 +652,54 @@ class WorkerPool
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (auto &slot : slots_) {
-            if (slot.fd >= 0)
-                ::close(slot.fd); // workers _exit(0) on the EOF
-            slot.fd = -1;
+            if (!slot.alive)
+                continue;
+            if (slot.ch.remote && slot.ch.fd >= 0) {
+                // Tell the remote worker to shut down instead of
+                // treating our close as a partition to reconnect
+                // through.
+                Json bye = Json::object();
+                bye["op"] = "bye";
+                common::writeFrameUntil(slot.ch.fd, bye.dump(),
+                                        common::monotonicNow() + 1.0);
+            }
+            transport_->close(slot.ch);
             slot.alive = false;
         }
-        factory_.reset(); // zygote drains; dead workers were kernel-reaped
+        transport_.reset(); // zygote drains / listener stops
+    }
+
+    int
+    listenPort() const
+    {
+        return transport_ ? transport_->listenPort() : -1;
     }
 
     /**
-     * One supervised request round-trip. Returns false only when the
-     * circuit breaker is open (no live workers, or the retry budget
-     * is exhausted); the caller then evaluates in-process.
+     * One supervised request round-trip: frame the request, send it,
+     * and read the matching response under ONE absolute deadline
+     * covering the write, the read, and any duplicate/reordered
+     * stale replies skipped along the way — a slow-loris peer
+     * dribbling bytes cannot stretch a request past
+     * requestDeadlineSeconds by keeping individual reads alive.
+     * Returns false only when the circuit breaker is open (no live
+     * workers, or the retry budget is exhausted); the caller then
+     * evaluates in-process. On true, @p resp holds the parsed,
+     * nonce-matched response document.
      */
     bool
-    call(const common::Fingerprint &key, const std::string &request,
-         std::string &response)
+    call(const common::Fingerprint &key, const char *op,
+         const accel::HwPoint &hw, std::uint64_t seed,
+         const std::vector<WireOp> &ops, std::size_t done, double alpha,
+         Json &resp)
     {
         const int attempts = std::max(1, cfg_.maxRequestRetries);
         for (int attempt = 0; attempt < attempts; ++attempt) {
             std::int64_t pid = -1;
             int fd = -1;
             bool chaosKill = false;
-            const int idx = acquire(key, pid, fd, chaosKill);
+            bool remote = false;
+            const int idx = acquire(key, pid, fd, chaosKill, remote);
             if (idx < 0)
                 return false; // fleet fully degraded
             if (chaosKill && pid > 0) {
@@ -460,40 +709,39 @@ class WorkerPool
                 ::kill(static_cast<pid_t>(pid), SIGKILL);
             }
 
-            if (common::writeFrame(fd, request) !=
-                common::IoStatus::Ok) {
-                fault(idx, common::TransportFault::WorkerCrash, false);
+            const std::uint64_t nonce =
+                nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
+            const std::string request =
+                makeRequest(op, hw, seed, ops, done, alpha, nonce);
+            const double deadline =
+                cfg_.requestDeadlineSeconds > 0.0
+                    ? common::monotonicNow() + cfg_.requestDeadlineSeconds
+                    : 0.0;
+
+            const auto lost = remote
+                                  ? common::TransportFault::ConnectionLost
+                                  : common::TransportFault::WorkerCrash;
+            const auto wst =
+                common::writeFrameUntil(fd, request, deadline);
+            if (wst != common::IoStatus::Ok) {
+                if (wst == common::IoStatus::Timeout) {
+                    // Same hang test as a read timeout: a local worker
+                    // that is alive but not draining its socket is
+                    // wedged, not dead.
+                    const bool stillAlive =
+                        !remote && pid > 0 &&
+                        ::kill(static_cast<pid_t>(pid), 0) == 0;
+                    fault(idx, common::TransportFault::RequestTimeout,
+                          stillAlive);
+                } else {
+                    fault(idx, lost, false);
+                }
                 continue;
             }
-            std::string payload;
-            const auto st = common::readFrame(
-                fd, payload, cfg_.requestDeadlineSeconds);
-            switch (st) {
-              case common::FrameStatus::Ok:
-                release(idx);
-                response = std::move(payload);
+
+            if (readMatched(idx, pid, fd, remote, nonce, deadline,
+                            lost, resp))
                 return true;
-              case common::FrameStatus::Eof:
-              case common::FrameStatus::Error:
-                fault(idx, common::TransportFault::WorkerCrash, false);
-                break;
-              case common::FrameStatus::Torn:
-                fault(idx, common::TransportFault::TornFrame, false);
-                break;
-              case common::FrameStatus::Corrupt:
-                fault(idx, common::TransportFault::CorruptFrame, false);
-                break;
-              case common::FrameStatus::Timeout: {
-                // Deadline expired. If the process is still there it
-                // is hung (vs. a death the deadline surfaced).
-                const bool stillAlive =
-                    pid > 0 &&
-                    ::kill(static_cast<pid_t>(pid), 0) == 0;
-                fault(idx, common::TransportFault::RequestTimeout,
-                      stillAlive);
-                break;
-              }
-            }
         }
         return false; // retry budget exhausted: degrade this request
     }
@@ -535,45 +783,170 @@ class WorkerPool
         std::lock_guard<std::mutex> lock(mutex_);
         std::vector<std::int64_t> out;
         for (const auto &slot : slots_)
-            if (slot.alive)
-                out.push_back(slot.pid);
+            if (slot.alive && slot.ch.pid > 0)
+                out.push_back(slot.ch.pid);
         return out;
     }
 
   private:
     struct Slot
     {
-        std::int64_t pid = -1;
-        int fd = -1;
+        WorkerChannel ch;
         bool alive = false;
         bool busy = false;
-        int respawns = 0;
+        /** A reopen is in flight outside the lock; the slot may come
+         *  back, so acquire() must wait rather than declare the
+         *  fleet dead. */
+        bool opening = false;
+        int respawns = 0; ///< reopen budget consumed
     };
+
+    /** Bound on duplicate/reordered replies skipped per request; a
+     *  babbling channel is a fault, not an infinite read loop. */
+    static constexpr int kMaxStaleSkips = 8;
+
+    /**
+     * Read frames until one parses and carries the request nonce,
+     * skipping a bounded number of stale replies (duplicated or
+     * reordered deliveries of earlier exchanges on this channel).
+     * Classifies every failure into a transport fault. True on a
+     * matched response (slot released); false after fault(idx,...).
+     */
+    bool
+    readMatched(int idx, std::int64_t pid, int fd, bool remote,
+                std::uint64_t nonce, double deadline,
+                common::TransportFault lost, Json &resp)
+    {
+        for (int skips = 0; skips <= kMaxStaleSkips; ++skips) {
+            std::string payload;
+            const auto st =
+                common::readFrameUntil(fd, payload, deadline);
+            switch (st) {
+              case common::FrameStatus::Ok:
+                break;
+              case common::FrameStatus::Eof:
+              case common::FrameStatus::Error:
+                fault(idx, lost, false);
+                return false;
+              case common::FrameStatus::Torn:
+                fault(idx, common::TransportFault::TornFrame, false);
+                return false;
+              case common::FrameStatus::Corrupt:
+                fault(idx, common::TransportFault::CorruptFrame, false);
+                return false;
+              case common::FrameStatus::Timeout: {
+                // Deadline expired. If the process is local and still
+                // there it is hung (vs. a death the deadline
+                // surfaced); remote liveness is unknowable here.
+                const bool stillAlive =
+                    !remote && pid > 0 &&
+                    ::kill(static_cast<pid_t>(pid), 0) == 0;
+                fault(idx, common::TransportFault::RequestTimeout,
+                      stillAlive);
+                return false;
+              }
+            }
+            Json r;
+            try {
+                r = Json::parse(payload);
+            } catch (const std::exception &) {
+                // CRC-clean but unparsable: a worker bug. The request
+                // is replayable, so retry it elsewhere.
+                fault(idx, common::TransportFault::CorruptFrame, false);
+                return false;
+            }
+            if (r.isObject() && r.has("req") &&
+                r.at("req").isString() &&
+                r.at("req").asString() != common::hexU64(nonce)) {
+                // A CRC-valid reply to an EARLIER request: the network
+                // duplicated or reordered it. Discard and keep
+                // reading — the real reply is still in flight.
+                noteStaleFrame();
+                continue;
+            }
+            release(idx);
+            resp = std::move(r);
+            return true;
+        }
+        // More stale frames than any plausible reorder produces: the
+        // channel is babbling. Treat as a lost conversation.
+        fault(idx, lost, false);
+        return false;
+    }
+
+    /**
+     * Heartbeat a freshly adopted remote channel: one ping/pong
+     * round-trip under a short deadline proves the worker end is
+     * live and speaking the protocol before the slot trusts it with
+     * a real (potentially expensive) request. Called OUTSIDE the
+     * pool lock.
+     */
+    bool
+    validateRemote(const WorkerChannel &ch)
+    {
+        const double wait =
+            cfg_.requestDeadlineSeconds > 0.0
+                ? std::min(5.0,
+                           std::max(0.5, cfg_.requestDeadlineSeconds))
+                : 5.0;
+        const double deadline = common::monotonicNow() + wait;
+        const std::uint64_t nonce =
+            nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
+        Json ping = Json::object();
+        ping["op"] = "ping";
+        ping["req"] = Json(common::hexU64(nonce));
+        if (common::writeFrameUntil(ch.fd, ping.dump(), deadline) !=
+            common::IoStatus::Ok)
+            return false;
+        for (int skips = 0; skips <= kMaxStaleSkips; ++skips) {
+            std::string payload;
+            if (common::readFrameUntil(ch.fd, payload, deadline) !=
+                common::FrameStatus::Ok)
+                return false;
+            try {
+                const Json r = Json::parse(payload);
+                if (r.isObject() && r.has("req") &&
+                    r.at("req").isString() &&
+                    r.at("req").asString() != common::hexU64(nonce)) {
+                    noteStaleFrame();
+                    continue;
+                }
+                return r.isObject() && r.has("pong") &&
+                       r.at("pong").asBool();
+            } catch (const std::exception &) {
+                return false;
+            }
+        }
+        return false;
+    }
 
     /**
      * Pick a worker for @p key: its rendezvous-hash home when idle,
      * otherwise steal any idle worker; block while all live workers
-     * are busy. Returns the slot index (marked busy) or -1 when the
-     * fleet has no live workers left.
+     * are busy or any slot is mid-reopen. Returns the slot index
+     * (marked busy) or -1 when the fleet has no live workers left
+     * and none can come back.
      */
     int
     acquire(const common::Fingerprint &key, std::int64_t &pid,
-            int &fd, bool &chaosKill)
+            int &fd, bool &chaosKill, bool &remote)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
             int home = -1;
             std::uint64_t best = 0;
             bool anyAlive = false;
+            bool anyOpening = false;
             int idle = -1;
             for (std::size_t i = 0; i < slots_.size(); ++i) {
+                anyOpening |= slots_[i].opening;
                 if (!slots_[i].alive)
                     continue;
                 anyAlive = true;
                 // Highest-random-weight: stable per-key order that
                 // only reshuffles the dead worker's keys.
                 const std::uint64_t score =
-                    mix64(key.hi ^ mix64(key.lo ^ (i + 1)));
+                    rendezvousScore(key.hi, key.lo, i);
                 if (home < 0 || score > best) {
                     home = static_cast<int>(i);
                     best = score;
@@ -581,8 +954,14 @@ class WorkerPool
                 if (idle < 0 && !slots_[i].busy)
                     idle = static_cast<int>(i);
             }
-            if (!anyAlive)
-                return -1;
+            if (!anyAlive) {
+                if (!anyOpening)
+                    return -1;
+                // A reopen may yet repopulate the fleet; wait for it
+                // to resolve rather than opening the breaker early.
+                available_.wait(lock);
+                continue;
+            }
             int pick = -1;
             if (!slots_[static_cast<std::size_t>(home)].busy) {
                 pick = home;
@@ -593,8 +972,9 @@ class WorkerPool
             if (pick >= 0) {
                 Slot &slot = slots_[static_cast<std::size_t>(pick)];
                 slot.busy = true;
-                pid = slot.pid;
-                fd = slot.fd;
+                pid = slot.ch.pid;
+                fd = slot.ch.fd;
+                remote = slot.ch.remote;
                 const std::uint64_t req = ++requestIndex_;
                 chaosKill = killAt_.count(req) > 0;
                 return pick;
@@ -613,50 +993,91 @@ class WorkerPool
         available_.notify_all();
     }
 
+    void
+    noteStaleFrame()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.count(common::TransportFault::StaleFrame);
+    }
+
     /**
      * Transport supervision for a failed conversation: count the
-     * fault, make sure the worker is dead, and respawn a replacement
-     * through the zygote — unless this slot has flapped past its
-     * respawn budget, in which case it is retired for good.
+     * fault, tear the channel down (killing the process when it is
+     * a local fork), and reopen a replacement — a zygote respawn, or
+     * an adoption of the remote worker dialing back in. Each reopen
+     * attempt consumes one unit of the slot's budget; when the
+     * budget is gone the slot is retired for good, and when every
+     * slot is retired the fleet degrades to in-process replay.
      */
     void
     fault(int idx, common::TransportFault f, bool hang)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_lock<std::mutex> lock(mutex_);
         stats_.count(f);
         if (hang)
             stats_.count(common::TransportFault::WorkerHang);
         Slot &slot = slots_[static_cast<std::size_t>(idx)];
-        if (slot.pid > 0)
-            ::kill(static_cast<pid_t>(slot.pid), SIGKILL);
-        if (slot.fd >= 0)
-            ::close(slot.fd);
-        slot.fd = -1;
-        slot.pid = -1;
+        if (!slot.ch.remote && slot.ch.pid > 0)
+            ::kill(static_cast<pid_t>(slot.ch.pid), SIGKILL);
+        if (slot.ch.fd >= 0)
+            ::close(slot.ch.fd);
+        slot.ch = WorkerChannel{};
         slot.alive = false;
         slot.busy = false;
-        if (slot.respawns < cfg_.maxRespawnsPerWorker && factory_ &&
-            factory_->ok()) {
-            common::WorkerHandle h;
-            if (factory_->spawn(h)) {
-                slot.pid = h.pid;
-                slot.fd = h.fd;
-                slot.alive = true;
-                ++slot.respawns;
-                ++stats_.workerRespawns;
+
+        // Reopen OUTSIDE the lock: a zygote spawn is quick, but a TCP
+        // reconnect legitimately waits seconds for the worker to dial
+        // back — other slots must keep serving meanwhile. The
+        // `opening` flag keeps acquire() from declaring the fleet
+        // dead while this is in flight.
+        while (slot.respawns < cfg_.maxRespawnsPerWorker &&
+               transport_ && transport_->ok()) {
+            ++slot.respawns;
+            slot.opening = true;
+            lock.unlock();
+            WorkerChannel ch;
+            bool opened =
+                transport_->open(ch, cfg_.reconnectWaitSeconds);
+            bool beat = false;
+            if (opened && ch.remote) {
+                beat = validateRemote(ch);
+                if (!beat) {
+                    transport_->close(ch);
+                    opened = false;
+                }
             }
+            lock.lock();
+            slot.opening = false;
+            if (opened) {
+                slot.ch = ch;
+                slot.alive = true;
+                if (ch.remote) {
+                    ++stats_.heartbeats;
+                    if (ch.epoch > 0)
+                        ++stats_.reconnects; // same worker, back again
+                    else
+                        ++stats_.workerRespawns; // a fresh process
+                } else {
+                    ++stats_.workerRespawns;
+                }
+                break;
+            }
+            if (!transport_->retryableOpenFailure())
+                break; // the zygote cannot fork: retire the slot now
+            stats_.count(common::TransportFault::ConnectFailure);
         }
         available_.notify_all();
     }
 
     FleetConfig cfg_;
-    std::unique_ptr<common::WorkerFactory> factory_;
+    std::unique_ptr<FleetTransport> transport_;
 
     mutable std::mutex mutex_;
     std::condition_variable available_;
     std::vector<Slot> slots_;
     common::TransportStats stats_;
     std::uint64_t requestIndex_ = 0;
+    std::atomic<std::uint64_t> nonce_{0};
     std::set<std::uint64_t> killAt_;
 };
 
@@ -846,20 +1267,13 @@ class RemoteRun : public MappingRun
             return false;
         // "sense" is non-mutating and is NOT part of the history; the
         // request ships the history so the worker can materialize.
-        std::string payload;
-        if (!pool_->call(key_,
-                         makeRequest(op, hw_, seed_, ops_, done_, alpha),
-                         payload))
+        // The pool parses and nonce-matches the reply (unparsable
+        // replies retry as CorruptFrame inside call()); here we only
+        // check it is a complete state document before trusting it.
+        if (!pool_->call(key_, op, hw_, seed_, ops_, done_, alpha, resp))
             return false;
-        try {
-            resp = Json::parse(payload);
-            return resp.has("status") && resp.has("spent") &&
-                   resp.has("applied");
-        } catch (const std::exception &) {
-            // CRC-clean but unparsable reply: a worker bug. Treat as
-            // a degraded transport rather than corrupting the run.
-            return false;
-        }
+        return resp.has("status") && resp.has("spent") &&
+               resp.has("applied");
     }
 
     void
@@ -938,6 +1352,97 @@ class RemoteRun : public MappingRun
 
     mutable std::unique_ptr<MappingRun> local_;
 };
+
+// ---------------------------------------------------------------------------
+// Remote worker client
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Uniform draw in [0, 1) from a mixed state — for backoff jitter. */
+double
+unitJitter(std::uint64_t z)
+{
+    return static_cast<double>(mix64(z) >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+} // namespace
+
+int
+runFleetWorkerClient(const CoSearchEnv &env, const FleetWorkerOptions &opts)
+{
+    net::HelloIdentity identity;
+    identity.backend = env.backendName();
+    identity.scenario = env.scenarioName();
+    identity.workloadDigest = common::hexU64(env.workloadDigest());
+
+    // Session id: stable for the life of this process so the master
+    // can tell "the partitioned worker came back" (epoch > 0, resident
+    // runs warm) from "a fresh worker joined" (epoch 0). Seeded from
+    // pid + clock; uniqueness, not unpredictability, is what matters.
+    double nowSplit = common::monotonicNow();
+    std::uint64_t nowBits = 0;
+    static_assert(sizeof nowBits == sizeof nowSplit, "u64 time bits");
+    std::memcpy(&nowBits, &nowSplit, sizeof nowBits);
+    const std::uint64_t session =
+        mix64(static_cast<std::uint64_t>(::getpid()) ^ mix64(nowBits));
+
+    // The server outlives channels: resident runs survive reconnects,
+    // which is what makes a post-partition resumption warm.
+    WorkerServer server(-1, env, opts.cfg);
+
+    std::uint64_t epoch = 0;
+    int consecutiveFailures = 0;
+    bool everConnected = false;
+    for (;;) {
+        std::string error;
+        bool rejected = false;
+        const int fd = net::connectWorker(
+            opts.connectAddr, identity, session, epoch,
+            opts.connectDeadlineSeconds, &error, &rejected);
+        if (fd < 0) {
+            if (rejected)
+                return 2; // wrong stack identity: retrying is useless
+            if (++consecutiveFailures > opts.maxReconnectAttempts)
+                return everConnected ? 0 : 1;
+            // Jittered exponential backoff: desynchronizes a fleet of
+            // workers all reconnecting after the same partition heals,
+            // so the master is not hit by a thundering herd.
+            const int k = std::min(consecutiveFailures - 1, 6);
+            const double cap = std::min(
+                opts.reconnectBaseSeconds * static_cast<double>(1 << k),
+                opts.reconnectMaxSeconds);
+            const double sleepFor =
+                cap * (0.5 + 0.5 * unitJitter(
+                                       session ^ static_cast<std::uint64_t>(
+                                                     consecutiveFailures)));
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                std::max(0.001, sleepFor)));
+            continue;
+        }
+        everConnected = true;
+        consecutiveFailures = 0;
+        server.setFd(fd);
+        const ServeExit exit = server.serveLoop();
+        ::close(fd);
+        if (exit == ServeExit::Bye)
+            return 0; // master shut the fleet down cleanly
+        // PeerClosed / StreamBroken: the channel died under us —
+        // network fault, chaos-proxy sever, or master-side SIGKILL of
+        // the conversation. Dial back in under the next epoch; the
+        // master replays whatever the wire lost.
+        ++epoch;
+    }
+}
+
+#else // _WIN32
+
+int
+runFleetWorkerClient(const CoSearchEnv &, const FleetWorkerOptions &)
+{
+    return 1; // no fleet transport on this platform
+}
 
 #endif // !_WIN32
 
@@ -1064,6 +1569,16 @@ FleetEnv::workerPids() const
         return pool_->pids();
 #endif
     return {};
+}
+
+int
+FleetEnv::listenPort() const
+{
+#if !defined(_WIN32)
+    if (pool_)
+        return pool_->listenPort();
+#endif
+    return -1;
 }
 
 } // namespace unico::core

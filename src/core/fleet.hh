@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.hh"
 #include "core/env.hh"
@@ -80,7 +81,68 @@ struct FleetConfig
     /** Chaos testing: workers corrupt every Nth response frame
      *  (payload bit flip) to exercise CRC rejection (0 = off). */
     int chaosCorruptEvery = 0;
+
+    /** Multi-host mode: non-empty "host:port" switches the fleet
+     *  from forked socketpair workers to a TCP listener that adopts
+     *  remote workers as they dial in (":0" picks a free port). */
+    std::string listenAddr;
+    /** TCP: how long the master waits for each *initial* worker to
+     *  connect before starting with a smaller fleet. */
+    double connectWaitSeconds = 30.0;
+    /** TCP: write the bound port here the moment the listener is up —
+     *  BEFORE waiting for workers, who need it to dial in (the
+     *  chicken-and-egg a ":0" port otherwise creates). Empty = off. */
+    std::string listenPortFile;
+    /** TCP: how long each reopen attempt waits for a partitioned /
+     *  killed worker to dial back in. Each failed attempt consumes
+     *  one unit of the slot's maxRespawnsPerWorker budget and counts
+     *  a ConnectFailure, feeding the circuit breaker. */
+    double reconnectWaitSeconds = 5.0;
 };
+
+/** Options for a remote worker process (see runFleetWorkerClient). */
+struct FleetWorkerOptions
+{
+    /** Master address to dial ("host:port"). */
+    std::string connectAddr;
+    /** Per-attempt connect + handshake deadline. */
+    double connectDeadlineSeconds = 10.0;
+    /** Jittered exponential reconnect backoff: base * 2^k, capped. */
+    double reconnectBaseSeconds = 0.05;
+    double reconnectMaxSeconds = 2.0;
+    /** Consecutive failed connect attempts before giving up. */
+    int maxReconnectAttempts = 10;
+    /** Resident-run / chaos knobs applied inside the worker. */
+    FleetConfig cfg;
+};
+
+/**
+ * Run this process as a remote fleet worker: dial the master, serve
+ * framed evaluation requests over TCP, and on disconnection (network
+ * fault, hard partition, master-side kill of the channel) reconnect
+ * with jittered exponential backoff under a bumped session epoch —
+ * resident runs survive the reconnect, and op-history replay makes
+ * resumption exactly-once. Returns a process exit code: 0 after a
+ * clean shutdown ("bye" from the master, or the master going away
+ * after at least one successful session), 1 when the master was
+ * never reachable, 2 when the master rejected this worker's stack
+ * identity (wrong backend/scenario/workload).
+ */
+int runFleetWorkerClient(const CoSearchEnv &env,
+                         const FleetWorkerOptions &opts);
+
+/** Rendezvous (highest-random-weight) score of worker slot @p slot
+ *  for the run key (@p hi, @p lo). Exposed so placement stability is
+ *  unit-testable: scores are pure, so the argmax over alive slots is
+ *  deterministic across processes and removing one slot only moves
+ *  the runs whose argmax was that slot. */
+std::uint64_t rendezvousScore(std::uint64_t hi, std::uint64_t lo,
+                              std::size_t slot);
+
+/** Home slot for a run key: argmax of rendezvousScore over slots
+ *  where @p alive is true; -1 when none are. */
+int rendezvousHome(std::uint64_t hi, std::uint64_t lo,
+                   const std::vector<bool> &alive);
 
 namespace detail {
 class WorkerPool;
@@ -124,6 +186,9 @@ class FleetEnv : public CoSearchEnv
 
     /** Pids of the live workers (chaos harnesses kill these). */
     std::vector<std::int64_t> workerPids() const;
+
+    /** Bound TCP port in multi-host mode (resolves ":0"), else -1. */
+    int listenPort() const;
 
     const FleetConfig &config() const { return cfg_; }
 

@@ -171,7 +171,8 @@ writeFaultsCsv(const CoSearchResult &result, const std::string &path)
          "worker_crashes", "request_timeouts", "worker_hangs",
          "torn_frames", "corrupt_frames", "worker_respawns",
          "work_steals", "inproc_fallbacks", "request_round_trips",
-         "ops_applied"});
+         "ops_applied", "connections_lost", "connect_failures",
+         "stale_frames", "reconnects", "heartbeats"});
     table.addRow({std::to_string(f.transient), std::to_string(f.timeout),
                   std::to_string(f.corrupt), std::to_string(f.fatal),
                   std::to_string(f.retries),
@@ -188,7 +189,12 @@ writeFaultsCsv(const CoSearchResult &result, const std::string &path)
                   std::to_string(t.workSteals),
                   std::to_string(t.inprocFallbacks),
                   std::to_string(t.requestRoundTrips),
-                  std::to_string(t.opsApplied)});
+                  std::to_string(t.opsApplied),
+                  std::to_string(t.connectionsLost),
+                  std::to_string(t.connectFailures),
+                  std::to_string(t.staleFrames),
+                  std::to_string(t.reconnects),
+                  std::to_string(t.heartbeats)});
     return table.writeCsv(path);
 }
 

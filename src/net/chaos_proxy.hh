@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic network-fault chaos proxy.
+ *
+ * Sits between the fleet master and its TCP workers and injects the
+ * failure modes real networks produce — added latency, dropped and
+ * duplicated messages, reordering, torn frames (connection cut
+ * mid-message), payload bit damage, and hard partitions that sever
+ * every connection and refuse new ones for a window. The proxy is
+ * frame-aware (it forwards whole UFR1 frames, never splits except to
+ * tear on purpose) so each fault lands on exactly one protocol
+ * message and the downstream classification is predictable: a flip
+ * becomes CorruptFrame, a tear becomes TornFrame/ConnectionLost, a
+ * drop becomes RequestTimeout, a dup/reorder becomes StaleFrame.
+ *
+ * Fault decisions come from a seeded splitmix schedule keyed by
+ * (seed, connection index, direction, frame index), so a given
+ * profile replays the same fault pattern run after run — chaos tests
+ * stay debuggable. The robustness claim under test: whatever this
+ * proxy does, fleet results stay byte-identical to in-process runs.
+ */
+
+#ifndef UNICO_NET_CHAOS_PROXY_HH
+#define UNICO_NET_CHAOS_PROXY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace unico::net {
+
+/** Seeded fault schedule for the proxy. Probabilities are per frame
+ *  and independent; at most one fault fires per frame, chosen in
+ *  precedence order drop > tear > flip > dup > reorder > delay. */
+struct ChaosProfile
+{
+    std::uint64_t seed = 1;
+    double dropProbability = 0.0;      ///< swallow the frame
+    double tearProbability = 0.0;      ///< forward a prefix, cut conn
+    double flipProbability = 0.0;      ///< damage one payload bit
+    double duplicateProbability = 0.0; ///< forward the frame twice
+    double reorderProbability = 0.0;   ///< swap with the next frame
+    double delayProbability = 0.0;     ///< hold before forwarding
+    double delaySeconds = 0.05;
+    /** Every Nth forwarded frame (globally) triggers a hard
+     *  partition: all connections cut, new ones refused for
+     *  partitionSeconds. 0 disables. */
+    std::uint64_t partitionEveryFrames = 0;
+    double partitionSeconds = 0.5;
+
+    /**
+     * Parse a compact spec: comma-separated `key=value` with keys
+     * seed, drop, tear, flip, dup, reorder, delay (`prob` or
+     * `prob:seconds`), partition (`every` or `every:seconds`).
+     * Example: "seed=7,drop=0.05,delay=0.2:0.02,partition=40:0.5".
+     */
+    static bool parse(const std::string &spec, ChaosProfile &out,
+                      std::string *error = nullptr);
+};
+
+/**
+ * The proxy itself: listens on one address, forwards each accepted
+ * connection to the upstream address, and applies the profile to
+ * every frame in both directions. Thread-safe; one accept thread
+ * plus two pump threads per connection.
+ */
+class ChaosProxy
+{
+  public:
+    ChaosProxy(std::string listen_addr, std::string upstream_addr,
+               ChaosProfile profile);
+    ~ChaosProxy();
+
+    ChaosProxy(const ChaosProxy &) = delete;
+    ChaosProxy &operator=(const ChaosProxy &) = delete;
+
+    /** Bind + start proxying. False (with @p error) on bind failure. */
+    bool start(std::string *error = nullptr);
+
+    /** Actual bound port (resolves ":0"), or -1 before start(). */
+    int port() const { return port_; }
+
+    /** Sever everything and stop. Idempotent. */
+    void stop();
+
+    /** Injection ledger (what the schedule actually fired). */
+    struct Counters
+    {
+        std::uint64_t connections = 0;
+        std::uint64_t framesForwarded = 0;
+        std::uint64_t delayed = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t reordered = 0;
+        std::uint64_t torn = 0;
+        std::uint64_t flipped = 0;
+        std::uint64_t partitions = 0;
+        std::uint64_t refusedDuringPartition = 0;
+
+        /** Faults actually injected (excludes delays). */
+        std::uint64_t
+        faults() const
+        {
+            return dropped + duplicated + reordered + torn + flipped +
+                   partitions;
+        }
+    };
+    Counters counters() const;
+
+  private:
+    struct Conn;
+
+    void acceptLoop();
+    void pump(std::shared_ptr<Conn> conn, bool toUpstream);
+    void triggerPartition();
+    void severAll();
+    bool inPartition() const;
+
+    std::string listenAddr_;
+    std::string upstreamAddr_;
+    ChaosProfile profile_;
+    int listenFd_ = -1;
+    int port_ = -1;
+    std::atomic<bool> stop_{false};
+    std::thread acceptThread_;
+
+    mutable std::mutex mu_; // guards conns_ + pumpThreads_
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::vector<std::thread> pumpThreads_;
+    std::uint64_t nextConnId_ = 0;
+
+    std::atomic<std::uint64_t> framesSeen_{0};
+    /** monotonicNow() timestamp the current partition ends at. */
+    std::atomic<double> partitionUntil_{0.0};
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> framesForwarded_{0};
+    std::atomic<std::uint64_t> delayed_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> duplicated_{0};
+    std::atomic<std::uint64_t> reordered_{0};
+    std::atomic<std::uint64_t> torn_{0};
+    std::atomic<std::uint64_t> flipped_{0};
+    std::atomic<std::uint64_t> partitions_{0};
+    std::atomic<std::uint64_t> refused_{0};
+};
+
+} // namespace unico::net
+
+#endif // UNICO_NET_CHAOS_PROXY_HH

@@ -38,6 +38,9 @@ namespace {
 /** Compile-time path of the CLI under test. */
 const char *const kCli = UNICO_CLI_PATH;
 
+/** Compile-time path of the chaos proxy binary. */
+const char *const kProxy = UNICO_PROXY_PATH;
+
 /** Deterministic LCG for kill delays (std::rand is process-global
  *  state; the harness must not depend on it). */
 struct Lcg
@@ -114,10 +117,41 @@ spawn(const std::vector<std::string> &args)
     if (pid == 0) {
         // Child: silence stdout so test output stays readable.
         std::freopen("/dev/null", "w", stdout);
-        execv(kCli, argv.data());
+        execv(argv[0], argv.data());
         _exit(127); // exec failed
     }
     return pid;
+}
+
+/** Poll @p path until a process writes a positive port number into
+ *  it (the CLI's --fleet-port-file / proxy's --port-file handoff). */
+int
+awaitPortFile(const std::string &path, double wait_seconds = 30.0)
+{
+    for (int i = 0; i < static_cast<int>(wait_seconds * 100); ++i) {
+        std::ifstream in(path);
+        int port = 0;
+        if (in >> port && port > 0)
+            return port;
+        usleep(10000);
+    }
+    ADD_FAILURE() << "port file never appeared: " << path;
+    return -1;
+}
+
+/** Reap @p pid, SIGKILLing it if it outlives @p wait_seconds. */
+int
+reapWithin(pid_t pid, double wait_seconds)
+{
+    int status = 0;
+    for (int i = 0; i < static_cast<int>(wait_seconds * 100); ++i) {
+        if (waitpid(pid, &status, WNOHANG) == pid)
+            return WIFEXITED(status) ? WEXITSTATUS(status) : -2;
+        usleep(10000);
+    }
+    kill(pid, SIGKILL);
+    waitpid(pid, &status, 0);
+    return -3; // had to shoot it
 }
 
 /** Outcome of one supervised child run. */
@@ -350,6 +384,107 @@ TEST(Chaos, FleetWithWorkerKillsMatchesInProcessRun)
     EXPECT_EQ(faultsCsvColumn(base + "/out_faults.csv",
                               "worker_crashes"),
               0u);
+}
+
+TEST(Chaos, TcpFleetThroughChaosProxyWithWorkerKillStaysByteIdentical)
+{
+    // The multi-host acceptance check: master and workers are REAL
+    // processes talking TCP through the chaos proxy, which injects
+    // seeded delays, drops, duplicates, reorders, torn frames, bit
+    // flips and hard partitions (each partition severs every
+    // connection and forces the workers through their reconnect
+    // backoff). On top of the network chaos, one worker process is
+    // SIGKILLed mid-run and a replacement dials in. Records, front,
+    // trace CSVs AND the final checkpoint must be byte-identical to
+    // the plain in-process run.
+    const std::string base = makeBaseline("pbase");
+    const std::string dir = makeTempDir("proxy");
+
+    // Master: TCP listener on a free port, short deadlines so chaos
+    // losses fail over fast instead of serializing 30 s stalls.
+    std::vector<std::string> margs = cliArgs(dir, false);
+    for (const char *extra :
+         {"--workers", "2", "--fleet-listen", "127.0.0.1:0",
+          "--fleet-connect-wait", "30", "--fleet-reconnect-wait", "2",
+          "--worker-eval-deadline", "2", "--threads", "2"}) {
+        margs.push_back(extra);
+    }
+    margs.push_back("--fleet-port-file");
+    margs.push_back(dir + "/master.port");
+    const pid_t master = spawn(margs);
+    ASSERT_GT(master, 0);
+    const int mport = awaitPortFile(dir + "/master.port");
+    ASSERT_GT(mport, 0);
+
+    // Chaos proxy between the workers and the master. The partition
+    // cadence guarantees at least one hard partition well inside the
+    // run; the drop rate stays low because every drop costs a full
+    // request deadline.
+    const pid_t proxy = spawn(
+        {kProxy, "--upstream", "127.0.0.1:" + std::to_string(mport),
+         "--port-file", dir + "/proxy.port", "--chaos",
+         "seed=31,drop=0.01,tear=0.01,flip=0.02,dup=0.03,"
+         "reorder=0.03,delay=0.15:0.005,partition=120:0.3"});
+    ASSERT_GT(proxy, 0);
+    const int pport = awaitPortFile(dir + "/proxy.port");
+    ASSERT_GT(pport, 0);
+
+    // Enough reconnect budget to ride out every partition, but small
+    // enough (40 x <=0.5 s jittered backoff) that a worker who missed
+    // the master's bye (chaos can eat it) drains its attempts against
+    // the dead endpoint and exits 0 well inside the reap window.
+    const auto workerArgs = [&] {
+        return std::vector<std::string>{
+            kCli,
+            "resnet",
+            "--fleet-connect",
+            "127.0.0.1:" + std::to_string(pport),
+            "--fleet-reconnect-attempts",
+            "40",
+            "--fleet-reconnect-max",
+            "0.5",
+        };
+    };
+    pid_t w1 = spawn(workerArgs());
+    const pid_t w2 = spawn(workerArgs());
+    ASSERT_GT(w1, 0);
+    ASSERT_GT(w2, 0);
+
+    // Let the fleet do real work, then SIGKILL one worker process —
+    // its slot must fail over (retry on the survivor, reopen, or
+    // in-process replay) — and dial a replacement in.
+    usleep(1500 * 1000);
+    kill(w1, SIGKILL);
+    waitpid(w1, nullptr, 0);
+    w1 = spawn(workerArgs());
+    ASSERT_GT(w1, 0);
+
+    // The master must complete successfully despite everything.
+    const int master_rc = reapWithin(master, 300.0);
+    EXPECT_EQ(master_rc, 0);
+
+    // Proxy: SIGTERM prints the ledger and exits 0. Workers exit 0
+    // on the master's bye (or connection exhaustion after it).
+    kill(proxy, SIGTERM);
+    EXPECT_EQ(reapWithin(proxy, 30.0), 0);
+    EXPECT_EQ(reapWithin(w1, 120.0), 0);
+    EXPECT_EQ(reapWithin(w2, 120.0), 0);
+
+    expectSameOutputs(base, dir, true);
+
+    // The ledger must show the fleet really absorbed network faults:
+    // corrupt frames from bit flips, stale frames from dup/reorder,
+    // lost connections + reconnects from partitions/tears/the kill.
+    const std::string faults = dir + "/out_faults.csv";
+    EXPECT_GE(faultsCsvColumn(faults, "connections_lost") +
+                  faultsCsvColumn(faults, "request_timeouts") +
+                  faultsCsvColumn(faults, "torn_frames") +
+                  faultsCsvColumn(faults, "corrupt_frames"),
+              1u);
+    EXPECT_GE(faultsCsvColumn(faults, "reconnects") +
+                  faultsCsvColumn(faults, "worker_respawns") +
+                  faultsCsvColumn(faults, "inproc_fallbacks"),
+              1u);
 }
 
 TEST(Chaos, MasterKillInFleetModeResumesAcrossTopologies)

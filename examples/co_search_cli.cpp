@@ -13,7 +13,7 @@
  *                 [--algo unico|hasco|mobohb|nsga2|sh|msh] \
  *                 [--batch N] [--iters I] [--bmax B] [--seed S] \
  *                 [--threads T] [--batch-evals N] \
- *                 [--csv-prefix out/prefix] \
+ *                 [--csv-prefix out/prefix] [--progress-every N] \
  *                 [--cache-mb MB] [--no-cache] \
  *                 [--surrogate] [--surrogate-keep F] [--no-surrogate] \
  *                 [--fault-rate F] [--hang-rate F] [--corrupt-rate F] \
@@ -75,6 +75,12 @@
  * disables it). Results, checkpoints and the records/front/trace
  * CSVs are bit-identical either way — only wall-clock changes.
  *
+ * Progress: --progress-every N prints one JSON object per line on
+ * stdout — the stepped driver's typed progress events (started /
+ * trial / incumbent / front / checkpoint / finished), with trial
+ * events thinned to every Nth. The identical event stream is what
+ * co_search_server serves over HTTP, so scripts can watch either.
+ *
  * Surrogate screening: --surrogate (tune with --surrogate-keep F,
  * default 0.25) trains an online ridge-regression cost model on the
  * exact evaluations each run pays for and answers the predicted-worst
@@ -119,7 +125,8 @@ usage(const char *prog)
            "nsga2|sh|msh]\n"
            "  [--batch N] [--iters I] [--bmax B] [--seed S]"
            " [--threads T] [--batch-evals N]\n"
-           "  [--max-shapes K] [--csv-prefix PREFIX]\n"
+           "  [--max-shapes K] [--csv-prefix PREFIX]"
+           " [--progress-every N]\n"
            "  [--cache-mb MB] [--no-cache]\n"
            "  [--surrogate] [--surrogate-keep F] [--no-surrogate]\n"
            "  [--fault-rate F] [--hang-rate F] [--corrupt-rate F]"
@@ -361,18 +368,11 @@ main(int argc, char **argv)
         result = baselines::runNsga2(env, cfg);
     } else {
         core::DriverConfig cfg;
-        if (algo == "unico")
-            cfg = core::DriverConfig::unico();
-        else if (algo == "hasco")
-            cfg = core::DriverConfig::hascoLike();
-        else if (algo == "mobohb")
-            cfg = core::DriverConfig::mobohbLike();
-        else if (algo == "sh")
-            cfg = core::DriverConfig::shChampion();
-        else if (algo == "msh")
-            cfg = core::DriverConfig::mshChampion();
-        else
+        try {
+            cfg = core::driverConfigForAlgo(algo);
+        } catch (const std::exception &) {
             return usage(args.program().c_str());
+        }
         cfg.batchSize = static_cast<int>(args.getInt("batch", 20));
         cfg.maxIter = static_cast<int>(args.getInt("iters", 8));
         cfg.sh.bMax = static_cast<int>(args.getInt("bmax", 200));
@@ -394,10 +394,38 @@ main(int argc, char **argv)
             args.getDouble("eval-wall-deadline", 0.0);
         // Graceful shutdown: SIGINT/SIGTERM cancel this token; the
         // driver drains, checkpoints and returns with interrupted
-        // state instead of dying mid-write.
-        common::installShutdownHandlers();
+        // state instead of dying mid-write. Scoped install — this is
+        // deliberately after the fleet fork point (handlers must not
+        // leak into workers) and stays live through the run.
+        common::ShutdownScope shutdown_scope;
         cfg.cancel = &common::shutdownToken();
-        core::CoOptimizer driver(env, cfg);
+
+        // --progress-every N: machine-readable progress as one JSON
+        // object per line on stdout — the same typed events the job
+        // server streams. Trial events are thinned to every Nth;
+        // life-cycle events (started/incumbent/front/checkpoint/
+        // finished) always print.
+        struct NdjsonProgress final : core::ProgressObserver
+        {
+            int every = 0;
+
+            void
+            onProgress(const core::ProgressEvent &event) override
+            {
+                if (event.kind == core::ProgressKind::TrialCompleted &&
+                    event.iteration % every != 0)
+                    return;
+                std::cout << core::toJson(event).dump() << "\n";
+                std::cout.flush();
+            }
+        };
+        NdjsonProgress progress;
+        progress.every =
+            static_cast<int>(args.getInt("progress-every", 0));
+        core::ProgressObserver *observer =
+            progress.every > 0 ? &progress : nullptr;
+
+        core::CoOptimizer driver(env, cfg, nullptr, observer);
         try {
             result = driver.run();
         } catch (const std::exception &e) {

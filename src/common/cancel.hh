@@ -28,6 +28,7 @@ enum class CancelReason : int {
     Signal,       ///< SIGINT/SIGTERM requested a graceful shutdown
     RunDeadline,  ///< whole-run wall-clock deadline expired
     EvalDeadline, ///< per-evaluation wall-clock deadline expired
+    JobCancel,    ///< a job-manager client cancelled the job
 };
 
 /** Human-readable reason name. */
@@ -39,6 +40,7 @@ toString(CancelReason reason)
       case CancelReason::Signal: return "signal";
       case CancelReason::RunDeadline: return "wall-deadline";
       case CancelReason::EvalDeadline: return "eval-wall-deadline";
+      case CancelReason::JobCancel: return "cancelled";
     }
     return "?";
 }

@@ -1,6 +1,9 @@
 #include "common/shutdown.hh"
 
+#include <atomic>
 #include <csignal>
+#include <cstddef>
+#include <mutex>
 
 #if !defined(_WIN32)
 #include <unistd.h>
@@ -15,11 +18,33 @@ namespace {
  *  where atomics are not lock-free. */
 volatile std::sig_atomic_t g_signal = 0;
 
+/**
+ * Fan-out table: fixed-size array of lock-free token slots so the
+ * signal handler can walk it without taking a lock. CancelToken is
+ * all lock-free atomics, so cancelling one from a handler is safe.
+ * Registration/unregistration are CAS/store on the slot pointers; a
+ * token must outlive its unregistration (the handler may have loaded
+ * the pointer just before the slot was cleared).
+ */
+constexpr std::size_t kFanoutSlots = 256;
+std::atomic<CancelToken *> g_fanout[kFanoutSlots] = {};
+
+void
+fanOutShutdown()
+{
+    for (auto &slot : g_fanout) {
+        CancelToken *token = slot.load(std::memory_order_acquire);
+        if (token != nullptr)
+            token->cancel(CancelReason::Signal);
+    }
+}
+
 void
 onShutdownSignal(int sig)
 {
     if (shutdownToken().cancel(CancelReason::Signal)) {
         g_signal = sig;
+        fanOutShutdown();
         return;
     }
     // Second signal while draining: the operator wants out *now*.
@@ -28,6 +53,46 @@ onShutdownSignal(int sig)
     std::_Exit(128 + sig);
 #else
     _exit(128 + sig);
+#endif
+}
+
+/** Scope bookkeeping (normal-context only, never touched by the
+ *  handler): refcount plus the sigactions to restore on teardown. */
+std::mutex g_scope_mutex;
+int g_scope_refs = 0;
+#if !defined(_WIN32)
+struct sigaction g_prev_int;
+struct sigaction g_prev_term;
+#else
+void (*g_prev_int)(int) = SIG_DFL;
+void (*g_prev_term)(int) = SIG_DFL;
+#endif
+
+void
+installHandlers()
+{
+#if defined(_WIN32)
+    g_prev_int = std::signal(SIGINT, onShutdownSignal);
+    g_prev_term = std::signal(SIGTERM, onShutdownSignal);
+#else
+    struct sigaction sa = {};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls too
+    sigaction(SIGINT, &sa, &g_prev_int);
+    sigaction(SIGTERM, &sa, &g_prev_term);
+#endif
+}
+
+void
+restoreHandlers()
+{
+#if defined(_WIN32)
+    std::signal(SIGINT, g_prev_int);
+    std::signal(SIGTERM, g_prev_term);
+#else
+    sigaction(SIGINT, &g_prev_int, nullptr);
+    sigaction(SIGTERM, &g_prev_term, nullptr);
 #endif
 }
 
@@ -40,20 +105,75 @@ shutdownToken()
     return token;
 }
 
+ShutdownScope::ShutdownScope()
+{
+    std::lock_guard<std::mutex> lock(g_scope_mutex);
+    if (g_scope_refs++ == 0)
+        installHandlers();
+}
+
+ShutdownScope::~ShutdownScope()
+{
+    std::lock_guard<std::mutex> lock(g_scope_mutex);
+    if (--g_scope_refs == 0) {
+        restoreHandlers();
+        // Re-arm for the next installation: a handled (or never
+        // delivered) shutdown must not leak into a later scope.
+        g_signal = 0;
+        shutdownToken().reset();
+    }
+}
+
+bool
+registerShutdownToken(CancelToken &token)
+{
+    for (auto &slot : g_fanout) {
+        CancelToken *expected = nullptr;
+        if (slot.compare_exchange_strong(expected, &token,
+                                         std::memory_order_acq_rel)) {
+            // A signal that arrived before (or during) registration
+            // must still reach this token.
+            if (shutdownToken().cancelled())
+                token.cancel(CancelReason::Signal);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+unregisterShutdownToken(CancelToken &token)
+{
+    for (auto &slot : g_fanout) {
+        CancelToken *expected = &token;
+        slot.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+    }
+}
+
+std::size_t
+shutdownFanoutSize()
+{
+    std::size_t n = 0;
+    for (auto &slot : g_fanout)
+        if (slot.load(std::memory_order_acquire) != nullptr)
+            ++n;
+    return n;
+}
+
 void
 installShutdownHandlers()
 {
-#if defined(_WIN32)
-    std::signal(SIGINT, onShutdownSignal);
-    std::signal(SIGTERM, onShutdownSignal);
-#else
-    struct sigaction sa = {};
-    sa.sa_handler = onShutdownSignal;
-    sigemptyset(&sa.sa_mask);
-    sa.sa_flags = 0; // no SA_RESTART: interrupt blocking syscalls too
-    sigaction(SIGINT, &sa, nullptr);
-    sigaction(SIGTERM, &sa, nullptr);
-#endif
+    // Process-lifetime reference: acquire once, never release.
+    static ShutdownScope *forever = nullptr;
+    std::lock_guard<std::mutex> lock(g_scope_mutex);
+    if (forever == nullptr) {
+        if (g_scope_refs++ == 0)
+            installHandlers();
+        // Mark held without constructing a real scope (the lock is
+        // already ours and ~ShutdownScope must never run for it).
+        forever = reinterpret_cast<ShutdownScope *>(&g_scope_refs);
+    }
 }
 
 bool

@@ -17,6 +17,7 @@
 
 #include "accel/ascend.hh"
 #include "camodel/simulator.hh"
+#include "common/cancel.hh"
 #include "core/env.hh"
 #include "workload/network.hh"
 
@@ -37,6 +38,10 @@ struct AscendEnvOptions
      *  nullptr or options.enabled == false keeps the exact-only path
      *  byte-identical to builds without the surrogate. */
     surrogate::SurrogateContext *surrogate = nullptr;
+    /** Per-job cancellation token (owned by the caller); threaded
+     *  into every MappingRun for mid-sweep early return. nullptr
+     *  keeps the historical non-cancellable runs. */
+    const common::CancelToken *cancel = nullptr;
 };
 
 /** Ascend-like co-search environment. */

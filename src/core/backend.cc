@@ -82,6 +82,7 @@ makeSpatial(std::vector<workload::Network> networks,
     env_opt.cache = opt.cache;
     env_opt.surrogate = opt.surrogate;
     env_opt.evalPool = opt.evalPool;
+    env_opt.cancel = opt.cancel;
     return std::make_unique<SpatialEnv>(std::move(networks), env_opt);
 }
 
@@ -94,6 +95,7 @@ makeAscend(std::vector<workload::Network> networks,
     env_opt.maxShapesPerNetwork = opt.maxShapesPerNetwork;
     env_opt.cache = opt.cache;
     env_opt.surrogate = opt.surrogate;
+    env_opt.cancel = opt.cancel;
     return std::make_unique<AscendEnv>(std::move(networks), env_opt);
 }
 

@@ -23,6 +23,7 @@
 
 #include "accel/ppa.hh"
 #include "accel/spatial.hh"
+#include "common/cancel.hh"
 #include "common/cli.hh"
 #include "core/env.hh"
 #include "mapping/engine.hh"
@@ -68,6 +69,11 @@ struct BackendOptions
      *  Must differ from any pool whose jobs construct or step runs
      *  of the resulting env (nested-wait deadlock). */
     common::LazyThreadPool *evalPool = nullptr;
+    /** Per-job cancellation token; forwarded into the env so every
+     *  MappingRun it creates can return early once the owning job is
+     *  cancelled. nullptr = non-cancellable runs (historical
+     *  behavior, and bit-identical trajectories either way). */
+    const common::CancelToken *cancel = nullptr;
 };
 
 /** Constructs a ready-to-search environment for a workload list. */

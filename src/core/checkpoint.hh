@@ -67,19 +67,9 @@ struct SearchCheckpoint
  */
 std::string configFingerprint(const DriverConfig &cfg);
 
-/**
- * Identity triple of a live evaluation stack, in the exact string
- * form stamped into checkpoints.
- */
-struct StackIdentity
-{
-    std::string backend;
-    std::string scenario;
-    std::string workloadDigest;
-
-    /** Snapshot an environment's identity (digest in hex). */
-    static StackIdentity of(const CoSearchEnv &env);
-};
+// StackIdentity (the identity triple stamped into checkpoints) now
+// lives in core/job_context.hh — it is per-job state shared by the
+// checkpoint layer, the stepped driver and the job manager.
 
 /**
  * Typed resume refusal: the checkpoint on disk was produced by a

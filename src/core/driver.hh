@@ -17,6 +17,7 @@
 #define UNICO_CORE_DRIVER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,10 +26,20 @@
 #include "common/cancel.hh"
 #include "common/eval_clock.hh"
 #include "core/env.hh"
+#include "core/job_context.hh"
+#include "core/progress.hh"
 #include "core/sh.hh"
 #include "moo/pareto.hh"
 
+namespace unico::common {
+class ThreadPool;
+class Watchdog;
+} // namespace unico::common
+
 namespace unico::core {
+
+class MoboHwSampler;
+class HighFidelitySelector;
 
 /** SW search budget allocation policy across a HW batch. */
 enum class BudgetMode {
@@ -241,18 +252,113 @@ struct CoSearchResult
     std::size_t minDistanceRecord() const;
 };
 
-/** The bi-level co-optimizer. */
+/**
+ * The named algorithm presets the CLI and the job manager share
+ * ("unico", "hasco", "mobohb", "sh", "msh" — the DriverConfig
+ * factory of the same flavour). Throws std::invalid_argument on an
+ * unknown name so both front-ends reject specs identically.
+ */
+DriverConfig driverConfigForAlgo(const std::string &algo);
+
+/**
+ * The bi-level co-optimizer in resumable stepped form.
+ *
+ * start() binds the environment (and restores a checkpoint when the
+ * configuration asks for one); each step() executes exactly one MOBO
+ * trial and returns whether more work remains; result() seals the
+ * outcome (final checkpoint, totals, diagnostics snapshots). The
+ * monolithic CoOptimizer::run() is now a thin loop over this class.
+ *
+ * Per-job isolation: with an external JobContext the search charges
+ * the job's EvalClock and polls the job's CancelToken at every
+ * cooperative boundary (trial, SH round, evaluation chunk), so any
+ * number of CoSearch instances can run concurrently in one process
+ * — each on its own thread — without sharing mutable state beyond
+ * the read-mostly evaluation cache their environments may point at.
+ *
+ * Progress: life-cycle milestones (trial completed, incumbent
+ * changed, Pareto-front delta, checkpoint written) are emitted
+ * through the optional ProgressObserver; events are observations
+ * only and never alter the trajectory.
+ */
+class CoSearch
+{
+  public:
+    /** @param ctx per-job state; nullptr uses an internal context.
+     *  @param observer progress sink; nullptr disables emission.
+     *  Both, when given, must outlive the CoSearch. */
+    CoSearch(CoSearchEnv &env, DriverConfig cfg,
+             JobContext *ctx = nullptr,
+             ProgressObserver *observer = nullptr);
+    ~CoSearch();
+
+    CoSearch(const CoSearch &) = delete;
+    CoSearch &operator=(const CoSearch &) = delete;
+
+    /** Bind, resume, arm deadlines; idempotent. May throw
+     *  CheckpointMismatchError on a foreign checkpoint. */
+    void start();
+
+    /** Run one MOBO trial. Returns true while more trials remain
+     *  and the search has not been interrupted. */
+    bool step();
+
+    /** Trials completed so far (including restored ones). */
+    int completedIterations() const { return completedIters_; }
+
+    /** True once every trial ran or the search was interrupted. */
+    bool finished() const;
+
+    /** Seal and return the outcome (final checkpoint, totals);
+     *  idempotent after the first call. */
+    CoSearchResult result();
+
+  private:
+    bool pollInterrupt();
+    void runTrial();
+    void saveCheckpoint(int completed);
+    void emit(ProgressEvent event);
+    void emitIncumbentIfChanged();
+
+    CoSearchEnv &env_;
+    DriverConfig cfg_;
+    JobContext ownedCtx_;
+    JobContext *ctx_;
+    ProgressObserver *observer_;
+
+    std::size_t numObj_ = 3;
+    std::unique_ptr<MoboHwSampler> sampler_;
+    std::unique_ptr<HighFidelitySelector> selector_;
+    std::vector<double> championW_;
+    int minBudget_ = 1;
+    StackIdentity stackId_;
+    common::CancelToken runToken_;
+    std::unique_ptr<common::ThreadPool> roundPool_;
+    std::unique_ptr<common::Watchdog> watchdog_;
+    std::uint64_t runWatchId_ = 0;
+    CoSearchResult result_;
+    int startIter_ = 0;
+    int completedIters_ = 0;
+    int lastSavedIter_ = 0;
+    int iter_ = 0;
+    std::size_t lastIncumbent_ = static_cast<std::size_t>(-1);
+    bool started_ = false;
+    bool sealed_ = false;
+};
+
+/** The bi-level co-optimizer (one-shot facade over CoSearch). */
 class CoOptimizer
 {
   public:
-    CoOptimizer(CoSearchEnv &env, DriverConfig cfg);
+    CoOptimizer(CoSearchEnv &env, DriverConfig cfg,
+                JobContext *ctx = nullptr,
+                ProgressObserver *observer = nullptr);
 
     /** Execute Algorithm 1 and return the search outcome. */
     CoSearchResult run();
 
   private:
-    CoSearchEnv &env_;
-    DriverConfig cfg_;
+    CoSearch search_;
 };
 
 } // namespace unico::core

@@ -11,8 +11,9 @@ namespace unico::core {
 
 LayeredMappingRun::LayeredMappingRun(
     const std::vector<workload::WeightedOp> &layers,
-    std::unique_ptr<LayeredRunPolicy> policy, std::uint64_t seed)
-    : layers_(layers), policy_(std::move(policy))
+    std::unique_ptr<LayeredRunPolicy> policy, std::uint64_t seed,
+    const common::CancelToken *cancel)
+    : layers_(layers), policy_(std::move(policy)), cancel_(cancel)
 {
     policy_->chargeSink_ = &chargedSeconds_;
     common::Rng seeder(seed);
@@ -31,6 +32,12 @@ LayeredMappingRun::step(int sweeps)
     // evaluators via LayeredRunPolicy::charge().
     const double fixed = policy_->fixedEvalSeconds();
     for (int i = 0; i < sweeps; ++i) {
+        // Sweep-boundary cancellation: abandon *before* starting a
+        // sweep so completed sweeps are never torn. The driver's
+        // supervisor re-polls the same token before classifying the
+        // resulting "no progress" as a fault.
+        if (cancel_ != nullptr && cancel_->cancelled())
+            return;
         ++cursor_;
         for (auto &run : runs_) {
             run->step(1);

@@ -1,0 +1,47 @@
+#include "core/progress.hh"
+
+namespace unico::core {
+
+const char *
+toString(ProgressKind kind)
+{
+    switch (kind) {
+      case ProgressKind::Started: return "started";
+      case ProgressKind::TrialCompleted: return "trial";
+      case ProgressKind::IncumbentChanged: return "incumbent";
+      case ProgressKind::FrontDelta: return "front";
+      case ProgressKind::CheckpointWritten: return "checkpoint";
+      case ProgressKind::Finished: return "finished";
+    }
+    return "?";
+}
+
+common::Json
+toJson(const ProgressEvent &event)
+{
+    common::Json doc = common::Json::object();
+    doc["event"] = toString(event.kind);
+    if (event.job != 0)
+        doc["job"] = static_cast<std::int64_t>(event.job);
+    doc["iteration"] = event.iteration;
+    doc["max_iterations"] = event.maxIterations;
+    doc["hours"] = event.hours;
+    doc["evaluations"] = static_cast<std::int64_t>(event.evaluations);
+    doc["front_size"] = event.frontSize;
+    doc["records"] = event.records;
+    if (event.kind == ProgressKind::FrontDelta)
+        doc["front_delta"] = event.frontDelta;
+    if (!event.detail.empty())
+        doc["detail"] = event.detail;
+    if (event.kind == ProgressKind::IncumbentChanged ||
+        (event.kind == ProgressKind::Finished && event.frontSize > 0)) {
+        doc["latency_ms"] = event.bestLatencyMs;
+        doc["power_mw"] = event.bestPowerMw;
+        doc["area_mm2"] = event.bestAreaMm2;
+    }
+    if (event.kind == ProgressKind::Finished)
+        doc["interrupted"] = event.interrupted;
+    return doc;
+}
+
+} // namespace unico::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Typed progress events of a stepped co-search.
+ *
+ * The stepped driver (core::CoSearch) reports its life cycle through
+ * an observer interface instead of writing to any particular sink:
+ * one event when the search starts, one per completed MOBO trial,
+ * one whenever the recommended incumbent design changes, one per
+ * Pareto-front delta, one per durable checkpoint, and a final
+ * summary. The same events feed every consumer — the CLI's
+ * --progress-every JSON-lines output, the job manager's status
+ * ledger, and the HTTP front-end's newline-delimited JSON streams —
+ * so a script watching the CLI and a client watching the server see
+ * the same taxonomy.
+ *
+ * Events are pure observations: emitting (or dropping) them cannot
+ * change the search trajectory, and they carry only deterministic
+ * quantities (virtual hours, counts), never wall-clock timestamps.
+ */
+
+#ifndef UNICO_CORE_PROGRESS_HH
+#define UNICO_CORE_PROGRESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hh"
+
+namespace unico::core {
+
+/** What a ProgressEvent reports. */
+enum class ProgressKind {
+    Started,           ///< start() finished binding (after resume)
+    TrialCompleted,    ///< one MOBO trial fully assessed
+    IncumbentChanged,  ///< the recommended design changed
+    FrontDelta,        ///< Pareto archive gained entries this trial
+    CheckpointWritten, ///< a durable checkpoint generation landed
+    Finished,          ///< result() sealed the search outcome
+};
+
+/** Wire/display name of an event kind ("trial", "incumbent", ...). */
+const char *toString(ProgressKind kind);
+
+/** One progress observation. */
+struct ProgressEvent
+{
+    ProgressKind kind = ProgressKind::TrialCompleted;
+    /** Job id under a manager (0 when driven standalone/CLI). */
+    std::uint64_t job = 0;
+    /** MOBO trials completed so far. */
+    int iteration = 0;
+    /** Configured trial budget (maxIter). */
+    int maxIterations = 0;
+    /** Virtual search cost so far (EvalClock hours). */
+    double hours = 0.0;
+    /** SW evaluations charged so far. */
+    std::uint64_t evaluations = 0;
+    /** Pareto-archive size after this event. */
+    std::size_t frontSize = 0;
+    /** Entries the archive gained this trial (FrontDelta). */
+    int frontDelta = 0;
+    /** Evaluated-record count so far. */
+    std::size_t records = 0;
+    /** Incumbent description (IncumbentChanged) / checkpoint path
+     *  (CheckpointWritten) / interrupt reason (Finished). */
+    std::string detail;
+    /** Incumbent PPA (IncumbentChanged, Finished with a front). */
+    double bestLatencyMs = 0.0;
+    double bestPowerMw = 0.0;
+    double bestAreaMm2 = 0.0;
+    /** Finished only: the run wound down early. */
+    bool interrupted = false;
+};
+
+/** Serialize an event as a compact JSON object (one NDJSON line when
+ *  dumped without indentation). */
+common::Json toJson(const ProgressEvent &event);
+
+/** Observer interface; callbacks arrive on the searching thread. */
+class ProgressObserver
+{
+  public:
+    virtual ~ProgressObserver() = default;
+
+    virtual void onProgress(const ProgressEvent &event) = 0;
+};
+
+} // namespace unico::core
+
+#endif // UNICO_CORE_PROGRESS_HH

@@ -135,7 +135,7 @@ SpatialEnv::createRun(const accel::HwPoint &h, std::uint64_t seed) const
                                            space_.decode(h), opt_.engine,
                                            opt_.cache, opt_.surrogate,
                                            opt_.evalPool),
-        seed);
+        seed, opt_.cancel);
 }
 
 double

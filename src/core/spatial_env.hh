@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "accel/spatial.hh"
+#include "common/cancel.hh"
 #include "core/env.hh"
 #include "costmodel/analytical.hh"
 #include "mapping/engine.hh"
@@ -55,6 +56,12 @@ struct SpatialEnvOptions
      *  whose jobs create or step runs of this env (a job must never
      *  wait on a batch submitted to its own pool). */
     common::LazyThreadPool *evalPool = nullptr;
+    /** Per-job cancellation token (owned by the caller, e.g. a
+     *  JobContext); threaded into every MappingRun the env creates so
+     *  a cancelled job stops mid-sweep instead of at the driver's
+     *  next chunk boundary. nullptr (the default) keeps runs
+     *  non-cancellable from inside, exactly as before. */
+    const common::CancelToken *cancel = nullptr;
 };
 
 /** Spatial-accelerator co-search environment. */

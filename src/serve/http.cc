@@ -1,0 +1,191 @@
+#include "serve/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/io.hh"
+
+namespace unico::serve {
+
+std::vector<std::string>
+HttpRequest::pathSegments() const
+{
+    std::vector<std::string> segments;
+    // Strip any query string; the control plane doesn't use one.
+    const std::string path = target.substr(0, target.find('?'));
+    std::string current;
+    for (const char c : path) {
+        if (c == '/') {
+            if (!current.empty())
+                segments.push_back(std::move(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        segments.push_back(std::move(current));
+    return segments;
+}
+
+const char *
+toString(HttpParseStatus status)
+{
+    switch (status) {
+      case HttpParseStatus::Ok: return "ok";
+      case HttpParseStatus::Closed: return "closed";
+      case HttpParseStatus::Timeout: return "timeout";
+      case HttpParseStatus::TooLarge: return "too-large";
+      case HttpParseStatus::Malformed: return "malformed";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+HttpParseStatus
+readHttpRequest(int fd, HttpRequest &out, double deadline_monotonic,
+                const HttpLimits &limits)
+{
+    // Byte-at-a-time header read: requests are tiny (a few hundred
+    // bytes) and one-shot, so simplicity beats buffering — and it
+    // cannot over-read into a body we then have to stitch back.
+    std::string head;
+    for (;;) {
+        char c = 0;
+        std::size_t got = 0;
+        const common::IoStatus st =
+            common::readFullUntil(fd, &c, 1, deadline_monotonic, &got);
+        if (st == common::IoStatus::Timeout)
+            return HttpParseStatus::Timeout;
+        if (st != common::IoStatus::Ok)
+            return HttpParseStatus::Closed;
+        head.push_back(c);
+        if (head.size() > limits.maxHeaderBytes)
+            return HttpParseStatus::TooLarge;
+        if (head.size() >= 4 &&
+            head.compare(head.size() - 4, 4, "\r\n\r\n") == 0)
+            break;
+        // Tolerate bare-LF clients (curl never sends them, netcat
+        // users do).
+        if (head.size() >= 2 &&
+            head.compare(head.size() - 2, 2, "\n\n") == 0 &&
+            (head.size() < 3 || head[head.size() - 3] != '\r'))
+            break;
+    }
+
+    std::istringstream lines(head);
+    std::string line;
+    if (!std::getline(lines, line))
+        return HttpParseStatus::Malformed;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    {
+        std::istringstream req(line);
+        if (!(req >> out.method >> out.target >> out.version))
+            return HttpParseStatus::Malformed;
+        if (out.version.rfind("HTTP/", 0) != 0)
+            return HttpParseStatus::Malformed;
+    }
+    while (std::getline(lines, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            break;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return HttpParseStatus::Malformed;
+        out.headers[lowered(trimmed(line.substr(0, colon)))] =
+            trimmed(line.substr(colon + 1));
+    }
+
+    const auto it = out.headers.find("content-length");
+    if (it != out.headers.end()) {
+        char *end = nullptr;
+        const unsigned long long len =
+            std::strtoull(it->second.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            return HttpParseStatus::Malformed;
+        if (len > limits.maxBodyBytes)
+            return HttpParseStatus::TooLarge;
+        out.body.resize(static_cast<std::size_t>(len));
+        if (len > 0) {
+            const common::IoStatus st = common::readFullUntil(
+                fd, out.body.data(), out.body.size(),
+                deadline_monotonic);
+            if (st == common::IoStatus::Timeout)
+                return HttpParseStatus::Timeout;
+            if (st != common::IoStatus::Ok)
+                return HttpParseStatus::Closed;
+        }
+    }
+    return HttpParseStatus::Ok;
+}
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+std::string
+makeHttpResponse(int status, const std::string &contentType,
+                 const std::string &body)
+{
+    std::ostringstream oss;
+    oss << "HTTP/1.1 " << status << ' ' << reasonPhrase(status)
+        << "\r\nContent-Type: " << contentType
+        << "\r\nContent-Length: " << body.size()
+        << "\r\nConnection: close\r\n\r\n"
+        << body;
+    return oss.str();
+}
+
+std::string
+makeStreamingResponseHead(int status, const std::string &contentType)
+{
+    std::ostringstream oss;
+    oss << "HTTP/1.1 " << status << ' ' << reasonPhrase(status)
+        << "\r\nContent-Type: " << contentType
+        << "\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n";
+    return oss.str();
+}
+
+} // namespace unico::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 plumbing for the job-serving front-end.
+ *
+ * Just enough of the protocol for a localhost control plane: parse
+ * one request (request line, headers, Content-Length body) off a
+ * connected socket with an absolute deadline, and serialize simple
+ * responses. Connections are one-shot ("Connection: close"), which
+ * keeps the server loop trivially correct and suits both the
+ * JSON control requests and the newline-delimited event streams
+ * (a stream is one long response body written incrementally).
+ *
+ * Deliberately not supported: chunked transfer encoding, keep-alive,
+ * multipart, TLS, URL query strings beyond the raw target. Callers
+ * that need structure in the target split its path segments.
+ */
+
+#ifndef UNICO_SERVE_HTTP_HH
+#define UNICO_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unico::serve {
+
+/** One parsed HTTP request. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ...
+    std::string target;  ///< raw request target, e.g. "/jobs/3"
+    std::string version; ///< "HTTP/1.1"
+    /** Header fields, names lower-cased. */
+    std::map<std::string, std::string> headers;
+    std::string body; ///< Content-Length bytes (possibly empty)
+
+    /** "/jobs/3/events" -> {"jobs", "3", "events"}. */
+    std::vector<std::string> pathSegments() const;
+};
+
+/** Outcome of readHttpRequest(). */
+enum class HttpParseStatus {
+    Ok,       ///< request fully parsed
+    Closed,   ///< peer closed before a complete request
+    Timeout,  ///< deadline expired mid-request
+    TooLarge, ///< headers or body exceed the configured bounds
+    Malformed ///< not parseable as HTTP/1.1
+};
+
+/** Human-readable status name. */
+const char *toString(HttpParseStatus status);
+
+/** Parse bounds of readHttpRequest(). */
+struct HttpLimits
+{
+    std::size_t maxHeaderBytes = 16 * 1024;
+    std::size_t maxBodyBytes = 1024 * 1024;
+};
+
+/**
+ * Read and parse one request from connected fd @p fd, bounded by the
+ * absolute monotonicNow()-based deadline @p deadline_monotonic
+ * (<= 0 waits forever).
+ */
+HttpParseStatus readHttpRequest(int fd, HttpRequest &out,
+                                double deadline_monotonic,
+                                const HttpLimits &limits = HttpLimits{});
+
+/** Standard reason phrase of a status code ("OK", "Not Found", ...). */
+const char *reasonPhrase(int status);
+
+/**
+ * Serialize a complete response with Content-Length and
+ * "Connection: close".
+ */
+std::string makeHttpResponse(int status, const std::string &contentType,
+                             const std::string &body);
+
+/**
+ * Serialize the head of a streamed response: status line + headers,
+ * no Content-Length (the connection close delimits the body). The
+ * caller writes body chunks directly afterwards.
+ */
+std::string makeStreamingResponseHead(int status,
+                                      const std::string &contentType);
+
+} // namespace unico::serve
+
+#endif // UNICO_SERVE_HTTP_HH

@@ -525,4 +525,88 @@ TEST(Chaos, MasterKillInFleetModeResumesAcrossTopologies)
     expectSameOutputs(base, dir, true);
 }
 
+// ---------------------------------------------------------------
+// Scoped shutdown installation (in-process, no forking): install /
+// restore is refcounted, signals fan out to registered job tokens,
+// and teardown re-arms so the process can install again.
+// ---------------------------------------------------------------
+
+#include "common/shutdown.hh"
+
+namespace common = unico::common;
+
+namespace {
+
+/** Current SIGTERM disposition (handler pointer) of this process. */
+void (*sigtermHandler())(int)
+{
+    struct sigaction current = {};
+    sigaction(SIGTERM, nullptr, &current);
+    return current.sa_handler;
+}
+
+} // namespace
+
+TEST(Shutdown, ScopedInstallIsRefcountedAndRestoresHandlers)
+{
+    void (*const before)(int) = sigtermHandler();
+    {
+        common::ShutdownScope outer;
+        void (*const installed)(int) = sigtermHandler();
+        EXPECT_NE(installed, before) << "scope must install a handler";
+        {
+            // Nested scope: shares the installation, and its exit
+            // must NOT restore while the outer scope is live.
+            common::ShutdownScope inner;
+            EXPECT_EQ(sigtermHandler(), installed);
+        }
+        EXPECT_EQ(sigtermHandler(), installed);
+    }
+    EXPECT_EQ(sigtermHandler(), before)
+        << "last scope must restore the previous disposition";
+    EXPECT_FALSE(common::shutdownRequested());
+}
+
+TEST(Shutdown, SignalFansOutToRegisteredTokensAndTeardownRearms)
+{
+    {
+        common::ShutdownScope scope;
+        common::CancelToken before_signal, after_signal;
+        ASSERT_TRUE(common::registerShutdownToken(before_signal));
+        EXPECT_EQ(common::shutdownFanoutSize(), 1u);
+
+        // One graceful signal: handled, fanned out, not fatal.
+        ASSERT_EQ(raise(SIGTERM), 0);
+        EXPECT_TRUE(common::shutdownRequested());
+        EXPECT_EQ(common::shutdownSignal(), SIGTERM);
+        EXPECT_TRUE(before_signal.cancelled());
+        EXPECT_EQ(before_signal.reason(),
+                  common::CancelReason::Signal);
+
+        // Late registration still observes the shutdown.
+        ASSERT_TRUE(common::registerShutdownToken(after_signal));
+        EXPECT_TRUE(after_signal.cancelled());
+
+        common::unregisterShutdownToken(before_signal);
+        common::unregisterShutdownToken(after_signal);
+        // Unregistration is idempotent.
+        common::unregisterShutdownToken(before_signal);
+        EXPECT_EQ(common::shutdownFanoutSize(), 0u);
+
+        common::clearShutdownRequest();
+        EXPECT_FALSE(common::shutdownRequested());
+    }
+
+    // Teardown re-armed the process-wide token, so a fresh scope
+    // starts from a clean slate and can be signalled again.
+    {
+        common::ShutdownScope again;
+        EXPECT_FALSE(common::shutdownRequested());
+        ASSERT_EQ(raise(SIGTERM), 0);
+        EXPECT_TRUE(common::shutdownRequested());
+        common::clearShutdownRequest();
+    }
+    EXPECT_FALSE(common::shutdownRequested());
+}
+
 #endif // !_WIN32
